@@ -1,0 +1,37 @@
+//! Baseline persistent hash tables the paper compares HDNH against (§4.1).
+//!
+//! All three are reimplemented from their original papers on the *same*
+//! simulated-NVM substrate as HDNH, with the concurrency-control designs the
+//! HDNH paper attributes to them — because the comparison is architectural:
+//! how many NVM media events does each design put on the critical path, and
+//! how coarse are its locks?
+//!
+//! * [`LevelHash`] — Level hashing (Zuo, Hua, Wu — OSDI'18): two bucket
+//!   levels (sizes N and N/2), two hash locations per level, one-step
+//!   cuckoo displacement, stop-the-world 2× resizing that rehashes the
+//!   bottom level. Bucket-granularity reader-writer locks plus a global
+//!   resize lock.
+//! * [`Cceh`] — CCEH (Nam et al. — FAST'19): a directory over 16 KB
+//!   segments, cacheline (64 B) buckets, linear probing across 4 buckets,
+//!   segment splits with directory doubling, and directory-rebuild recovery
+//!   from persisted per-segment depth/prefix headers. Segment-granularity
+//!   reader-writer locks whose lock words live **in NVM**, so acquiring or
+//!   releasing even a read lock is an NVM write — the overhead the HDNH
+//!   paper calls out ("generates large amount of NVM writes").
+//! * [`PathHash`] — Path hashing (Zuo, Hua — MSST'17): an inverted complete
+//!   binary tree of reserved levels (8, per the paper's setup); every probe
+//!   walks two root-to-leaf paths, so reads are O(log B); static size; one
+//!   global reader-writer lock (the coarse-grained locking the HDNH paper
+//!   criticizes).
+//!
+//! Record geometry (16-byte keys, 15-byte values) matches the evaluation's.
+
+
+#![warn(missing_docs)]
+pub mod cceh;
+pub mod level;
+pub mod path;
+
+pub use cceh::{Cceh, CcehParams};
+pub use level::{LevelHash, LevelParams};
+pub use path::{PathHash, PathParams};

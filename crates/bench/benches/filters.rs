@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks for HDNH's DRAM components in isolation:
+//! hashing, OCF probing, hot-table hit path (RAFL vs LRU touch cost), and
+//! the zipfian generator feeding the workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdnh::hot::HotTable;
+use hdnh::ocf::{LockOutcome, Ocf};
+use hdnh::HotPolicy;
+use hdnh_common::hash::KeyHashes;
+use hdnh_common::rng::XorShift64Star;
+use hdnh_common::{Key, Record, Value};
+use hdnh_ycsb::{KeyDist, Zipfian};
+
+fn bench_hash(c: &mut Criterion) {
+    let keys: Vec<Key> = (0..1024u64).map(Key::from_u64).collect();
+    let mut i = 0usize;
+    c.bench_function("key_hashes_of_16B_key", |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            std::hint::black_box(KeyHashes::of(&keys[i]))
+        })
+    });
+}
+
+fn bench_ocf_probe(c: &mut Criterion) {
+    // A populated filter; probe 8 entries of one bucket like a search does.
+    let ocf = Ocf::new(4096, 8);
+    let mut rng = XorShift64Star::new(5);
+    for b in 0..4096 {
+        for s in 0..8 {
+            if rng.next_u64() % 10 < 8 {
+                ocf.install(b, s, true, (rng.next_u64() & 0xFF) as u8);
+            }
+        }
+    }
+    let mut b = 0usize;
+    c.bench_function("ocf_probe_bucket_8_entries", |bch| {
+        bch.iter(|| {
+            b = (b + 1) & 4095;
+            let mut matches = 0u32;
+            for s in 0..8 {
+                let e = ocf.load(b, s);
+                if hdnh::ocf::is_valid(e) && hdnh::ocf::fp(e) == 0x42 {
+                    matches += 1;
+                }
+            }
+            std::hint::black_box(matches)
+        })
+    });
+}
+
+fn bench_ocf_lock_commit(c: &mut Criterion) {
+    let ocf = Ocf::new(1, 8);
+    c.bench_function("ocf_lock_then_abort", |b| {
+        b.iter(|| match ocf.try_lock_empty(0, 0) {
+            LockOutcome::Locked(pre) => ocf.abort(0, 0, pre),
+            other => panic!("{other:?}"),
+        })
+    });
+}
+
+fn bench_hot_hit(c: &mut Criterion) {
+    for policy in [HotPolicy::Rafl, HotPolicy::Lru] {
+        let hot = HotTable::new(4096, 4, policy);
+        let mut rng = XorShift64Star::new(6);
+        let mut keys = Vec::new();
+        for i in 0..512u64 {
+            let k = Key::from_u64(i);
+            let h = KeyHashes::of(&k);
+            hot.put(&Record::new(k, Value::from_u64(i)), h.h1, h.h2, h.fp, &mut rng);
+            keys.push((k, h));
+        }
+        let mut i = 0usize;
+        let name = format!(
+            "hot_table_hit_{}",
+            if policy == HotPolicy::Rafl { "rafl" } else { "lru" }
+        );
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                i = (i + 1) & 511;
+                let (k, h) = &keys[i];
+                std::hint::black_box(hot.search(k, h.h1, h.h2, h.fp))
+            })
+        });
+    }
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let mut z = Zipfian::new(1_000_000, 0.99);
+    let mut rng = XorShift64Star::new(7);
+    c.bench_function("zipfian_next_id_1M", |b| {
+        b.iter(|| std::hint::black_box(z.next_id(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_ocf_probe,
+    bench_ocf_lock_commit,
+    bench_hot_hit,
+    bench_zipfian
+);
+criterion_main!(benches);

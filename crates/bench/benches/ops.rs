@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks: per-operation latency of every scheme.
+//!
+//! Complements the figure binaries (which measure end-to-end throughput
+//! with the AEP latency model): these run *without* latency injection so
+//! they isolate algorithmic CPU cost per operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdnh_bench::runner::preload;
+use hdnh_bench::schemes::{build, Scheme};
+use hdnh_common::rng::XorShift64Star;
+use hdnh_ycsb::KeySpace;
+
+const PRELOAD: u64 = 50_000;
+
+fn bench_get(c: &mut Criterion) {
+    std::env::set_var("HDNH_NO_LATENCY", "1");
+    let ks = KeySpace::default();
+    let mut group = c.benchmark_group("get_hit");
+    for scheme in Scheme::paper_set() {
+        let idx = build(scheme, PRELOAD as usize);
+        preload(idx.as_ref(), &ks, PRELOAD, 2);
+        let mut rng = XorShift64Star::new(1);
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &idx, |b, idx| {
+            b.iter(|| {
+                let id = rng.next_u64() % PRELOAD;
+                std::hint::black_box(idx.get(&ks.key(id)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_get_miss(c: &mut Criterion) {
+    std::env::set_var("HDNH_NO_LATENCY", "1");
+    let ks = KeySpace::default();
+    let mut group = c.benchmark_group("get_miss");
+    for scheme in Scheme::paper_set() {
+        let idx = build(scheme, PRELOAD as usize);
+        preload(idx.as_ref(), &ks, PRELOAD, 2);
+        let mut rng = XorShift64Star::new(2);
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &idx, |b, idx| {
+            b.iter(|| {
+                let id = rng.next_u64();
+                std::hint::black_box(idx.get(&ks.negative_key(id)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    std::env::set_var("HDNH_NO_LATENCY", "1");
+    let ks = KeySpace::default();
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(20);
+    for scheme in Scheme::paper_set() {
+        // Generous capacity: criterion decides the iteration count, so the
+        // table must absorb whatever it runs (dynamic schemes grow anyway;
+        // PATH gets a large static allocation).
+        let idx = build(scheme, 4_000_000);
+        let mut next = 1_000_000_000u64;
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &idx, |b, idx| {
+            b.iter(|| {
+                next += 1;
+                std::hint::black_box(idx.insert(&ks.key(next), &ks.value(next, 0)).is_ok())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    std::env::set_var("HDNH_NO_LATENCY", "1");
+    let ks = KeySpace::default();
+    let mut group = c.benchmark_group("update");
+    for scheme in Scheme::paper_set() {
+        let idx = build(scheme, PRELOAD as usize);
+        preload(idx.as_ref(), &ks, PRELOAD, 2);
+        let mut rng = XorShift64Star::new(3);
+        let mut seq = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &idx, |b, idx| {
+            b.iter(|| {
+                let id = rng.next_u64() % PRELOAD;
+                seq = seq.wrapping_add(1);
+                std::hint::black_box(idx.update(&ks.key(id), &ks.value(id, seq)).is_ok())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_get, bench_get_miss, bench_insert, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figure 11(a): HDNH single-thread insert and search throughput vs
+//! segment size (256 B … 256 KB).
+//!
+//! Insert runs start from a minimal table so the segment size governs how
+//! often (and how expensively) resizing interrupts the insert stream;
+//! search runs measure probing on a preloaded table.
+
+use hdnh::{Hdnh, HdnhParams, SyncMode};
+use hdnh_bench::report::{banner, expectation, mops, Table};
+use hdnh_bench::runner::{preload, run_workload};
+use hdnh_bench::schemes::bench_nvm;
+use hdnh_bench::scaled;
+use hdnh_ycsb::{KeySpace, Mix, WorkloadSpec};
+
+fn params(segment_bytes: usize) -> HdnhParams {
+    HdnhParams {
+        segment_bytes,
+        initial_bottom_segments: 1,
+        sync_mode: SyncMode::Background,
+        nvm: bench_nvm(),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let inserts = scaled(150_000);
+    let search_ops = scaled(150_000);
+    banner(
+        "fig11a",
+        "HDNH throughput vs segment size (single thread)",
+        &format!("{inserts} inserts from empty; {search_ops} positive searches on the loaded table"),
+    );
+
+    let ks = KeySpace::default();
+    let mut table = Table::new(&["segment", "insert Mops", "search Mops", "resizes"]);
+    for seg in [256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10] {
+        let t = Hdnh::new(params(seg));
+        let r_ins = run_workload(&t, &ks, &WorkloadSpec::insert_only(), 0, inserts, 1, 11, false);
+        let resizes = t.resize_count();
+
+        // Search on a table preloaded at the same segment size.
+        let mut p = params(seg);
+        // Size to the preload so search measures probing, not resizing, but
+        // keep the configured segment size.
+        let preloaded = scaled(100_000);
+        let buckets_per_segment = seg / 256;
+        let slots_per_segment = buckets_per_segment * 8;
+        p.initial_bottom_segments = ((preloaded as f64 / 0.8 / (3 * slots_per_segment) as f64)
+            .ceil() as usize)
+            .max(1)
+            .next_power_of_two();
+        let t = Hdnh::new(p);
+        preload(&t, &ks, preloaded as u64, 2);
+        let r_srch = run_workload(
+            &t,
+            &ks,
+            &WorkloadSpec::search_only(Mix::Uniform),
+            preloaded as u64,
+            search_ops,
+            1,
+            12,
+            false,
+        );
+
+        let label = if seg >= 1024 {
+            format!("{}KB", seg >> 10)
+        } else {
+            format!("{seg}B")
+        };
+        table.row(vec![
+            label,
+            mops(r_ins.mops()),
+            mops(r_srch.mops()),
+            resizes.to_string(),
+        ]);
+    }
+    table.print();
+    expectation(
+        "insert throughput rises to a peak at 16KB then falls at 256KB \
+         (large-segment resizes block longer); search flattens beyond 16KB",
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 11(b): positive/negative search throughput vs hot-table
+//! slots-per-bucket (1, 2, 4, 8), single thread.
+//!
+//! More slots per hot bucket raise the DRAM hit rate of positive searches
+//! but lengthen the miss scan that every negative search pays before it
+//! falls through to the OCF.
+
+use hdnh::{Hdnh, HdnhParams};
+use hdnh_bench::report::{banner, expectation, mops, Table};
+use hdnh_bench::runner::{preload, run_workload};
+use hdnh_bench::schemes::hdnh_params;
+use hdnh_bench::scaled;
+use hdnh_ycsb::{KeySpace, Mix, WorkloadSpec};
+
+fn main() {
+    let preloaded = scaled(100_000) as u64;
+    let ops = scaled(150_000);
+    banner(
+        "fig11b",
+        "search throughput vs hot-table slots per bucket (single thread)",
+        &format!("{preloaded} records preloaded; {ops} zipfian(0.99) positive / uniform negative searches"),
+    );
+
+    let ks = KeySpace::default();
+    let mut table = Table::new(&["hot slots", "positive Mops", "negative Mops"]);
+    for slots in [1usize, 2, 4, 8] {
+        // The paper's sweep holds the hot table's *bucket count* fixed, so
+        // capacity grows with slots/bucket ("more data searches hit in hot
+        // table with bigger slot number") while the per-bucket miss scan
+        // lengthens. Scale the capacity ratio accordingly (4 slots = the
+        // default 25%).
+        let t = Hdnh::new(HdnhParams {
+            hot_slots_per_bucket: slots,
+            hot_capacity_ratio: 0.25 * slots as f64 / 4.0,
+            ..hdnh_params(preloaded as usize)
+        });
+        preload(&t, &ks, preloaded, 2);
+        let pos = run_workload(
+            &t,
+            &ks,
+            &WorkloadSpec::search_only(Mix::ScrambledZipfian { s: 0.99 }),
+            preloaded,
+            ops,
+            1,
+            21,
+            false,
+        );
+        let neg = run_workload(
+            &t,
+            &ks,
+            &WorkloadSpec::negative_search_only(),
+            preloaded,
+            ops,
+            1,
+            22,
+            false,
+        );
+        table.row(vec![
+            slots.to_string(),
+            mops(pos.mops()),
+            mops(neg.mops()),
+        ]);
+    }
+    table.print();
+    expectation(
+        "positive search improves with more slots (higher hot-table hit \
+         rate); negative search degrades (longer miss scan); 4 slots is the \
+         balance point the paper adopts",
+    );
+}

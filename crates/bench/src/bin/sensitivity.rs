@@ -1,0 +1,92 @@
+//! Latency-sensitivity sweep (extension): how the scheme comparison shifts
+//! as the NVM/DRAM gap changes.
+//!
+//! The paper's results are premised on AEP's ~3× read-latency gap. Future
+//! NVM parts may narrow or widen it; this sweep scales the injected AEP
+//! profile (0.5× … 4×) and re-measures the fig-13 positive/negative search
+//! cells. If the reproduction is mechanically sound, HDNH's advantage must
+//! *grow* with the gap — its whole design is about dodging NVM reads — and
+//! shrink toward parity as NVM approaches DRAM.
+
+use hdnh::{Hdnh, HdnhParams, SyncMode};
+use hdnh_baselines::{Cceh, CcehParams};
+use hdnh_bench::report::{banner, expectation, Table};
+use hdnh_bench::runner::{preload, run_workload};
+use hdnh_bench::scaled;
+use hdnh_nvm::{LatencyModel, NvmOptions};
+use hdnh_ycsb::{KeySpace, Mix, WorkloadSpec};
+
+fn nvm(scale: f64) -> NvmOptions {
+    NvmOptions {
+        latency: LatencyModel::aep_scaled(scale),
+        ..NvmOptions::fast()
+    }
+}
+
+fn main() {
+    let preloaded = scaled(80_000) as u64;
+    let ops = scaled(120_000);
+    banner(
+        "sensitivity",
+        "HDNH advantage vs NVM latency gap (extension)",
+        &format!(
+            "preload {preloaded}; {ops} uniform positive searches per cell; \
+             latency profile scaled 0.5x..4x of AEP"
+        ),
+    );
+
+    let ks = KeySpace::default();
+    let mut table = Table::new(&[
+        "latency scale",
+        "CCEH Mops",
+        "HDNH Mops",
+        "HDNH/CCEH",
+    ]);
+    for scale in [0.5, 1.0, 2.0, 4.0] {
+        let cceh = Cceh::new(CcehParams {
+            nvm: nvm(scale),
+            ..CcehParams::for_capacity(preloaded as usize)
+        });
+        preload(&cceh, &ks, preloaded, 2);
+        let r_c = run_workload(
+            &cceh,
+            &ks,
+            &WorkloadSpec::search_only(Mix::Uniform),
+            preloaded,
+            ops,
+            1,
+            81,
+            false,
+        );
+
+        let hdnh = Hdnh::new(HdnhParams {
+            nvm: nvm(scale),
+            sync_mode: SyncMode::Inline,
+            ..HdnhParams::for_capacity(preloaded as usize)
+        });
+        preload(&hdnh, &ks, preloaded, 2);
+        let r_h = run_workload(
+            &hdnh,
+            &ks,
+            &WorkloadSpec::search_only(Mix::Uniform),
+            preloaded,
+            ops,
+            1,
+            82,
+            false,
+        );
+
+        table.row(vec![
+            format!("{scale:.1}x"),
+            format!("{:.3}", r_c.mops()),
+            format!("{:.3}", r_h.mops()),
+            format!("{:.2}x", r_h.mops() / r_c.mops()),
+        ]);
+    }
+    table.print();
+    expectation(
+        "the HDNH/CCEH ratio grows monotonically with the latency scale: \
+         the bigger the NVM/DRAM gap, the more each avoided media read is \
+         worth (and vice versa as NVM approaches DRAM)",
+    );
+}

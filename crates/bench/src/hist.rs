@@ -1,0 +1,231 @@
+//! Log-bucketed latency histogram (figure 15's CDF).
+//!
+//! HdrHistogram-style: values are bucketed by magnitude (power of two) with
+//! 16 linear sub-buckets per magnitude, giving ≤ ~6 % relative error over
+//! nanoseconds-to-seconds — plenty for tail-latency CDFs. Plain `u64`
+//! counters; per-thread instances are merged after the run.
+
+/// Sub-buckets per power of two.
+const SUBS: usize = 16;
+/// Magnitudes covered (2^0 .. 2^47 ns ≈ 1.6 days).
+const MAGS: usize = 48;
+
+/// A mergeable latency histogram over `u64` nanosecond values.
+///
+/// ```
+/// use hdnh_bench::hist::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v * 100); // 100ns .. 100us
+/// }
+/// assert!(h.quantile(0.5) >= 40_000 && h.quantile(0.5) <= 60_000);
+/// assert_eq!(h.quantile(1.0), 100_000);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; MAGS * SUBS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        let v = v.max(1);
+        let mag = 63 - v.leading_zeros() as usize;
+        if mag < 4 {
+            // Values below 16 land in the first magnitude's linear range.
+            return (v as usize).min(SUBS - 1);
+        }
+        let sub = ((v >> (mag - 4)) & 0xF) as usize;
+        ((mag.min(MAGS - 1)) * SUBS + sub).min(MAGS * SUBS - 1)
+    }
+
+    /// Lower edge of a bucket (representative value for reporting).
+    fn bucket_value(idx: usize) -> u64 {
+        let mag = idx / SUBS;
+        let sub = (idx % SUBS) as u64;
+        if mag < 1 {
+            return sub;
+        }
+        (1u64 << mag) + (sub << (mag.saturating_sub(4)))
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded value (exact).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at quantile `q` (0.0 ..= 1.0), approximated by bucket edge.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.max
+    }
+
+    /// CDF sample points: `(latency_ns, cumulative_fraction)` for every
+    /// non-empty bucket.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            acc += c;
+            out.push((Self::bucket_value(i), acc as f64 / self.total as f64));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new();
+        for v in [1u64, 10, 100, 1000, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_approximate() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        let p100 = h.quantile(1.0);
+        assert!(p50 <= p99 && p99 <= p100);
+        // ≤ ~7% relative error.
+        assert!((4_500..=5_500).contains(&p50), "p50={p50}");
+        assert!((9_000..=10_000).contains(&p99), "p99={p99}");
+        assert_eq!(p100, 10_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in 0..1000u64 {
+            let x = (v * 2654435761) % 100_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            c.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q));
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotonic_and_ends_at_one() {
+        let mut h = Histogram::new();
+        for v in [5u64, 50, 500, 5000, 50_000] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn small_values_do_not_collide_into_one_bucket() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(3);
+        h.record(9);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.01) < h.quantile(0.99));
+    }
+}

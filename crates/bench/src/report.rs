@@ -1,0 +1,119 @@
+//! Table/series printing shared by the figure binaries.
+//!
+//! Output format: a header naming the paper artifact, an aligned table of
+//! the measured series, and (where the paper states one) the expected-shape
+//! note the measurement should be checked against. `HDNH_CSV=1` switches to
+//! machine-readable CSV.
+
+/// Whether CSV output was requested.
+pub fn csv() -> bool {
+    std::env::var("HDNH_CSV").is_ok_and(|v| v == "1")
+}
+
+/// Prints the banner for one experiment.
+pub fn banner(id: &str, title: &str, setup: &str) {
+    if csv() {
+        return;
+    }
+    println!("\n=== {id}: {title} ===");
+    println!("    {setup}");
+}
+
+/// A simple aligned table writer.
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        Table {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout (aligned text or CSV).
+    pub fn print(&self) {
+        if csv() {
+            println!("{}", self.columns.join(","));
+            for r in &self.rows {
+                println!("{}", r.join(","));
+            }
+            return;
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(r) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{cell:>w$}"));
+            }
+            s
+        };
+        println!("  {}", line(&self.columns));
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--")
+        );
+        for r in &self.rows {
+            println!("  {}", line(r));
+        }
+    }
+}
+
+/// Prints the expected-shape note from the paper.
+pub fn expectation(text: &str) {
+    if !csv() {
+        println!("  paper shape: {text}");
+    }
+}
+
+/// Formats a throughput in Mops/s.
+pub fn mops(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.print(); // visual only; assert no panic
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn mops_formats() {
+        assert_eq!(mops(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,194 @@
+//! Command grammar and parser.
+
+use std::fmt;
+
+/// One shell command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `insert <key> <value>` — insert a new record.
+    Insert(u64, u64),
+    /// `get <key>` — point lookup.
+    Get(u64),
+    /// `update <key> <value>` — replace an existing record's value.
+    Update(u64, u64),
+    /// `delete <key>` — remove a record.
+    Delete(u64),
+    /// `fill <n>` — bulk-insert ids `0..n` from the key space.
+    Fill(u64),
+    /// `workload <a|b|c|f> <ops>` — run a YCSB mix against the table.
+    Workload(char, usize),
+    /// `stats` — NVM media counters.
+    Stats,
+    /// `info` — table geometry, length, load factor, footprints.
+    Info,
+    /// `verify` — full integrity audit.
+    Verify,
+    /// `crash <seed>` — simulate power failure + recovery (strict mode).
+    Crash(u64),
+    /// `record <file> <a|b|c|f> <ops>` — generate a YCSB stream and save it
+    /// as a binary trace.
+    Record(String, char, usize),
+    /// `replay <file>` — replay a saved trace against the table.
+    Replay(String),
+    /// `help`.
+    Help,
+    /// `quit` / `exit`.
+    Quit,
+}
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn int(tok: Option<&str>, what: &str) -> Result<u64, ParseError> {
+    tok.ok_or_else(|| ParseError(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError(format!("{what} must be an unsigned integer")))
+}
+
+/// Parses one line. Empty/comment lines return `Ok(None)`.
+pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut toks = line.split_whitespace();
+    let cmd = toks.next().unwrap().to_ascii_lowercase();
+    let parsed = match cmd.as_str() {
+        "insert" | "put" => Command::Insert(int(toks.next(), "key")?, int(toks.next(), "value")?),
+        "get" | "read" => Command::Get(int(toks.next(), "key")?),
+        "update" | "set" => Command::Update(int(toks.next(), "key")?, int(toks.next(), "value")?),
+        "delete" | "del" | "remove" => Command::Delete(int(toks.next(), "key")?),
+        "fill" | "load" => Command::Fill(int(toks.next(), "count")?),
+        "workload" | "ycsb" => {
+            let mix = toks
+                .next()
+                .ok_or_else(|| ParseError("missing workload letter (a/b/c/f)".into()))?
+                .to_ascii_lowercase();
+            let mix = match mix.as_str() {
+                "a" | "b" | "c" | "f" => mix.chars().next().unwrap(),
+                other => return Err(ParseError(format!("unknown workload '{other}'"))),
+            };
+            Command::Workload(mix, int(toks.next(), "op count")? as usize)
+        }
+        "stats" => Command::Stats,
+        "info" => Command::Info,
+        "verify" | "check" => Command::Verify,
+        "crash" => Command::Crash(int(toks.next(), "seed")?),
+        "record" => {
+            let file = toks
+                .next()
+                .ok_or_else(|| ParseError("missing trace file path".into()))?
+                .to_string();
+            let mix = toks
+                .next()
+                .ok_or_else(|| ParseError("missing workload letter (a/b/c/f)".into()))?
+                .to_ascii_lowercase();
+            let mix = match mix.as_str() {
+                "a" | "b" | "c" | "f" => mix.chars().next().unwrap(),
+                other => return Err(ParseError(format!("unknown workload '{other}'"))),
+            };
+            Command::Record(file, mix, int(toks.next(), "op count")? as usize)
+        }
+        "replay" => Command::Replay(
+            toks.next()
+                .ok_or_else(|| ParseError("missing trace file path".into()))?
+                .to_string(),
+        ),
+        "help" | "?" => Command::Help,
+        "quit" | "exit" | "q" => Command::Quit,
+        other => return Err(ParseError(format!("unknown command '{other}' (try 'help')"))),
+    };
+    if let Some(extra) = toks.next() {
+        return Err(ParseError(format!("unexpected trailing argument '{extra}'")));
+    }
+    Ok(Some(parsed))
+}
+
+/// The help text shown by `help`.
+pub const HELP: &str = "\
+commands:
+  insert <key> <value>    insert a new record (u64 key/value)
+  get <key>               point lookup
+  update <key> <value>    replace an existing record's value
+  delete <key>            remove a record
+  fill <n>                bulk-insert ids 0..n
+  workload <a|b|c|f> <n>  run n ops of a YCSB mix
+  stats                   NVM media counters
+  info                    table geometry and occupancy
+  verify                  full integrity audit
+  crash <seed>            simulate power failure + recovery (strict mode)
+  record <file> <mix> <n> save a YCSB op stream as a binary trace
+  replay <file>           replay a saved trace against the table
+  help                    this text
+  quit                    exit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_crud() {
+        assert_eq!(parse("insert 1 2").unwrap(), Some(Command::Insert(1, 2)));
+        assert_eq!(parse("get 7").unwrap(), Some(Command::Get(7)));
+        assert_eq!(parse("UPDATE 3 4").unwrap(), Some(Command::Update(3, 4)));
+        assert_eq!(parse("del 9").unwrap(), Some(Command::Delete(9)));
+    }
+
+    #[test]
+    fn parses_bulk_and_workload() {
+        assert_eq!(parse("fill 1000").unwrap(), Some(Command::Fill(1000)));
+        assert_eq!(parse("workload a 500").unwrap(), Some(Command::Workload('a', 500)));
+        assert_eq!(parse("ycsb C 10").unwrap(), Some(Command::Workload('c', 10)));
+    }
+
+    #[test]
+    fn parses_admin() {
+        assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("info").unwrap(), Some(Command::Info));
+        assert_eq!(parse("verify").unwrap(), Some(Command::Verify));
+        assert_eq!(parse("crash 42").unwrap(), Some(Command::Crash(42)));
+        assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
+        assert_eq!(parse("?").unwrap(), Some(Command::Help));
+    }
+
+    #[test]
+    fn skips_blank_and_comments() {
+        assert_eq!(parse("").unwrap(), None);
+        assert_eq!(parse("   ").unwrap(), None);
+        assert_eq!(parse("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn parses_trace_commands() {
+        assert_eq!(
+            parse("record /tmp/t.trace a 500").unwrap(),
+            Some(Command::Record("/tmp/t.trace".into(), 'a', 500))
+        );
+        assert_eq!(
+            parse("replay /tmp/t.trace").unwrap(),
+            Some(Command::Replay("/tmp/t.trace".into()))
+        );
+        assert!(parse("record /tmp/t.trace z 5").is_err());
+        assert!(parse("record /tmp/t.trace a").is_err());
+        assert!(parse("replay").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("insert").is_err());
+        assert!(parse("insert 1").is_err());
+        assert!(parse("insert x y").is_err());
+        assert!(parse("get 1 2").is_err());
+        assert!(parse("workload z 10").is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Command execution against a live HDNH table.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hdnh::{Hdnh, HdnhParams};
+use hdnh_common::{HashIndex, IndexError, Key, Value};
+use hdnh_nvm::NvmOptions;
+use hdnh_ycsb::trace::{load_trace, save_trace};
+use hdnh_ycsb::{generate_ops, KeySpace, Op, WorkloadSpec};
+
+use crate::command::{Command, HELP};
+
+/// Engine configuration (mapped from CLI flags by the binary).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Strict NVM (enables `crash`); slower writes.
+    pub strict: bool,
+    /// AEP latency model on.
+    pub latency: bool,
+    /// Initial capacity hint in records.
+    pub capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            strict: false,
+            latency: false,
+            capacity: 10_000,
+        }
+    }
+}
+
+/// A live table plus the state the shell needs.
+pub struct Engine {
+    table: Option<Hdnh>,
+    params: HdnhParams,
+    ks: KeySpace,
+    /// Next id for `fill` continuation and workload inserts.
+    next_fill_id: u64,
+}
+
+/// Outcome of executing one command.
+#[derive(Debug, PartialEq)]
+pub enum Outcome {
+    /// Printable response.
+    Text(String),
+    /// The shell should exit.
+    Quit,
+}
+
+impl Engine {
+    /// Builds an engine with a fresh table.
+    pub fn new(config: EngineConfig) -> Self {
+        let mut params = HdnhParams::for_capacity(config.capacity);
+        params.nvm = if config.strict {
+            NvmOptions::strict()
+        } else if config.latency {
+            NvmOptions::bench()
+        } else {
+            NvmOptions::fast()
+        };
+        Engine {
+            table: Some(Hdnh::new(params.clone())),
+            params,
+            ks: KeySpace::default(),
+            next_fill_id: 0,
+        }
+    }
+
+    fn table(&self) -> &Hdnh {
+        self.table.as_ref().expect("table present")
+    }
+
+    /// Executes one command, returning the response text.
+    pub fn execute(&mut self, cmd: Command) -> Outcome {
+        match cmd {
+            Command::Insert(k, v) => Outcome::Text(
+                match self.table().insert(&Key::from_u64(k), &Value::from_u64(v)) {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("error: {e}"),
+                },
+            ),
+            Command::Get(k) => Outcome::Text(match self.table().get(&Key::from_u64(k)) {
+                Some(v) => v.as_u64().to_string(),
+                None => "(not found)".to_string(),
+            }),
+            Command::Update(k, v) => Outcome::Text(
+                match self.table().update(&Key::from_u64(k), &Value::from_u64(v)) {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("error: {e}"),
+                },
+            ),
+            Command::Delete(k) => Outcome::Text(
+                if self.table().remove(&Key::from_u64(k)) {
+                    "ok".to_string()
+                } else {
+                    "(not found)".to_string()
+                },
+            ),
+            Command::Fill(n) => {
+                let start_id = self.next_fill_id;
+                let t0 = Instant::now();
+                let mut inserted = 0u64;
+                for i in 0..n {
+                    let id = start_id + i;
+                    match self.table().insert(&self.ks.key(id), &self.ks.value(id, 0)) {
+                        Ok(()) => inserted += 1,
+                        Err(IndexError::DuplicateKey) => {}
+                        Err(e) => return Outcome::Text(format!("error at id {id}: {e}")),
+                    }
+                }
+                self.next_fill_id = start_id + n;
+                Outcome::Text(format!(
+                    "inserted {inserted} records (ids {start_id}..{}) in {:.1} ms",
+                    start_id + n,
+                    t0.elapsed().as_secs_f64() * 1e3
+                ))
+            }
+            Command::Workload(mix, ops) => self.run_workload(mix, ops),
+            Command::Stats => {
+                let s = self.table().nvm_stats();
+                let mut out = String::new();
+                let _ = writeln!(out, "reads        {:>12}  ({} blocks)", s.reads, s.read_blocks);
+                let _ = writeln!(out, "writes       {:>12}  ({} lines)", s.writes, s.write_lines);
+                let _ = writeln!(out, "flushes      {:>12}", s.flushes);
+                let _ = write!(out, "fences       {:>12}", s.fences);
+                Outcome::Text(out)
+            }
+            Command::Info => {
+                let t = self.table();
+                let hot = t
+                    .hot_table()
+                    .map(|h| format!("{} / {} slots, {:?}", h.len(), h.capacity(), h.policy()))
+                    .unwrap_or_else(|| "disabled".to_string());
+                Outcome::Text(format!(
+                    "records      {}\nload factor  {:.3}\nresizes      {}\nocf bytes    {}\nhot table    {hot}",
+                    t.len(),
+                    t.load_factor(),
+                    t.resize_count(),
+                    t.ocf_footprint_bytes(),
+                ))
+            }
+            Command::Verify => Outcome::Text(match self.table().verify_integrity() {
+                Ok(n) => format!("integrity ok: {n} live records"),
+                Err(e) => format!("INTEGRITY VIOLATION: {e}"),
+            }),
+            Command::Crash(seed) => {
+                if !self.params.nvm.strict {
+                    return Outcome::Text(
+                        "crash requires strict mode (run with --strict)".to_string(),
+                    );
+                }
+                let t0 = Instant::now();
+                let table = self.table.take().expect("table present");
+                let pool = table.into_pool();
+                let dropped = pool.crash(seed);
+                let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+                let recovered = Hdnh::recover(self.params.clone(), pool, threads);
+                let len = recovered.len();
+                self.table = Some(recovered);
+                Outcome::Text(format!(
+                    "crashed ({dropped} words dropped), recovered {len} records in {:.1} ms",
+                    t0.elapsed().as_secs_f64() * 1e3
+                ))
+            }
+            Command::Record(file, mix, ops) => {
+                let spec = Self::spec_for(mix);
+                let preloaded = self.next_fill_id.max(1);
+                let stream = generate_ops(&spec, preloaded, self.next_fill_id, ops, 0x7EC0);
+                match save_trace(std::path::Path::new(&file), &stream) {
+                    Ok(()) => Outcome::Text(format!("recorded {ops} ops to {file}")),
+                    Err(e) => Outcome::Text(format!("error: {e}")),
+                }
+            }
+            Command::Replay(file) => match load_trace(std::path::Path::new(&file)) {
+                Ok(stream) => {
+                    let t0 = Instant::now();
+                    self.apply_stream(&stream);
+                    let secs = t0.elapsed().as_secs_f64();
+                    Outcome::Text(format!(
+                        "replayed {} ops in {:.1} ms ({:.3} Mops/s)",
+                        stream.len(),
+                        secs * 1e3,
+                        stream.len() as f64 / secs / 1e6
+                    ))
+                }
+                Err(e) => Outcome::Text(format!("error: {e}")),
+            },
+            Command::Help => Outcome::Text(HELP.to_string()),
+            Command::Quit => Outcome::Quit,
+        }
+    }
+
+    fn spec_for(mix: char) -> WorkloadSpec {
+        match mix {
+            'a' => WorkloadSpec::ycsb_a(),
+            'b' => WorkloadSpec::ycsb_b(),
+            'c' => WorkloadSpec::ycsb_c(),
+            'f' => WorkloadSpec::ycsb_f(),
+            _ => unreachable!("parser filters mixes"),
+        }
+    }
+
+    /// Applies a pre-generated stream to the table.
+    fn apply_stream(&self, ops: &[Op]) {
+        for op in ops {
+            match op {
+                Op::Read(id) => {
+                    self.table().get(&self.ks.key(*id));
+                }
+                Op::ReadAbsent(id) => {
+                    self.table().get(&self.ks.negative_key(*id));
+                }
+                Op::Insert(id) => {
+                    let _ = self.table().insert(&self.ks.key(*id), &self.ks.value(*id, 0));
+                }
+                Op::Update(id, seq) | Op::ReadModifyWrite(id, seq) => {
+                    let _ = self.table().upsert(&self.ks.key(*id), &self.ks.value(*id, *seq));
+                }
+                Op::Delete(id) => {
+                    self.table().remove(&self.ks.key(*id));
+                }
+            }
+        }
+    }
+
+    fn run_workload(&mut self, mix: char, n_ops: usize) -> Outcome {
+        let spec = Self::spec_for(mix);
+        let preloaded = self.next_fill_id.max(1);
+        if self.table().is_empty() {
+            return Outcome::Text("table is empty — run 'fill <n>' first".to_string());
+        }
+        let ops = generate_ops(&spec, preloaded, self.next_fill_id, n_ops, 0xC11);
+        let t0 = Instant::now();
+        self.apply_stream(&ops);
+        let secs = t0.elapsed().as_secs_f64();
+        Outcome::Text(format!(
+            "YCSB-{}: {} ops in {:.1} ms ({:.3} Mops/s)",
+            mix.to_ascii_uppercase(),
+            n_ops,
+            secs * 1e3,
+            n_ops as f64 / secs / 1e6
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::parse;
+
+    fn run(engine: &mut Engine, line: &str) -> String {
+        match engine.execute(parse(line).unwrap().unwrap()) {
+            Outcome::Text(t) => t,
+            Outcome::Quit => "<quit>".to_string(),
+        }
+    }
+
+    #[test]
+    fn crud_session() {
+        let mut e = Engine::new(EngineConfig::default());
+        assert_eq!(run(&mut e, "insert 1 42"), "ok");
+        assert_eq!(run(&mut e, "get 1"), "42");
+        assert_eq!(run(&mut e, "insert 1 43"), "error: key already present");
+        assert_eq!(run(&mut e, "update 1 43"), "ok");
+        assert_eq!(run(&mut e, "get 1"), "43");
+        assert_eq!(run(&mut e, "delete 1"), "ok");
+        assert_eq!(run(&mut e, "get 1"), "(not found)");
+        assert_eq!(run(&mut e, "delete 1"), "(not found)");
+        assert_eq!(run(&mut e, "update 1 9"), "error: key not found");
+    }
+
+    #[test]
+    fn fill_then_workload_then_verify() {
+        let mut e = Engine::new(EngineConfig::default());
+        let out = run(&mut e, "fill 2000");
+        assert!(out.starts_with("inserted 2000 records"), "{out}");
+        let out = run(&mut e, "workload a 3000");
+        assert!(out.starts_with("YCSB-A: 3000 ops"), "{out}");
+        let out = run(&mut e, "verify");
+        assert!(out.starts_with("integrity ok"), "{out}");
+        let out = run(&mut e, "info");
+        assert!(out.contains("records"), "{out}");
+    }
+
+    #[test]
+    fn stats_move_with_work() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "fill 100");
+        let out = run(&mut e, "stats");
+        assert!(out.contains("writes"), "{out}");
+    }
+
+    #[test]
+    fn crash_requires_strict() {
+        let mut e = Engine::new(EngineConfig::default());
+        let out = run(&mut e, "crash 1");
+        assert!(out.contains("requires strict"), "{out}");
+    }
+
+    #[test]
+    fn crash_and_recover_in_strict_mode() {
+        let mut e = Engine::new(EngineConfig {
+            strict: true,
+            ..Default::default()
+        });
+        run(&mut e, "fill 500");
+        let out = run(&mut e, "crash 7");
+        assert!(out.contains("recovered 500 records"), "{out}");
+        // Table is usable after recovery.
+        assert_eq!(run(&mut e, "insert 999999 1"), "ok");
+        let out = run(&mut e, "verify");
+        assert!(out.starts_with("integrity ok: 501"), "{out}");
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "fill 1000");
+        let path = std::env::temp_dir().join("hdnh_cli_test.trace");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&mut e, &format!("record {path_s} c 2000"));
+        assert!(out.starts_with("recorded 2000 ops"), "{out}");
+        let out = run(&mut e, &format!("replay {path_s}"));
+        assert!(out.starts_with("replayed 2000 ops"), "{out}");
+        let out = run(&mut e, "verify");
+        assert!(out.starts_with("integrity ok"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_missing_file_reports_error() {
+        let mut e = Engine::new(EngineConfig::default());
+        let out = run(&mut e, "replay /nonexistent/path.trace");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn quit_propagates() {
+        let mut e = Engine::new(EngineConfig::default());
+        assert_eq!(e.execute(Command::Quit), Outcome::Quit);
+    }
+
+    #[test]
+    fn workload_on_empty_table_is_guarded() {
+        let mut e = Engine::new(EngineConfig::default());
+        let out = run(&mut e, "workload c 100");
+        assert!(out.contains("fill"), "{out}");
+    }
+}

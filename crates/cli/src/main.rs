@@ -1,0 +1,80 @@
+//! `hdnh-cli` — interactive/scriptable shell for an HDNH table.
+//!
+//! ```text
+//! hdnh-cli [--strict] [--latency] [--capacity N]
+//! ```
+//!
+//! Reads commands from stdin (one per line; `help` lists them). Suitable
+//! both interactively and piped: `printf 'fill 1000\ninfo\n' | hdnh-cli`.
+
+use std::io::{BufRead, Write};
+
+use hdnh_cli::{parse, Engine, EngineConfig};
+
+fn main() {
+    let mut config = EngineConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => config.strict = true,
+            "--latency" => config.latency = true,
+            "--capacity" => {
+                config.capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--capacity needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                println!("hdnh-cli [--strict] [--latency] [--capacity N]");
+                println!("{}", hdnh_cli::command::HELP);
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut engine = Engine::new(config);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("hdnh-cli — type 'help' for commands");
+    }
+    loop {
+        if interactive {
+            print!("> ");
+            let _ = stdout.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match parse(&line) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => match engine.execute(cmd) {
+                hdnh_cli::engine::Outcome::Text(text) => println!("{text}"),
+                hdnh_cli::engine::Outcome::Quit => break,
+            },
+            Err(e) => println!("parse error: {e}"),
+        }
+    }
+}
+
+/// Minimal tty check without a dependency: assume non-interactive when the
+/// `HDNH_CLI_BATCH` env var is set, interactive otherwise. (Good enough for
+/// a demo shell; piped runs just see a few extra prompts on stdout if the
+/// variable is unset.)
+fn atty_stdin() -> bool {
+    std::env::var("HDNH_CLI_BATCH").is_err()
+}

@@ -1,0 +1,219 @@
+//! Fixed-size key/value types.
+//!
+//! The paper's evaluation (§4.1) uses 16-byte keys and 15-byte values so that
+//! one record plus one byte of per-slot metadata packs eight slots and an
+//! 8-byte persisted header into a single 256-byte NVM bucket — the block
+//! access granularity of Optane AEP. We keep exactly those sizes.
+
+use std::fmt;
+
+/// Length of a [`Key`] in bytes.
+pub const KEY_LEN: usize = 16;
+/// Length of a [`Value`] in bytes.
+pub const VALUE_LEN: usize = 15;
+/// Length of a serialized [`Record`] (key followed by value).
+pub const RECORD_LEN: usize = KEY_LEN + VALUE_LEN;
+
+/// A fixed-size 16-byte key.
+///
+/// Keys are plain byte arrays: the hash tables never interpret their
+/// contents. Helpers exist to build keys from integers, which is how the
+/// YCSB generator names records.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub [u8; KEY_LEN]);
+
+/// A fixed-size 15-byte value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(pub [u8; VALUE_LEN]);
+
+/// A key/value pair in its serialized on-NVM form.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// The record's key.
+    pub key: Key,
+    /// The record's value.
+    pub value: Value,
+}
+
+impl Key {
+    /// Key of all zero bytes.
+    pub const ZERO: Key = Key([0; KEY_LEN]);
+
+    /// Builds a key that encodes `id` in its first eight bytes
+    /// (little-endian) and zero-fills the rest.
+    #[inline]
+    pub fn from_u64(id: u64) -> Self {
+        let mut k = [0u8; KEY_LEN];
+        k[..8].copy_from_slice(&id.to_le_bytes());
+        Key(k)
+    }
+
+    /// Builds a key from two 64-bit words (covers the full 16 bytes).
+    #[inline]
+    pub fn from_u64_pair(hi: u64, lo: u64) -> Self {
+        let mut k = [0u8; KEY_LEN];
+        k[..8].copy_from_slice(&lo.to_le_bytes());
+        k[8..].copy_from_slice(&hi.to_le_bytes());
+        Key(k)
+    }
+
+    /// Reads back the integer stored by [`Key::from_u64`].
+    #[inline]
+    pub fn as_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().unwrap())
+    }
+
+    /// Raw bytes of the key.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+}
+
+impl Value {
+    /// Value of all zero bytes.
+    pub const ZERO: Value = Value([0; VALUE_LEN]);
+
+    /// Builds a value that encodes `v` in its first eight bytes
+    /// (little-endian) and zero-fills the rest.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        let mut b = [0u8; VALUE_LEN];
+        b[..8].copy_from_slice(&v.to_le_bytes());
+        Value(b)
+    }
+
+    /// Reads back the integer stored by [`Value::from_u64`].
+    #[inline]
+    pub fn as_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().unwrap())
+    }
+
+    /// Raw bytes of the value.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; VALUE_LEN] {
+        &self.0
+    }
+}
+
+impl Record {
+    /// Assembles a record from its parts.
+    #[inline]
+    pub fn new(key: Key, value: Value) -> Self {
+        Record { key, value }
+    }
+
+    /// Serializes the record into its on-NVM wire form: key bytes followed
+    /// by value bytes, no padding.
+    #[inline]
+    pub fn to_bytes(&self) -> [u8; RECORD_LEN] {
+        let mut out = [0u8; RECORD_LEN];
+        out[..KEY_LEN].copy_from_slice(&self.key.0);
+        out[KEY_LEN..].copy_from_slice(&self.value.0);
+        out
+    }
+
+    /// Parses a record from its on-NVM wire form.
+    #[inline]
+    pub fn from_bytes(bytes: &[u8; RECORD_LEN]) -> Self {
+        let mut key = [0u8; KEY_LEN];
+        let mut value = [0u8; VALUE_LEN];
+        key.copy_from_slice(&bytes[..KEY_LEN]);
+        value.copy_from_slice(&bytes[KEY_LEN..]);
+        Record {
+            key: Key(key),
+            value: Value(value),
+        }
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:#018x}/{:#018x})", self.as_u64(), {
+            u64::from_le_bytes(self.0[8..].try_into().unwrap())
+        })
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value({:#018x})", self.as_u64())
+    }
+}
+
+impl fmt::Debug for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Record")
+            .field("key", &self.key)
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl From<u64> for Key {
+    fn from(id: u64) -> Self {
+        Key::from_u64(id)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_u64() {
+        for id in [0u64, 1, 42, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(Key::from_u64(id).as_u64(), id);
+        }
+    }
+
+    #[test]
+    fn key_pair_covers_both_halves() {
+        let k = Key::from_u64_pair(7, 9);
+        assert_eq!(k.as_u64(), 9);
+        assert_eq!(u64::from_le_bytes(k.0[8..].try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn value_roundtrip_u64() {
+        for v in [0u64, 1, u64::MAX / 2, 0x0123_4567_89ab_cdef] {
+            assert_eq!(Value::from_u64(v).as_u64(), v);
+        }
+    }
+
+    #[test]
+    fn record_wire_roundtrip() {
+        let r = Record::new(Key::from_u64(123), Value::from_u64(456));
+        let bytes = r.to_bytes();
+        assert_eq!(Record::from_bytes(&bytes), r);
+        assert_eq!(bytes.len(), RECORD_LEN);
+    }
+
+    #[test]
+    fn record_layout_is_key_then_value() {
+        let r = Record::new(Key::from_u64(1), Value::from_u64(2));
+        let bytes = r.to_bytes();
+        assert_eq!(&bytes[..KEY_LEN], r.key.as_bytes());
+        assert_eq!(&bytes[KEY_LEN..], r.value.as_bytes());
+    }
+
+    #[test]
+    fn sizes_match_paper_configuration() {
+        assert_eq!(KEY_LEN, 16);
+        assert_eq!(VALUE_LEN, 15);
+        assert_eq!(RECORD_LEN, 31);
+    }
+
+    #[test]
+    fn distinct_ids_give_distinct_keys() {
+        let a = Key::from_u64(1);
+        let b = Key::from_u64(2);
+        assert_ne!(a, b);
+    }
+}

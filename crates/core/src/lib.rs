@@ -1,0 +1,56 @@
+//! # HDNH — Hybrid DRAM-NVM Hashing
+//!
+//! A reproduction of *"HDNH: a read-efficient and write-optimized hashing
+//! scheme for hybrid DRAM-NVM memory"* (Zhu et al., ICPP 2021), built on the
+//! simulated persistent-memory substrate in [`hdnh_nvm`].
+//!
+//! HDNH persists key-value records in a two-level **non-volatile table** in
+//! NVM while keeping all probe metadata in DRAM:
+//!
+//! * the **Optimistic Compression Filter** ([`ocf`]) — 2 bytes per slot
+//!   (valid bit, lock bit, 6-bit version, 1-byte fingerprint) — answers
+//!   most key-match questions without touching NVM;
+//! * the **hot table** ([`hot`]) caches frequently-read records in DRAM with
+//!   the lightweight **RAFL** replacement policy;
+//! * the **synchronous write mechanism** ([`sync`]) hides the hot-table
+//!   update under the NVM write;
+//! * **fine-grained optimistic concurrency** gives lock-free reads and
+//!   per-slot writer locks — no NVM traffic for read locks.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hdnh::{Hdnh, HdnhParams};
+//! use hdnh_common::{HashIndex, Key, Value};
+//!
+//! let table = Hdnh::new(HdnhParams::default());
+//! let (k, v) = (Key::from_u64(1), Value::from_u64(42));
+//! table.insert(&k, &v).unwrap();
+//! assert_eq!(table.get(&k).unwrap().as_u64(), 42);
+//! table.update(&k, &Value::from_u64(43)).unwrap();
+//! assert!(table.remove(&k));
+//! ```
+//!
+//! # Persistence
+//!
+//! [`Hdnh::into_pool`] returns the persistent regions (simulating process
+//! exit); [`Hdnh::recover`] re-opens them, completing any interrupted resize
+//! and rebuilding the DRAM structures with a parallel scan. With
+//! [`hdnh_nvm::NvmOptions::strict`] regions, [`PersistentPool::crash`]
+//! simulates a power failure at the current instant.
+
+
+#![warn(missing_docs)]
+pub mod hot;
+pub mod meta;
+pub mod nvtable;
+pub mod ocf;
+pub mod params;
+pub mod recovery;
+pub mod sync;
+pub mod table;
+
+pub use hot::HotTable;
+pub use params::{HdnhParams, HotPolicy, SyncMode};
+pub use recovery::{PersistentPool, RecoveryTiming};
+pub use table::Hdnh;

@@ -1,0 +1,224 @@
+//! Persistent metadata block (paper §3.7).
+//!
+//! A small NVM region holding everything recovery needs that cannot be
+//! recomputed from the levels: the resize state machine (`level number` in
+//! the paper's terms), level geometry and the rehash progress cursor. Every
+//! field is an 8-byte word updated with a failure-atomic store + persist.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hdnh_nvm::{NvmOptions, NvmRegion};
+
+/// Magic value identifying an HDNH pool ("HDNH" ASCII, versioned).
+pub const MAGIC: u64 = 0x4844_4E48_0000_0001;
+
+/// Resize state machine. The values mirror the paper's "level number":
+/// 2 = a new level is being allocated, 3 = rehashing is in progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResizeState {
+    /// Normal two-level operation.
+    Stable,
+    /// New top level requested but the level pointer is not yet published
+    /// (the paper's level number 2).
+    Allocating,
+    /// Bottom-level items are being rehashed into the new top (level
+    /// number 3).
+    Rehashing,
+}
+
+impl ResizeState {
+    fn to_u64(self) -> u64 {
+        match self {
+            ResizeState::Stable => 1,
+            ResizeState::Allocating => 2,
+            ResizeState::Rehashing => 3,
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        match v {
+            2 => ResizeState::Allocating,
+            3 => ResizeState::Rehashing,
+            _ => ResizeState::Stable,
+        }
+    }
+}
+
+const OFF_MAGIC: usize = 0;
+const OFF_STATE: usize = 8;
+const OFF_TOP_SEGMENTS: usize = 16;
+const OFF_BOTTOM_SEGMENTS: usize = 24;
+const OFF_REHASH_PROGRESS: usize = 32;
+const OFF_NEW_TOP_SEGMENTS: usize = 40;
+const OFF_SEGMENT_BYTES: usize = 48;
+/// Region size (one cacheline is enough; round to a block).
+pub const META_BYTES: usize = 256;
+
+/// Typed accessor over the metadata region.
+#[derive(Clone, Debug)]
+pub struct Meta {
+    region: Arc<NvmRegion>,
+}
+
+impl Meta {
+    /// Formats a fresh metadata block.
+    pub fn create(
+        opts: &NvmOptions,
+        top_segments: usize,
+        bottom_segments: usize,
+        segment_bytes: usize,
+    ) -> Self {
+        let region = Arc::new(NvmRegion::new(META_BYTES, opts.clone()));
+        let m = Meta { region };
+        m.store(OFF_STATE, ResizeState::Stable.to_u64());
+        m.store(OFF_TOP_SEGMENTS, top_segments as u64);
+        m.store(OFF_BOTTOM_SEGMENTS, bottom_segments as u64);
+        m.store(OFF_REHASH_PROGRESS, u64::MAX);
+        m.store(OFF_NEW_TOP_SEGMENTS, 0);
+        m.store(OFF_SEGMENT_BYTES, segment_bytes as u64);
+        // Magic last: a pool is valid only once fully formatted.
+        m.store(OFF_MAGIC, MAGIC);
+        m
+    }
+
+    /// Adopts an existing metadata region (recovery).
+    pub fn open(region: Arc<NvmRegion>) -> Self {
+        let m = Meta { region };
+        assert_eq!(m.load(OFF_MAGIC), MAGIC, "not an HDNH pool (bad magic)");
+        m
+    }
+
+    /// The backing region.
+    pub fn region(&self) -> &Arc<NvmRegion> {
+        &self.region
+    }
+
+    #[inline]
+    fn store(&self, off: usize, v: u64) {
+        self.region.atomic_store_u64(off, v, Ordering::Release);
+        self.region.persist(off, 8);
+    }
+
+    #[inline]
+    fn load(&self, off: usize) -> u64 {
+        // Metadata is tiny and hot; model it as cache-resident.
+        self.region.atomic_load_u64_cached(off, Ordering::Acquire)
+    }
+
+    /// Current resize state.
+    pub fn state(&self) -> ResizeState {
+        ResizeState::from_u64(self.load(OFF_STATE))
+    }
+
+    /// Persists a state transition.
+    pub fn set_state(&self, s: ResizeState) {
+        self.store(OFF_STATE, s.to_u64());
+    }
+
+    /// Top-level segment count.
+    pub fn top_segments(&self) -> usize {
+        self.load(OFF_TOP_SEGMENTS) as usize
+    }
+
+    /// Bottom-level segment count.
+    pub fn bottom_segments(&self) -> usize {
+        self.load(OFF_BOTTOM_SEGMENTS) as usize
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.load(OFF_SEGMENT_BYTES) as usize
+    }
+
+    /// Publishes the post-resize geometry (called at resize finalization).
+    pub fn set_geometry(&self, top_segments: usize, bottom_segments: usize) {
+        self.store(OFF_TOP_SEGMENTS, top_segments as u64);
+        self.store(OFF_BOTTOM_SEGMENTS, bottom_segments as u64);
+    }
+
+    /// Planned size of the in-flight new top level.
+    pub fn new_top_segments(&self) -> usize {
+        self.load(OFF_NEW_TOP_SEGMENTS) as usize
+    }
+
+    /// Records the planned new-top size (persisted *before* entering
+    /// [`ResizeState::Allocating`], so recovery always knows the size).
+    pub fn set_new_top_segments(&self, n: usize) {
+        self.store(OFF_NEW_TOP_SEGMENTS, n as u64);
+    }
+
+    /// Next bottom-level bucket to migrate (`u64::MAX` = no rehash active).
+    pub fn rehash_progress(&self) -> Option<usize> {
+        match self.load(OFF_REHASH_PROGRESS) {
+            u64::MAX => None,
+            v => Some(v as usize),
+        }
+    }
+
+    /// Persists the migration cursor (paper: "records the indexes of
+    /// segment and bucket … when successfully rehashing items in a bucket").
+    pub fn set_rehash_progress(&self, bucket: Option<usize>) {
+        self.store(
+            OFF_REHASH_PROGRESS,
+            bucket.map(|b| b as u64).unwrap_or(u64::MAX),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_then_open_roundtrip() {
+        let m = Meta::create(&NvmOptions::fast(), 8, 4, 16384);
+        assert_eq!(m.state(), ResizeState::Stable);
+        assert_eq!(m.top_segments(), 8);
+        assert_eq!(m.bottom_segments(), 4);
+        assert_eq!(m.segment_bytes(), 16384);
+        assert_eq!(m.rehash_progress(), None);
+        let m2 = Meta::open(Arc::clone(m.region()));
+        assert_eq!(m2.top_segments(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad magic")]
+    fn open_unformatted_panics() {
+        let region = Arc::new(NvmRegion::new(META_BYTES, NvmOptions::fast()));
+        Meta::open(region);
+    }
+
+    #[test]
+    fn state_machine_roundtrip() {
+        let m = Meta::create(&NvmOptions::fast(), 2, 1, 1024);
+        for s in [
+            ResizeState::Allocating,
+            ResizeState::Rehashing,
+            ResizeState::Stable,
+        ] {
+            m.set_state(s);
+            assert_eq!(m.state(), s);
+        }
+    }
+
+    #[test]
+    fn progress_cursor_roundtrip() {
+        let m = Meta::create(&NvmOptions::fast(), 2, 1, 1024);
+        m.set_rehash_progress(Some(17));
+        assert_eq!(m.rehash_progress(), Some(17));
+        m.set_rehash_progress(None);
+        assert_eq!(m.rehash_progress(), None);
+    }
+
+    #[test]
+    fn metadata_survives_crash_because_every_store_persists() {
+        let m = Meta::create(&NvmOptions::strict(), 2, 1, 1024);
+        m.set_state(ResizeState::Rehashing);
+        m.set_rehash_progress(Some(5));
+        m.region().crash_with(|_| false);
+        let m2 = Meta::open(Arc::clone(m.region()));
+        assert_eq!(m2.state(), ResizeState::Rehashing);
+        assert_eq!(m2.rehash_progress(), Some(5));
+    }
+}

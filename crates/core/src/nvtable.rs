@@ -1,0 +1,359 @@
+//! The non-volatile table (paper §3.1, figure 2).
+//!
+//! One [`Level`] is an array of segments in NVM; each segment is an array of
+//! 256-byte buckets; each bucket is an 8-byte persisted header (the bitmap
+//! word, written with failure-atomic 8-byte stores) followed by eight
+//! 31-byte record slots:
+//!
+//! ```text
+//! bucket (256 B, block-aligned):
+//!   [ header u64 ][ slot0 31B ][ slot1 31B ] … [ slot7 31B ]
+//!     bit i of header = slot i valid           8 + 8×31 = 256
+//! ```
+//!
+//! Keys choose **two candidate segments** (one per hash) and **two candidate
+//! buckets inside each segment** — the paper's "2-cuckoo strategy" applied
+//! at both granularities, yielding four candidate buckets per level and
+//! eight across the two levels.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hdnh_common::hash::KeyHashes;
+use hdnh_common::{Record, RECORD_LEN};
+use hdnh_nvm::{NvmOptions, NvmRegion};
+
+use crate::params::{BUCKET_BYTES, BUCKET_HEADER, SLOTS_PER_BUCKET};
+
+/// One level of the non-volatile table.
+#[derive(Debug, Clone)]
+pub struct Level {
+    region: Arc<NvmRegion>,
+    n_segments: usize,
+    buckets_per_segment: usize,
+}
+
+impl Level {
+    /// Allocates a zeroed level of `n_segments × buckets_per_segment`
+    /// buckets.
+    pub fn new(n_segments: usize, buckets_per_segment: usize, opts: &NvmOptions) -> Self {
+        assert!(n_segments.is_power_of_two() && buckets_per_segment.is_power_of_two());
+        let bytes = n_segments * buckets_per_segment * BUCKET_BYTES;
+        Level {
+            region: Arc::new(NvmRegion::new(bytes, opts.clone())),
+            n_segments,
+            buckets_per_segment,
+        }
+    }
+
+    /// Re-adopts an existing region (recovery).
+    pub fn from_region(
+        region: Arc<NvmRegion>,
+        n_segments: usize,
+        buckets_per_segment: usize,
+    ) -> Self {
+        assert_eq!(region.len(), n_segments * buckets_per_segment * BUCKET_BYTES);
+        Level {
+            region,
+            n_segments,
+            buckets_per_segment,
+        }
+    }
+
+    /// The backing region.
+    #[inline]
+    pub fn region(&self) -> &Arc<NvmRegion> {
+        &self.region
+    }
+
+    /// Segments in this level.
+    #[inline]
+    pub fn n_segments(&self) -> usize {
+        self.n_segments
+    }
+
+    /// Buckets per segment.
+    #[inline]
+    pub fn buckets_per_segment(&self) -> usize {
+        self.buckets_per_segment
+    }
+
+    /// Total buckets.
+    #[inline]
+    pub fn n_buckets(&self) -> usize {
+        self.n_segments * self.buckets_per_segment
+    }
+
+    /// Total slots.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.n_buckets() * SLOTS_PER_BUCKET
+    }
+
+    /// The four candidate (global) bucket indices for a key in this level:
+    /// two segment choices × two in-segment bucket choices. Duplicates are
+    /// possible when the hashes collide; callers tolerate re-probing.
+    ///
+    /// Bit budget: the OCF fingerprint is `h1 & 0xFF`, so **no index may
+    /// consume h1's low byte** — otherwise every h1-routed resident of a
+    /// probed bucket would share the search key's fingerprint and the
+    /// filter would silently stop filtering as the table grows (segment
+    /// counts ≥ 256 would alias the full fingerprint). h1 therefore
+    /// contributes bits 8.. for the segment and 40.. for the bucket; h2 is
+    /// fingerprint-free and contributes bits 0.. and 32...
+    #[inline]
+    pub fn candidates(&self, h: &KeyHashes) -> [usize; 4] {
+        let s1 = ((h.h1 >> 8) as usize) & (self.n_segments - 1);
+        let s2 = (h.h2 as usize) & (self.n_segments - 1);
+        let b1 = ((h.h1 >> 40) as usize) & (self.buckets_per_segment - 1);
+        let b2 = ((h.h2 >> 32) as usize) & (self.buckets_per_segment - 1);
+        [
+            s1 * self.buckets_per_segment + b1,
+            s1 * self.buckets_per_segment + b2,
+            s2 * self.buckets_per_segment + b1,
+            s2 * self.buckets_per_segment + b2,
+        ]
+    }
+
+    // ---------------- byte offsets ----------------
+
+    /// Byte offset of a bucket's persisted header word.
+    #[inline]
+    pub fn header_off(&self, bucket: usize) -> usize {
+        bucket * BUCKET_BYTES
+    }
+
+    /// Byte offset of a record slot.
+    #[inline]
+    pub fn slot_off(&self, bucket: usize, slot: usize) -> usize {
+        debug_assert!(slot < SLOTS_PER_BUCKET);
+        bucket * BUCKET_BYTES + BUCKET_HEADER + slot * RECORD_LEN
+    }
+
+    // ---------------- persisted bitmap header ----------------
+
+    /// Loads the persisted bitmap word (charged as one NVM block read).
+    #[inline]
+    pub fn load_header(&self, bucket: usize) -> u64 {
+        self.region.atomic_load_u64(self.header_off(bucket), Ordering::Acquire)
+    }
+
+    /// Header load *without* a media charge — used right after the same
+    /// thread wrote the bucket (line still in cache).
+    #[inline]
+    pub fn load_header_cached(&self, bucket: usize) -> u64 {
+        self.region
+            .atomic_load_u64_cached(self.header_off(bucket), Ordering::Acquire)
+    }
+
+    /// Atomically sets slot `slot`'s valid bit and persists the header —
+    /// the failure-atomic commit point of an insert (figure 9c).
+    pub fn commit_slot_valid(&self, bucket: usize, slot: usize) {
+        let off = self.header_off(bucket);
+        self.region.atomic_fetch_or_u64(off, 1 << slot, Ordering::AcqRel);
+        self.region.persist(off, 8);
+    }
+
+    /// Atomically clears slot `slot`'s valid bit and persists — the commit
+    /// point of a delete.
+    pub fn commit_slot_invalid(&self, bucket: usize, slot: usize) {
+        let off = self.header_off(bucket);
+        self.region.atomic_fetch_and_u64(off, !(1 << slot), Ordering::AcqRel);
+        self.region.persist(off, 8);
+    }
+
+    /// Atomically flips the old and new slots' valid bits **in one 8-byte
+    /// store** and persists — the paper's figure-10(c) update commit, which
+    /// is why the out-of-place slot must live in the same bucket.
+    pub fn commit_slot_swap(&self, bucket: usize, old_slot: usize, new_slot: usize) {
+        let off = self.header_off(bucket);
+        self.region
+            .atomic_fetch_xor_u64(off, (1 << old_slot) | (1 << new_slot), Ordering::AcqRel);
+        self.region.persist(off, 8);
+    }
+
+    // ---------------- record slots ----------------
+
+    /// Writes a record into a slot and persists it (flush + fence). Does
+    /// **not** set the valid bit; the caller commits separately so a crash
+    /// between the two leaves the slot invisible (invariant I1).
+    pub fn write_record(&self, bucket: usize, slot: usize, rec: &Record) {
+        let off = self.slot_off(bucket, slot);
+        self.region.write_pod(off, &rec.to_bytes());
+        self.region.persist(off, RECORD_LEN);
+    }
+
+    /// Reads the record stored in a slot (charged as one NVM block read —
+    /// a slot never crosses a 256-byte bucket boundary).
+    #[inline]
+    pub fn read_record(&self, bucket: usize, slot: usize) -> Record {
+        let bytes: [u8; RECORD_LEN] = self.region.read_pod(self.slot_off(bucket, slot));
+        Record::from_bytes(&bytes)
+    }
+
+    /// Reads an entire bucket (header + slots) in one charged access —
+    /// what a recovery scan or a filter-less probe does: one media block.
+    pub fn read_bucket(&self, bucket: usize) -> (u64, [Record; SLOTS_PER_BUCKET]) {
+        let mut raw = [0u8; BUCKET_BYTES];
+        self.region.read_into(self.header_off(bucket), &mut raw);
+        let header = u64::from_le_bytes(raw[..8].try_into().unwrap());
+        let mut recs = [Record::new(hdnh_common::Key::ZERO, hdnh_common::Value::ZERO);
+            SLOTS_PER_BUCKET];
+        for (i, rec) in recs.iter_mut().enumerate() {
+            let start = BUCKET_HEADER + i * RECORD_LEN;
+            let bytes: [u8; RECORD_LEN] =
+                raw[start..start + RECORD_LEN].try_into().unwrap();
+            *rec = Record::from_bytes(&bytes);
+        }
+        (header, recs)
+    }
+
+    /// Number of valid slots according to the persisted headers (recovery /
+    /// diagnostics; charged reads).
+    pub fn count_valid(&self) -> usize {
+        (0..self.n_buckets())
+            .map(|b| self.load_header(b).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdnh_common::{Key, Value};
+
+    fn level() -> Level {
+        Level::new(4, 8, &NvmOptions::fast())
+    }
+
+    #[test]
+    fn geometry() {
+        let l = level();
+        assert_eq!(l.n_buckets(), 32);
+        assert_eq!(l.n_slots(), 256);
+        assert_eq!(l.region().len(), 32 * 256);
+        assert_eq!(l.header_off(3), 768);
+        assert_eq!(l.slot_off(0, 0), 8);
+        assert_eq!(l.slot_off(0, 7), 8 + 7 * 31);
+        assert_eq!(l.slot_off(1, 0), 256 + 8);
+    }
+
+    #[test]
+    fn slots_stay_inside_their_bucket() {
+        let l = level();
+        for b in 0..l.n_buckets() {
+            for s in 0..SLOTS_PER_BUCKET {
+                let off = l.slot_off(b, s);
+                assert!(off / BUCKET_BYTES == b && (off + RECORD_LEN - 1) / BUCKET_BYTES == b);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_in_range_and_deterministic() {
+        let l = level();
+        for i in 0..1000u64 {
+            let h = KeyHashes::of(&Key::from_u64(i));
+            let c = l.candidates(&h);
+            assert_eq!(c, l.candidates(&h));
+            for b in c {
+                assert!(b < l.n_buckets());
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_share_segments_pairwise() {
+        let l = level();
+        let h = KeyHashes::of(&Key::from_u64(99));
+        let c = l.candidates(&h);
+        // c[0],c[1] in one segment; c[2],c[3] in another (possibly equal).
+        assert_eq!(c[0] / l.buckets_per_segment(), c[1] / l.buckets_per_segment());
+        assert_eq!(c[2] / l.buckets_per_segment(), c[3] / l.buckets_per_segment());
+    }
+
+    #[test]
+    fn record_roundtrip_and_commit() {
+        let l = level();
+        let rec = Record::new(Key::from_u64(5), Value::from_u64(55));
+        l.write_record(2, 3, &rec);
+        assert_eq!(l.load_header(2), 0, "valid bit not yet set");
+        l.commit_slot_valid(2, 3);
+        assert_eq!(l.load_header(2), 1 << 3);
+        assert_eq!(l.read_record(2, 3), rec);
+        l.commit_slot_invalid(2, 3);
+        assert_eq!(l.load_header(2), 0);
+    }
+
+    #[test]
+    fn swap_flips_both_bits_atomically() {
+        let l = level();
+        l.commit_slot_valid(0, 1);
+        let before = l.stats_writes();
+        l.commit_slot_swap(0, 1, 4);
+        assert_eq!(l.load_header(0), 1 << 4);
+        // Exactly one data store (plus persist) for the double flip.
+        assert_eq!(l.stats_writes() - before, 1);
+    }
+
+    impl Level {
+        fn stats_writes(&self) -> u64 {
+            self.region.stats().snapshot().writes
+        }
+    }
+
+    #[test]
+    fn read_bucket_matches_slot_reads() {
+        let l = level();
+        for s in [0usize, 3, 7] {
+            let rec = Record::new(Key::from_u64(s as u64), Value::from_u64(100 + s as u64));
+            l.write_record(1, s, &rec);
+            l.commit_slot_valid(1, s);
+        }
+        let (header, recs) = l.read_bucket(1);
+        assert_eq!(header, 0b1000_1001);
+        for s in [0usize, 3, 7] {
+            assert_eq!(recs[s], l.read_record(1, s));
+            assert_eq!(recs[s].key.as_u64(), s as u64);
+        }
+    }
+
+    #[test]
+    fn bucket_read_is_one_block() {
+        let l = level();
+        let before = l.region().stats().snapshot();
+        let _ = l.read_bucket(9);
+        let d = l.region().stats().snapshot().since(&before);
+        assert_eq!(d.read_blocks, 1);
+    }
+
+    #[test]
+    fn count_valid_sums_headers() {
+        let l = level();
+        l.commit_slot_valid(0, 0);
+        l.commit_slot_valid(0, 1);
+        l.commit_slot_valid(31, 7);
+        assert_eq!(l.count_valid(), 3);
+    }
+
+    #[test]
+    fn insert_protocol_is_crash_safe_record_first() {
+        // Strict region: crash between record write and bit set leaves the
+        // slot invisible; crash after bit set keeps the full record.
+        let l = Level::new(1, 2, &NvmOptions::strict());
+        let rec = Record::new(Key::from_u64(1), Value::from_u64(2));
+        l.write_record(0, 0, &rec);
+        // Crash before commit: record bytes may be anything, but the valid
+        // bit is 0.
+        let mut rng = hdnh_common::rng::XorShift64Star::new(3);
+        l.region().crash(&mut rng);
+        assert_eq!(l.load_header(0) & 1, 0);
+
+        let rec2 = Record::new(Key::from_u64(9), Value::from_u64(10));
+        l.write_record(0, 1, &rec2);
+        l.commit_slot_valid(0, 1);
+        l.region().crash(&mut rng);
+        assert_eq!(l.load_header(0) & 0b10, 0b10);
+        assert_eq!(l.read_record(0, 1), rec2);
+    }
+}

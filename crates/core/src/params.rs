@@ -1,0 +1,208 @@
+//! Tunable parameters of an HDNH instance.
+//!
+//! Defaults follow the paper's evaluated configuration (§3.1, §4.1/§4.2):
+//! 256-byte NVM buckets with 8 slots, 16 KB segments (figure 11a's optimum),
+//! 4 slots per hot-table bucket (figure 11b's balance point), top level twice
+//! the bottom level.
+
+use hdnh_nvm::NvmOptions;
+
+/// Bytes per non-volatile bucket — fixed at AEP's 256-byte block granularity.
+pub const BUCKET_BYTES: usize = 256;
+/// Persisted header bytes per bucket (bitmap word).
+pub const BUCKET_HEADER: usize = 8;
+/// Slots per non-volatile bucket.
+pub const SLOTS_PER_BUCKET: usize = 8;
+/// Bytes per slot (one 31-byte record).
+pub const SLOT_BYTES: usize = hdnh_common::RECORD_LEN;
+
+// 8 + 8×31 = 256: the record geometry exactly fills a bucket.
+const _: () = assert!(BUCKET_HEADER + SLOTS_PER_BUCKET * SLOT_BYTES == BUCKET_BYTES);
+
+/// How hot-table writes are synchronized with non-volatile writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// The foreground thread performs the hot-table write itself, after the
+    /// NVM write. Simple; serializes DRAM and NVM latencies.
+    Inline,
+    /// The paper's synchronous write mechanism (§3.4): a background thread
+    /// performs the hot-table write concurrently with the foreground NVM
+    /// write; the foreground thread waits on the `sync_write_signal` before
+    /// returning, hiding the DRAM write under the NVM latency.
+    Background,
+}
+
+/// Hot-table replacement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HotPolicy {
+    /// The paper's RAFL (§3.3): one hotmap bit per slot; evict a cold slot
+    /// if any, else a random slot, then clear all hotmap bits in the bucket.
+    Rafl,
+    /// LRU comparison point used in figure 12: per-slot access stamps, evict
+    /// the least recently used. Costs a stamp store on every hit and a scan
+    /// on every eviction — the maintenance overhead RAFL avoids.
+    Lru,
+}
+
+/// Configuration for [`crate::Hdnh`].
+#[derive(Clone, Debug)]
+pub struct HdnhParams {
+    /// Segment size in bytes (power-of-two multiple of 256; default 16 KB).
+    pub segment_bytes: usize,
+    /// Initial number of bottom-level segments (power of two). The top
+    /// level always has twice as many.
+    pub initial_bottom_segments: usize,
+    /// Slots per hot-table bucket (1..=8; default 4 per figure 11b).
+    pub hot_slots_per_bucket: usize,
+    /// Hot-table capacity as a fraction of non-volatile slots (default 1/4;
+    /// set ≥ 1.0 for the "hot table has not overflowed" regime of §3.5).
+    pub hot_capacity_ratio: f64,
+    /// Enable the Optimistic Compression Filter. Disabling it (ablation)
+    /// makes probes scan NVM buckets directly like Level hashing.
+    pub enable_ocf: bool,
+    /// Use two segment choices per level (the paper's "2-cuckoo strategy",
+    /// 4 candidate buckets per level). Disabling (ablation) probes a single
+    /// segment choice (2 candidate buckets per level): cheaper probes,
+    /// lower achievable load factor, earlier resizes.
+    pub two_choice_segments: bool,
+    /// Enable the DRAM hot table.
+    pub enable_hot_table: bool,
+    /// Replacement policy for the hot table.
+    pub hot_policy: HotPolicy,
+    /// Synchronous-write mechanism mode.
+    pub sync_mode: SyncMode,
+    /// Background writer threads serving hot-table writes in
+    /// [`SyncMode::Background`].
+    pub background_writers: usize,
+    /// NVM simulation options for the table's regions.
+    pub nvm: NvmOptions,
+}
+
+impl HdnhParams {
+    /// The paper's configuration at small test scale (capacity ≈ 3 k
+    /// records before the first resize).
+    pub fn small() -> Self {
+        HdnhParams::default()
+    }
+
+    /// Sized so that roughly `records` items fit at ≈80 % load without
+    /// resizing — what the throughput benchmarks use for search workloads.
+    pub fn for_capacity(records: usize) -> Self {
+        let mut p = HdnhParams::default();
+        let slots_needed = (records as f64 / 0.8).ceil() as usize;
+        let buckets_per_segment = p.segment_bytes / BUCKET_BYTES;
+        let slots_per_segment = buckets_per_segment * SLOTS_PER_BUCKET;
+        // total slots = (2M + M) × slots_per_segment  ⇒  M.
+        let m = slots_needed.div_ceil(3 * slots_per_segment).max(1);
+        p.initial_bottom_segments = m.next_power_of_two();
+        p
+    }
+
+    /// Total slot capacity of the initial table (both levels).
+    pub fn initial_slots(&self) -> usize {
+        let buckets_per_segment = self.segment_bytes / BUCKET_BYTES;
+        3 * self.initial_bottom_segments * buckets_per_segment * SLOTS_PER_BUCKET
+    }
+
+    /// Validates invariants; called by `Hdnh::new`.
+    pub fn validate(&self) {
+        assert!(
+            self.segment_bytes >= BUCKET_BYTES && self.segment_bytes % BUCKET_BYTES == 0,
+            "segment_bytes must be a multiple of 256"
+        );
+        assert!(
+            (self.segment_bytes / BUCKET_BYTES).is_power_of_two(),
+            "buckets per segment must be a power of two"
+        );
+        assert!(
+            self.initial_bottom_segments.is_power_of_two(),
+            "initial_bottom_segments must be a power of two"
+        );
+        assert!(
+            (1..=SLOTS_PER_BUCKET).contains(&self.hot_slots_per_bucket),
+            "hot_slots_per_bucket must be 1..=8"
+        );
+        assert!(self.hot_capacity_ratio > 0.0);
+        assert!(self.background_writers >= 1);
+    }
+}
+
+impl Default for HdnhParams {
+    fn default() -> Self {
+        HdnhParams {
+            segment_bytes: 16 * 1024,
+            initial_bottom_segments: 1,
+            hot_slots_per_bucket: 4,
+            hot_capacity_ratio: 0.25,
+            enable_ocf: true,
+            two_choice_segments: true,
+            enable_hot_table: true,
+            hot_policy: HotPolicy::Rafl,
+            sync_mode: SyncMode::Inline,
+            background_writers: 2,
+            nvm: NvmOptions::fast(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        HdnhParams::default().validate();
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let p = HdnhParams::default();
+        assert_eq!(p.segment_bytes, 16 * 1024);
+        assert_eq!(p.hot_slots_per_bucket, 4);
+        assert_eq!(p.hot_policy, HotPolicy::Rafl);
+    }
+
+    #[test]
+    fn for_capacity_is_large_enough() {
+        for records in [100, 10_000, 1_000_000] {
+            let p = HdnhParams::for_capacity(records);
+            p.validate();
+            assert!(
+                p.initial_slots() as f64 * 0.8 >= records as f64,
+                "records={records} slots={}",
+                p.initial_slots()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_segments_rejected() {
+        let p = HdnhParams {
+            initial_bottom_segments: 3,
+            ..Default::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn bad_hot_slots_rejected() {
+        let p = HdnhParams {
+            hot_slots_per_bucket: 9,
+            ..Default::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    fn initial_slots_counts_both_levels() {
+        let p = HdnhParams {
+            segment_bytes: 1024, // 4 buckets/segment
+            initial_bottom_segments: 2,
+            ..Default::default()
+        };
+        // top 4 segs + bottom 2 segs = 6 segs × 4 buckets × 8 slots.
+        assert_eq!(p.initial_slots(), 6 * 4 * 8);
+    }
+}

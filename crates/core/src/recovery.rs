@@ -1,0 +1,644 @@
+//! Shutdown, crash simulation hooks and recovery (paper §3.7).
+//!
+//! In a real deployment the non-volatile table lives in DAX-mapped files;
+//! after a restart, recovery re-opens them and rebuilds the two DRAM
+//! structures (OCF and hot table) with one multi-threaded scan. In this
+//! reproduction the "files" are [`NvmRegion`]s: [`Hdnh::into_pool`] plays
+//! the role of unmapping (only the persistent parts survive), the strict
+//! regions' `crash()` plays the power failure, and [`Hdnh::recover`]
+//! re-opens the pool:
+//!
+//! * **After a normal shutdown / crash in stable state** — rebuild OCF and
+//!   hot table by scanning the levels once, in parallel batches of buckets
+//!   (the paper's multi-threaded recovery).
+//! * **Crash while `level number = 2` (allocating)** — the new level may or
+//!   may not exist; recovery "applies for the new level again" and restarts
+//!   the rehash from bucket 0 (re-migrating is idempotent thanks to the
+//!   duplicate check).
+//! * **Crash while `level number = 3` (rehashing)** — resume migration at
+//!   the persisted bucket cursor with duplicate checking (a crash mid-bucket
+//!   may have moved only part of it), then finalize the level swap.
+//!
+//! The scan also repairs the documented update-fallback window: if a crash
+//! left two valid copies of one key, the first one found wins and the other
+//! bit is cleared.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hdnh_common::hash::KeyHashes;
+use hdnh_common::rng::XorShift64Star;
+use hdnh_common::Key;
+use hdnh_nvm::NvmRegion;
+use parking_lot::RwLock;
+
+use crate::hot::HotTable;
+use crate::meta::{Meta, ResizeState};
+use crate::nvtable::Level;
+use crate::ocf::Ocf;
+use crate::params::{HdnhParams, SyncMode, BUCKET_BYTES, SLOTS_PER_BUCKET};
+use crate::table::{CANDIDATES_FULL, CANDIDATES_ONE_CHOICE};
+use crate::sync::SyncWriter;
+use crate::table::{Hdnh, Inner};
+
+/// The persistent half of an HDNH instance: what survives a power cycle.
+pub struct PersistentPool {
+    /// Metadata block.
+    pub meta: Arc<NvmRegion>,
+    /// Top-level region.
+    pub top: Arc<NvmRegion>,
+    /// Bottom-level region.
+    pub bottom: Arc<NvmRegion>,
+    /// In-flight new top level, present iff a resize was interrupted.
+    pub new_top: Option<Arc<NvmRegion>>,
+}
+
+impl PersistentPool {
+    /// Simulates a power failure across every region of the pool (strict
+    /// regions only). Returns the number of dropped words.
+    pub fn crash(&self, seed: u64) -> usize {
+        let mut rng = XorShift64Star::new(seed);
+        let mut dropped = self.meta.crash(&mut rng);
+        dropped += self.top.crash(&mut rng);
+        dropped += self.bottom.crash(&mut rng);
+        if let Some(nt) = &self.new_top {
+            dropped += nt.crash(&mut rng);
+        }
+        dropped
+    }
+}
+
+/// Wall-clock breakdown of one recovery (table 1's three rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryTiming {
+    /// Time to rebuild the OCF alone.
+    pub ocf: Duration,
+    /// Time to rebuild the hot table alone.
+    pub hot: Duration,
+    /// Time for the merged single-scan rebuild (what recovery actually
+    /// does); includes resize-resume work if any.
+    pub total: Duration,
+}
+
+impl Hdnh {
+    /// Normal shutdown: drops all DRAM state and returns the persistent
+    /// pool. (The DRAM structures die with the process either way; this
+    /// models unmapping the pool files.)
+    pub fn into_pool(self) -> PersistentPool {
+        let inner = self.inner.into_inner();
+        PersistentPool {
+            meta: Arc::clone(self.meta.region()),
+            top: Arc::clone(inner.top.region()),
+            bottom: Arc::clone(inner.bottom.region()),
+            new_top: inner
+                .pending_new_top
+                .as_ref()
+                .map(|(l, _)| Arc::clone(l.region())),
+        }
+    }
+
+    /// Re-opens a pool: completes any interrupted resize, then rebuilds the
+    /// OCF and hot table with `threads` parallel scan threads.
+    pub fn recover(params: HdnhParams, pool: PersistentPool, threads: usize) -> Hdnh {
+        Self::recover_timed(params, pool, threads).0
+    }
+
+    /// [`Hdnh::recover`] plus the table-1 timing breakdown.
+    pub fn recover_timed(
+        params: HdnhParams,
+        pool: PersistentPool,
+        threads: usize,
+    ) -> (Hdnh, RecoveryTiming) {
+        params.validate();
+        let t0 = Instant::now();
+        let meta = Meta::open(pool.meta);
+        assert_eq!(
+            meta.segment_bytes(),
+            params.segment_bytes,
+            "params disagree with the persisted pool geometry"
+        );
+        let bps = params.segment_bytes / BUCKET_BYTES;
+        let mut top = Level::from_region(pool.top, meta.top_segments(), bps);
+        let mut bottom = Level::from_region(pool.bottom, meta.bottom_segments(), bps);
+
+        // ---- resize state machine ----
+        match meta.state() {
+            ResizeState::Stable => {}
+            ResizeState::Allocating => {
+                // Level number 2: the new level was never published. Apply
+                // for it again and run the whole rehash (idempotent: the new
+                // level is fresh, duplicates impossible).
+                let new_top = Level::new(meta.new_top_segments(), bps, &params.nvm);
+                let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
+                meta.set_state(ResizeState::Rehashing);
+                meta.set_rehash_progress(Some(0));
+                Self::migrate(&bottom, &new_top, &new_ocf, 0, false, &meta, candidates(&params));
+                Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
+            }
+            ResizeState::Rehashing => {
+                // Level number 3: resume at the persisted cursor with
+                // duplicate checks (the cursor bucket may be half-moved).
+                let new_top = match pool.new_top {
+                    Some(region) => Level::from_region(region, meta.new_top_segments(), bps),
+                    // The allocation never became visible: start over.
+                    None => Level::new(meta.new_top_segments(), bps, &params.nvm),
+                };
+                // Rebuild the new top's OCF from its persisted headers so
+                // the duplicate check and further inserts see prior work.
+                let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
+                rebuild_ocf_serial(&new_top, &new_ocf);
+                let start = meta.rehash_progress().unwrap_or(0);
+                // The paper's "resizing threads … continue rehashing":
+                // remaining buckets are migrated in parallel stripes. The
+                // dup-checked migration is idempotent, so no finer-grained
+                // progress persistence is needed during recovery — if
+                // recovery itself crashes, the next one redoes the same
+                // idempotent work.
+                migrate_parallel_dupcheck(
+                    &bottom,
+                    &new_top,
+                    &new_ocf,
+                    start,
+                    candidates(&params),
+                    threads,
+                );
+                Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
+            }
+        }
+
+        // ---- rebuild DRAM structures (merged single scan) ----
+        let ocf_top = Ocf::new(top.n_buckets(), SLOTS_PER_BUCKET);
+        let ocf_bottom = Ocf::new(bottom.n_buckets(), SLOTS_PER_BUCKET);
+        let hot = params
+            .enable_hot_table
+            .then(|| Arc::new(Self::make_hot(&params, top.n_slots() + bottom.n_slots())));
+        let count = rebuild_parallel(
+            &[(&top, &ocf_top), (&bottom, &ocf_bottom)],
+            hot.as_deref(),
+            threads,
+        );
+        let total = t0.elapsed();
+
+        // ---- separate timings for table 1 (measurement-only passes) ----
+        let t1 = Instant::now();
+        let scratch_top = Ocf::new(top.n_buckets(), SLOTS_PER_BUCKET);
+        let scratch_bottom = Ocf::new(bottom.n_buckets(), SLOTS_PER_BUCKET);
+        rebuild_parallel(
+            &[(&top, &scratch_top), (&bottom, &scratch_bottom)],
+            None,
+            threads,
+        );
+        let ocf_time = t1.elapsed();
+        let t2 = Instant::now();
+        if let Some(h) = hot.as_deref() {
+            rebuild_hot_only(&[&top, &bottom], h, threads);
+        }
+        let hot_time = t2.elapsed();
+
+        let sync = (params.sync_mode == SyncMode::Background && params.enable_hot_table)
+            .then(|| SyncWriter::new(params.background_writers));
+        let table = Hdnh::from_parts(
+            params,
+            meta,
+            Inner {
+                top,
+                bottom,
+                ocf_top,
+                ocf_bottom,
+                hot,
+                pending_new_top: None,
+            },
+            sync,
+        );
+        table.set_count(count);
+        (
+            table,
+            RecoveryTiming {
+                ocf: ocf_time,
+                hot: hot_time,
+                total,
+            },
+        )
+    }
+
+    fn swap_levels_for_recovery(meta: &Meta, top: &mut Level, bottom: &mut Level, new_top: Level) {
+        let old_top = std::mem::replace(top, new_top);
+        let old_top_segments = old_top.n_segments();
+        *bottom = old_top;
+        meta.set_geometry(top.n_segments(), old_top_segments);
+        meta.set_rehash_progress(None);
+        meta.set_state(ResizeState::Stable);
+    }
+
+    /// Runs a resize but "crashes" after migrating `stop_after_buckets`
+    /// bottom-level buckets, returning the pool exactly as a power failure
+    /// during rehashing would leave it. Crash-consistency tests only.
+    #[doc(hidden)]
+    pub fn into_crashed_mid_resize(self, stop_after_buckets: usize) -> PersistentPool {
+        let mut inner = self.inner.write();
+        let bps = self.params().segment_bytes / BUCKET_BYTES;
+        let new_top_segments = inner.top.n_segments() * 2;
+        self.meta.set_new_top_segments(new_top_segments);
+        self.meta.set_state(ResizeState::Allocating);
+        let new_top = Level::new(new_top_segments, bps, &self.params().nvm);
+        let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
+        self.meta.set_state(ResizeState::Rehashing);
+        self.meta.set_rehash_progress(Some(0));
+        let stop = stop_after_buckets.min(inner.bottom.n_buckets());
+        for b in 0..stop {
+            let (header, recs) = inner.bottom.read_bucket(b);
+            for (slot, rec) in recs.iter().enumerate() {
+                if header & (1 << slot) != 0 {
+                    let h = KeyHashes::of(&rec.key);
+                    Self::insert_into_level(&new_top, &new_ocf, rec, &h, candidates(self.params()));
+                }
+            }
+            self.meta.set_rehash_progress(Some(b + 1));
+        }
+        let pool = PersistentPool {
+            meta: Arc::clone(self.meta.region()),
+            top: Arc::clone(inner.top.region()),
+            bottom: Arc::clone(inner.bottom.region()),
+            new_top: Some(Arc::clone(new_top.region())),
+        };
+        inner.pending_new_top = Some((new_top, new_ocf));
+        drop(inner);
+        pool
+    }
+
+    /// Crashes after requesting a new level but before it becomes visible
+    /// (the paper's level-number-2 scenario). Crash-consistency tests only.
+    #[doc(hidden)]
+    pub fn into_crashed_while_allocating(self) -> PersistentPool {
+        let inner = self.inner.write();
+        self.meta.set_new_top_segments(inner.top.n_segments() * 2);
+        self.meta.set_state(ResizeState::Allocating);
+        PersistentPool {
+            meta: Arc::clone(self.meta.region()),
+            top: Arc::clone(inner.top.region()),
+            bottom: Arc::clone(inner.bottom.region()),
+            new_top: None,
+        }
+    }
+
+    pub(crate) fn from_parts(
+        params: HdnhParams,
+        meta: Meta,
+        inner: Inner,
+        sync: Option<SyncWriter>,
+    ) -> Hdnh {
+        Hdnh::assemble(params, meta, RwLock::new(inner), sync)
+    }
+}
+
+/// Candidate buckets per level for the given configuration.
+fn candidates(params: &HdnhParams) -> usize {
+    if params.two_choice_segments {
+        CANDIDATES_FULL
+    } else {
+        CANDIDATES_ONE_CHOICE
+    }
+}
+
+/// Parallel, idempotent continuation of an interrupted rehash: every
+/// remaining bottom-level bucket (from `start`) is migrated into `to`,
+/// skipping records that already arrived before the crash. Source buckets
+/// are disjoint across stripes and every key lives in exactly one source
+/// bucket, so threads never race on the same key; slot allocation in the
+/// target goes through the OCF's CAS locks.
+fn migrate_parallel_dupcheck(
+    from: &Level,
+    to: &Level,
+    to_ocf: &Ocf,
+    start: usize,
+    cands: usize,
+    threads: usize,
+) {
+    let n = from.n_buckets();
+    if start >= n {
+        return;
+    }
+    let threads = threads.max(1).min(n - start);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let remaining = n - start;
+                let per = remaining.div_ceil(threads);
+                let (lo, hi) = (start + t * per, (start + (t + 1) * per).min(n));
+                for b in lo..hi {
+                    let (header, recs) = from.read_bucket(b);
+                    for (slot, rec) in recs.iter().enumerate() {
+                        if header & (1 << slot) == 0 {
+                            continue;
+                        }
+                        let h = KeyHashes::of(&rec.key);
+                        if Hdnh::find_in_level(to, to_ocf, &rec.key, &h, cands).is_none() {
+                            Hdnh::insert_into_level(to, to_ocf, rec, &h, cands);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Scans one level serially and installs OCF entries (used for the new top
+/// during a rehash resume).
+fn rebuild_ocf_serial(level: &Level, ocf: &Ocf) {
+    for b in 0..level.n_buckets() {
+        let (header, recs) = level.read_bucket(b);
+        for (slot, rec) in recs.iter().enumerate() {
+            if header & (1 << slot) != 0 {
+                let h = KeyHashes::of(&rec.key);
+                ocf.install(b, slot, true, h.fp);
+            }
+        }
+    }
+}
+
+/// The merged parallel rebuild: one scan fills OCF + hot table, counts live
+/// records, and repairs duplicate keys (update-fallback crash window).
+/// Returns the live count.
+fn rebuild_parallel(
+    levels: &[(&Level, &Ocf)],
+    hot: Option<&HotTable>,
+    threads: usize,
+) -> usize {
+    let threads = threads.max(1);
+    // Pass 1 (parallel): per-batch scan installing OCF entries and caching
+    // into the hot table; collect (key, location) lists for dedupe.
+    let per_thread: Vec<Vec<(Key, usize, usize, usize)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut seen = Vec::new();
+                    let mut rng = XorShift64Star::new(0xEC0_0000 + t as u64);
+                    for (li, (level, ocf)) in levels.iter().enumerate() {
+                        let n = level.n_buckets();
+                        let per = n.div_ceil(threads);
+                        let (lo, hi) = (t * per, ((t + 1) * per).min(n));
+                        for b in lo..hi {
+                            let (header, recs) = level.read_bucket(b);
+                            for (slot, rec) in recs.iter().enumerate() {
+                                if header & (1 << slot) == 0 {
+                                    continue;
+                                }
+                                let h = KeyHashes::of(&rec.key);
+                                ocf.install(b, slot, true, h.fp);
+                                if let Some(hot) = hot {
+                                    hot.put(rec, h.h1, h.h2, h.fp, &mut rng);
+                                }
+                                seen.push((rec.key, li, b, slot));
+                            }
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Pass 2 (serial): dedupe. First occurrence wins; later duplicates are
+    // invalidated in both NVM and OCF.
+    let mut first: HashMap<Key, ()> = HashMap::new();
+    let mut count = 0usize;
+    for (key, li, b, slot) in per_thread.into_iter().flatten() {
+        if first.insert(key, ()).is_none() {
+            count += 1;
+        } else {
+            let (level, ocf) = levels[li];
+            level.commit_slot_invalid(b, slot);
+            ocf.install(b, slot, false, 0);
+            if let Some(hot) = hot {
+                let h = KeyHashes::of(&key);
+                // The cached copy may be the loser's value; drop it and let
+                // the next search re-promote the authoritative one.
+                hot.delete(&key, h.h1, h.h2, h.fp);
+            }
+        }
+    }
+    count
+}
+
+/// Hot-table-only rebuild (timing instrumentation for table 1).
+fn rebuild_hot_only(levels: &[&Level], hot: &HotTable, threads: usize) {
+    let threads = threads.max(1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut rng = XorShift64Star::new(0x407_0000 + t as u64);
+                for level in levels {
+                    let n = level.n_buckets();
+                    let per = n.div_ceil(threads);
+                    let (lo, hi) = (t * per, ((t + 1) * per).min(n));
+                    for b in lo..hi {
+                        let (header, recs) = level.read_bucket(b);
+                        for (slot, rec) in recs.iter().enumerate() {
+                            if header & (1 << slot) != 0 {
+                                let h = KeyHashes::of(&rec.key);
+                                hot.put(rec, h.h1, h.h2, h.fp, &mut rng);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdnh_common::Value;
+    use hdnh_nvm::NvmOptions;
+
+    fn strict_params() -> HdnhParams {
+        HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 2,
+            nvm: NvmOptions::strict(),
+            ..Default::default()
+        }
+    }
+
+    fn k(id: u64) -> Key {
+        Key::from_u64(id)
+    }
+    fn v(x: u64) -> Value {
+        Value::from_u64(x)
+    }
+
+    #[test]
+    fn recover_after_normal_shutdown() {
+        let t = Hdnh::new(strict_params());
+        for i in 0..300 {
+            t.insert(&k(i), &v(i * 7)).unwrap();
+        }
+        let pool = t.into_pool();
+        let r = Hdnh::recover(strict_params(), pool, 4);
+        assert_eq!(r.len(), 300);
+        for i in 0..300 {
+            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i * 7, "key {i}");
+        }
+        // Hot table was warmed during recovery.
+        assert!(r.hot_table().unwrap().len() > 0);
+    }
+
+    #[test]
+    fn recover_after_crash_preserves_acknowledged_inserts() {
+        for seed in 0..10 {
+            let t = Hdnh::new(strict_params());
+            for i in 0..200 {
+                t.insert(&k(i), &v(i)).unwrap();
+            }
+            let pool = t.into_pool();
+            pool.crash(seed);
+            let r = Hdnh::recover(strict_params(), pool, 2);
+            assert_eq!(r.len(), 200, "seed {seed}");
+            for i in 0..200 {
+                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i, "seed {seed} key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_after_crash_preserves_updates_and_deletes() {
+        for seed in 0..10 {
+            let t = Hdnh::new(strict_params());
+            for i in 0..200 {
+                t.insert(&k(i), &v(i)).unwrap();
+            }
+            for i in 0..100 {
+                t.update(&k(i), &v(i + 10_000)).unwrap();
+            }
+            for i in 150..200 {
+                assert!(t.remove(&k(i)));
+            }
+            let pool = t.into_pool();
+            pool.crash(1000 + seed);
+            let r = Hdnh::recover(strict_params(), pool, 2);
+            assert_eq!(r.len(), 150, "seed {seed}");
+            for i in 0..100 {
+                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i + 10_000, "seed {seed} key {i}");
+            }
+            for i in 100..150 {
+                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+            }
+            for i in 150..200 {
+                assert_eq!(r.get(&k(i)), None, "deleted key {i} resurrected");
+            }
+        }
+    }
+
+    #[test]
+    fn unacknowledged_insert_never_half_visible() {
+        // Write records without commit and crash: the slot must be
+        // invisible (I1). Exercised via the public API by crashing right
+        // after a batch — every *acknowledged* op is visible, and len()
+        // equals the scan count (no torn extras).
+        for seed in 0..20 {
+            let t = Hdnh::new(strict_params());
+            for i in 0..50 {
+                t.insert(&k(i), &v(i)).unwrap();
+            }
+            let pool = t.into_pool();
+            pool.crash(31_337 + seed);
+            let r = Hdnh::recover(strict_params(), pool, 1);
+            // Exactly the 50 acknowledged records, none torn.
+            assert_eq!(r.len(), 50);
+            for i in 0..50 {
+                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn recover_resumes_interrupted_rehash() {
+        let params = strict_params();
+        let t = Hdnh::new(params.clone());
+        for i in 0..400 {
+            t.insert(&k(i), &v(i + 1)).unwrap();
+        }
+        let n_bottom_buckets = { t.inner.read().bottom.n_buckets() };
+        for stop in [0, 1, n_bottom_buckets / 2, n_bottom_buckets] {
+            let t = Hdnh::new(params.clone());
+            for i in 0..400 {
+                t.insert(&k(i), &v(i + 1)).unwrap();
+            }
+            let before_len = t.len();
+            let pool = t.into_crashed_mid_resize(stop);
+            pool.crash(42 + stop as u64);
+            let r = Hdnh::recover(params.clone(), pool, 2);
+            assert_eq!(r.len(), before_len, "stop={stop}");
+            for i in 0..400 {
+                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i + 1, "stop={stop} key={i}");
+            }
+            // Table is back in stable state with consistent geometry.
+            assert_eq!(r.meta.state(), ResizeState::Stable);
+        }
+    }
+
+    #[test]
+    fn recover_from_allocating_state() {
+        let params = strict_params();
+        let t = Hdnh::new(params.clone());
+        for i in 0..300 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        let pool = t.into_crashed_while_allocating();
+        pool.crash(7);
+        let r = Hdnh::recover(params.clone(), pool, 2);
+        assert_eq!(r.len(), 300);
+        for i in 0..300 {
+            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+        }
+        // The interrupted resize completed during recovery: geometry grew.
+        assert_eq!(r.meta.state(), ResizeState::Stable);
+        assert!(r.meta.top_segments() > params.initial_bottom_segments * 2);
+    }
+
+    #[test]
+    fn recovered_table_accepts_new_operations() {
+        let t = Hdnh::new(strict_params());
+        for i in 0..100 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        let pool = t.into_pool();
+        pool.crash(99);
+        let r = Hdnh::recover(strict_params(), pool, 2);
+        for i in 100..1500 {
+            r.insert(&k(i), &v(i)).unwrap();
+        }
+        assert!(r.resize_count() > 0 || r.len() == 1500);
+        for i in 0..1500 {
+            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+        }
+    }
+
+    #[test]
+    fn recovery_timing_reports_nonzero() {
+        let t = Hdnh::new(strict_params());
+        for i in 0..500 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        let pool = t.into_pool();
+        let (r, timing) = Hdnh::recover_timed(strict_params(), pool, 2);
+        assert_eq!(r.len(), 500);
+        assert!(timing.total >= Duration::ZERO);
+        assert!(timing.ocf <= timing.total + timing.hot + timing.ocf); // sanity
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn recover_with_wrong_geometry_panics() {
+        let t = Hdnh::new(strict_params());
+        let pool = t.into_pool();
+        let wrong = HdnhParams {
+            segment_bytes: 2048,
+            ..strict_params()
+        };
+        let _ = Hdnh::recover(wrong, pool, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulated persistent memory for the HDNH reproduction.
+//!
+//! The paper evaluates on Intel Optane DC Persistent Memory (AEP). This
+//! environment has no NVM hardware, so this crate provides the closest
+//! software equivalent that exercises the same code paths:
+//!
+//! * [`NvmRegion`] — an offset-addressed, heap-backed memory region with the
+//!   access API real persistent-memory code uses: raw byte/typed reads and
+//!   writes, 8-byte atomic operations, per-cacheline `clwb`-style
+//!   [`flush`](NvmRegion::flush) and `sfence`-style
+//!   [`fence`](NvmRegion::fence).
+//! * [`LatencyModel`] — injects AEP's measured latency profile (≈3× DRAM
+//!   read latency, ≈DRAM write latency, 256-byte media access granularity,
+//!   per-line flush cost) with a calibrated busy-wait, so benchmark *shapes*
+//!   match the hardware even though absolute numbers differ.
+//! * [`NvmStats`] — counts every media block read, line written, flush and
+//!   fence. The paper's arguments are about these counts; the stats make
+//!   them directly observable.
+//! * strict mode ([`NvmOptions::strict`]) — a shadow "media" image with
+//!   dirty/staged cacheline tracking and randomized [`crash`](NvmRegion::crash)
+//!   simulation (unflushed lines survive or vanish at random, optionally
+//!   torn at 8-byte granularity), used by the crash-consistency tests.
+//!
+//! # Persistence model
+//!
+//! Identical to the ADR model the paper describes (§2.1): a store is
+//! persistent only once its cacheline has been flushed **and** a subsequent
+//! fence has executed. Unflushed lines may still reach media through cache
+//! eviction — so after a simulated crash each unflushed dirty line
+//! independently survives or is dropped. Code that forgets a flush does not
+//! fail deterministically on real hardware and does not fail
+//! deterministically here either; the randomized crash tests run many
+//! iterations to expose such bugs.
+
+
+#![warn(missing_docs)]
+pub mod bandwidth;
+pub mod latency;
+pub mod pod;
+pub mod region;
+pub mod stats;
+
+pub use bandwidth::{BandwidthLimiter, BandwidthModel};
+pub use latency::LatencyModel;
+pub use pod::Pod;
+pub use region::{NvmOptions, NvmRegion, CACHELINE, NVM_BLOCK};
+pub use stats::{NvmStats, StatsSnapshot};

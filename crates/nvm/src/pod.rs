@@ -1,0 +1,37 @@
+//! Plain-old-data marker trait for typed region access.
+
+/// Types that can be copied to and from NVM as raw bytes.
+///
+/// # Safety
+///
+/// Implementors must be valid for **any** bit pattern and contain no padding
+/// whose content matters (a fresh region is zero-filled; recovery code reads
+/// structures that may never have been written). All integer types and fixed
+/// byte arrays qualify.
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl<const N: usize> Pod for [u8; N] {}
+unsafe impl<const N: usize> Pod for [u64; N] {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_pod<T: Pod>() {}
+
+    #[test]
+    fn primitive_impls_exist() {
+        assert_pod::<u8>();
+        assert_pod::<u64>();
+        assert_pod::<[u8; 31]>();
+        assert_pod::<[u64; 4]>();
+    }
+}

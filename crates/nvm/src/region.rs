@@ -1,0 +1,891 @@
+//! The simulated persistent-memory region.
+//!
+//! A region is a zero-initialized, offset-addressed byte range backed by an
+//! array of `AtomicU64` words. Backing the region with atomics (rather than
+//! raw bytes) makes every concurrent access *defined behaviour*: full words
+//! are plain relaxed loads/stores, and sub-word writes merge via a CAS loop
+//! so two threads writing adjacent packed slots can never clobber each
+//! other's bytes. This mirrors real persistent-memory programming, where the
+//! data structure's own concurrency control — not the memory — provides
+//! ordering, while keeping the simulator free of UB.
+//!
+//! In **strict mode** the region additionally keeps a shadow *media* image
+//! and per-cacheline dirty/staged tracking implementing the ADR persistence
+//! model; see [`NvmRegion::crash`].
+
+use std::collections::HashSet;
+use std::mem::{size_of, MaybeUninit};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use std::sync::Arc;
+
+use hdnh_common::rng::XorShift64Star;
+use parking_lot::Mutex;
+
+use crate::bandwidth::{BandwidthLimiter, BandwidthModel};
+use crate::latency::LatencyModel;
+use crate::pod::Pod;
+use crate::stats::NvmStats;
+
+/// CPU cacheline size: flush granularity.
+pub const CACHELINE: usize = 64;
+/// Optane AEP internal access granularity (XPLine): read-latency granularity.
+pub const NVM_BLOCK: usize = 256;
+
+/// Configuration for a region.
+#[derive(Clone, Debug)]
+pub struct NvmOptions {
+    /// Latency surcharge profile.
+    pub latency: LatencyModel,
+    /// Shared bandwidth ceiling. Regions built from clones of the same
+    /// options share the limiter, modeling DIMMs behind one controller.
+    pub bandwidth: Option<Arc<BandwidthLimiter>>,
+    /// Enable the shadow media image + crash simulation. Costs a mutex per
+    /// write, so it is meant for (mostly single-threaded) consistency tests,
+    /// not benchmarks.
+    pub strict: bool,
+    /// In strict mode, tear unflushed lines at 8-byte granularity on crash
+    /// (AEP guarantees 8-byte atomicity, nothing larger).
+    pub tear_words: bool,
+}
+
+impl NvmOptions {
+    /// Functional testing: no latency, no bandwidth ceiling, no shadow
+    /// tracking.
+    pub fn fast() -> Self {
+        NvmOptions {
+            latency: LatencyModel::off(),
+            bandwidth: None,
+            strict: false,
+            tear_words: true,
+        }
+    }
+
+    /// Benchmarking: AEP latency profile and a shared AEP bandwidth
+    /// ceiling, no shadow tracking.
+    pub fn bench() -> Self {
+        NvmOptions {
+            latency: LatencyModel::aep(),
+            bandwidth: Some(Arc::new(BandwidthLimiter::new(BandwidthModel::aep()))),
+            strict: false,
+            tear_words: true,
+        }
+    }
+
+    /// Crash-consistency testing: shadow media, no latency.
+    pub fn strict() -> Self {
+        NvmOptions {
+            latency: LatencyModel::off(),
+            bandwidth: None,
+            strict: true,
+            tear_words: true,
+        }
+    }
+}
+
+impl Default for NvmOptions {
+    fn default() -> Self {
+        NvmOptions::fast()
+    }
+}
+
+/// Strict-mode shadow state (ADR model).
+struct StrictState {
+    /// Last persisted image of the region.
+    media: Vec<u8>,
+    /// Lines whose working content differs from media and has not been
+    /// flushed.
+    dirty: HashSet<usize>,
+    /// Lines flushed with `clwb` but not yet ordered by a fence. They reach
+    /// media at the next fence (or maybe at a crash — in-flight).
+    staged: HashSet<usize>,
+}
+
+/// A simulated persistent-memory region.
+///
+/// ```
+/// use hdnh_nvm::{NvmOptions, NvmRegion};
+///
+/// let region = NvmRegion::new(4096, NvmOptions::strict());
+/// region.write_bytes(100, b"hello");
+/// region.persist(100, 5); // clwb + sfence: survives any crash
+/// region.crash_with(|_| false); // power failure, all caches lost
+/// let mut buf = [0u8; 5];
+/// region.read_into(100, &mut buf);
+/// assert_eq!(&buf, b"hello");
+/// ```
+pub struct NvmRegion {
+    words: Box<[AtomicU64]>,
+    len: usize,
+    stats: NvmStats,
+    latency: LatencyModel,
+    bandwidth: Option<Arc<BandwidthLimiter>>,
+    strict: Option<Mutex<StrictState>>,
+    tear_words: bool,
+}
+
+impl NvmRegion {
+    /// Allocates a zero-filled region of `len` bytes.
+    pub fn new(len: usize, options: NvmOptions) -> Self {
+        let n_words = len.div_ceil(8);
+        let mut words = Vec::with_capacity(n_words);
+        words.resize_with(n_words, || AtomicU64::new(0));
+        let strict = options.strict.then(|| {
+            Mutex::new(StrictState {
+                media: vec![0u8; len],
+                dirty: HashSet::new(),
+                staged: HashSet::new(),
+            })
+        });
+        NvmRegion {
+            words: words.into_boxed_slice(),
+            len,
+            stats: NvmStats::new(),
+            latency: options.latency,
+            bandwidth: options.bandwidth,
+            strict,
+            tear_words: options.tear_words,
+        }
+    }
+
+    /// Region length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for a zero-length region.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Media access counters for this region.
+    #[inline]
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// The latency model in force.
+    #[inline]
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    #[inline]
+    fn check(&self, off: usize, len: usize) {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len),
+            "NVM access out of bounds: off={off} len={len} region={}",
+            self.len
+        );
+    }
+
+    #[inline]
+    fn blocks_spanned(off: usize, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (off + len - 1) / NVM_BLOCK - off / NVM_BLOCK + 1
+    }
+
+    #[inline]
+    fn lines_spanned(off: usize, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (off + len - 1) / CACHELINE - off / CACHELINE + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Reads `out.len()` bytes starting at `off`. Charges read latency for
+    /// every 256-byte media block the range spans (one block for any access
+    /// inside a single bucket).
+    pub fn read_into(&self, off: usize, out: &mut [u8]) {
+        self.check(off, out.len());
+        let blocks = Self::blocks_spanned(off, out.len());
+        self.stats.on_read(out.len(), blocks);
+        self.latency.charge_read(blocks);
+        if let Some(bw) = &self.bandwidth {
+            // Media moves whole blocks regardless of the request size.
+            bw.charge_read(blocks * NVM_BLOCK);
+        }
+        self.copy_out(off, out);
+    }
+
+    /// Reads a `Pod` value at `off` (unaligned allowed).
+    pub fn read_pod<T: Pod>(&self, off: usize) -> T {
+        let mut out = MaybeUninit::<T>::uninit();
+        // SAFETY: Pod guarantees any bit pattern is valid and the type is
+        // plain bytes; we fully initialize all size_of::<T>() bytes below.
+        unsafe {
+            let dst =
+                std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, size_of::<T>());
+            self.read_into(off, dst);
+            out.assume_init()
+        }
+    }
+
+    /// Raw copy without stats/latency (recovery scans use
+    /// [`read_into`](Self::read_into); this is for test assertions and the
+    /// crash simulator itself).
+    pub fn peek(&self, off: usize, out: &mut [u8]) {
+        self.check(off, out.len());
+        self.copy_out(off, out);
+    }
+
+    fn copy_out(&self, off: usize, out: &mut [u8]) {
+        let mut i = 0;
+        while i < out.len() {
+            let abs = off + i;
+            let w = abs / 8;
+            let shift = abs % 8;
+            let n = (8 - shift).min(out.len() - i);
+            let word = self.words[w].load(Ordering::Relaxed).to_le_bytes();
+            out[i..i + n].copy_from_slice(&word[shift..shift + n]);
+            i += n;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Writes `data` at `off`. Sub-word edges merge with a CAS loop so
+    /// concurrent writers of adjacent byte ranges never interfere.
+    pub fn write_bytes(&self, off: usize, data: &[u8]) {
+        self.check(off, data.len());
+        let lines = Self::lines_spanned(off, data.len());
+        self.stats.on_write(data.len(), lines);
+        self.latency.charge_write(lines);
+        if let Some(bw) = &self.bandwidth {
+            // Write bandwidth drains at cacheline granularity.
+            bw.charge_write(lines * CACHELINE);
+        }
+        self.copy_in(off, data);
+        self.mark_dirty(off, data.len());
+    }
+
+    /// Writes a `Pod` value at `off` (unaligned allowed).
+    pub fn write_pod<T: Pod>(&self, off: usize, v: &T) {
+        // SAFETY: Pod types are plain bytes.
+        let src =
+            unsafe { std::slice::from_raw_parts(v as *const T as *const u8, size_of::<T>()) };
+        self.write_bytes(off, src);
+    }
+
+    fn copy_in(&self, off: usize, data: &[u8]) {
+        let mut i = 0;
+        while i < data.len() {
+            let abs = off + i;
+            let w = abs / 8;
+            let shift = abs % 8;
+            let n = (8 - shift).min(data.len() - i);
+            if n == 8 {
+                let v = u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
+                self.words[w].store(v, Ordering::Relaxed);
+            } else {
+                let mut mask = 0u64;
+                let mut val = 0u64;
+                for j in 0..n {
+                    mask |= 0xFFu64 << ((shift + j) * 8);
+                    val |= (data[i + j] as u64) << ((shift + j) * 8);
+                }
+                // Merge the bytes without disturbing neighbours.
+                let _ = self.words[w]
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                        Some((old & !mask) | val)
+                    });
+            }
+            i += n;
+        }
+    }
+
+    fn mark_dirty(&self, off: usize, len: usize) {
+        if let Some(strict) = &self.strict {
+            if len == 0 {
+                return;
+            }
+            let mut st = strict.lock();
+            for line in (off / CACHELINE)..=((off + len - 1) / CACHELINE) {
+                // A line that was staged but is written again becomes dirty
+                // again: the new store is not covered by the earlier clwb.
+                st.staged.remove(&line);
+                st.dirty.insert(line);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 8-byte atomics (the failure-atomicity unit of persistent memory)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn word_at(&self, off: usize) -> &AtomicU64 {
+        self.check(off, 8);
+        assert_eq!(off % 8, 0, "atomic access must be 8-byte aligned: {off}");
+        &self.words[off / 8]
+    }
+
+    /// Atomic 64-bit load. Charged as a one-block read.
+    #[inline]
+    pub fn atomic_load_u64(&self, off: usize, order: Ordering) -> u64 {
+        self.stats.on_read(8, 1);
+        self.latency.charge_read(1);
+        self.word_at(off).load(order)
+    }
+
+    /// Atomic 64-bit load with **no** latency/stat charge. Models a load
+    /// that is expected to hit the CPU cache (e.g. re-reading a header word
+    /// the thread just wrote). Use sparingly and only with a justification
+    /// at the call site.
+    #[inline]
+    pub fn atomic_load_u64_cached(&self, off: usize, order: Ordering) -> u64 {
+        self.word_at(off).load(order)
+    }
+
+    /// Atomic 64-bit store — the paper's "atomic write" for bitmap commits.
+    #[inline]
+    pub fn atomic_store_u64(&self, off: usize, val: u64, order: Ordering) {
+        self.stats.on_write(8, 1);
+        self.latency.charge_write(1);
+        self.word_at(off).store(val, order);
+        self.mark_dirty(off, 8);
+    }
+
+    /// Atomic compare-exchange on a 64-bit word.
+    #[inline]
+    pub fn atomic_cas_u64(
+        &self,
+        off: usize,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.stats.on_write(8, 1);
+        self.latency.charge_write(1);
+        let r = self.word_at(off).compare_exchange(current, new, success, failure);
+        if r.is_ok() {
+            self.mark_dirty(off, 8);
+        }
+        r
+    }
+
+    /// Atomic fetch-or on a 64-bit word (set bitmap bits).
+    #[inline]
+    pub fn atomic_fetch_or_u64(&self, off: usize, bits: u64, order: Ordering) -> u64 {
+        self.stats.on_write(8, 1);
+        self.latency.charge_write(1);
+        let r = self.word_at(off).fetch_or(bits, order);
+        self.mark_dirty(off, 8);
+        r
+    }
+
+    /// Atomic fetch-and on a 64-bit word (clear bitmap bits).
+    #[inline]
+    pub fn atomic_fetch_and_u64(&self, off: usize, bits: u64, order: Ordering) -> u64 {
+        self.stats.on_write(8, 1);
+        self.latency.charge_write(1);
+        let r = self.word_at(off).fetch_and(bits, order);
+        self.mark_dirty(off, 8);
+        r
+    }
+
+    /// Atomic xor on a 64-bit word (flip old+new bitmap bits in one shot —
+    /// the paper's figure-10 update commit).
+    #[inline]
+    pub fn atomic_fetch_xor_u64(&self, off: usize, bits: u64, order: Ordering) -> u64 {
+        self.stats.on_write(8, 1);
+        self.latency.charge_write(1);
+        let r = self.word_at(off).fetch_xor(bits, order);
+        self.mark_dirty(off, 8);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence: clwb / sfence
+    // ------------------------------------------------------------------
+
+    /// `clwb` every cacheline covering `[off, off+len)`. Lines become
+    /// *staged*: they reach media at the next [`fence`](Self::fence).
+    pub fn flush(&self, off: usize, len: usize) {
+        self.check(off, len);
+        let lines = Self::lines_spanned(off, len);
+        self.stats.on_flush(lines);
+        self.latency.charge_flush(lines);
+        if let Some(strict) = &self.strict {
+            if len == 0 {
+                return;
+            }
+            let mut st = strict.lock();
+            for line in (off / CACHELINE)..=((off + len - 1) / CACHELINE) {
+                if st.dirty.remove(&line) {
+                    st.staged.insert(line);
+                }
+            }
+        }
+    }
+
+    /// `sfence`: commits every staged line to the media image.
+    pub fn fence(&self) {
+        self.stats.on_fence();
+        self.latency.charge_fence();
+        if let Some(strict) = &self.strict {
+            let mut st = strict.lock();
+            let staged: Vec<usize> = st.staged.drain().collect();
+            for line in staged {
+                self.commit_line_to_media(&mut st.media, line);
+            }
+        }
+    }
+
+    /// Convenience: flush + fence.
+    pub fn persist(&self, off: usize, len: usize) {
+        self.flush(off, len);
+        self.fence();
+    }
+
+    fn commit_line_to_media(&self, media: &mut [u8], line: usize) {
+        let start = line * CACHELINE;
+        let end = (start + CACHELINE).min(self.len);
+        let mut buf = [0u8; CACHELINE];
+        self.copy_out(start, &mut buf[..end - start]);
+        media[start..end].copy_from_slice(&buf[..end - start]);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash simulation (strict mode only)
+    // ------------------------------------------------------------------
+
+    /// Number of lines that are dirty or staged (i.e. would be at risk in a
+    /// crash). Zero after a well-placed `persist`. Strict mode only.
+    pub fn at_risk_lines(&self) -> usize {
+        let strict = self.strict.as_ref().expect("at_risk_lines requires strict mode");
+        let st = strict.lock();
+        st.dirty.len() + st.staged.len()
+    }
+
+    /// Simulates a power failure and reboot.
+    ///
+    /// Every line that was **staged** (flushed, fence pending) or **dirty**
+    /// (never flushed) independently either reaches media or is lost,
+    /// decided by `rng` — modelling in-flight stores and arbitrary cache
+    /// eviction. With `tear_words`, a surviving-or-lost decision is made per
+    /// 8-byte word inside each such line (AEP's failure-atomicity unit),
+    /// so partially-persisted lines are observable.
+    ///
+    /// Afterwards the working image equals the media image and all tracking
+    /// is cleared, exactly like a fresh boot mapping the same pool. Returns
+    /// the number of words dropped.
+    ///
+    /// Must not race with other accessors (callers quiesce their threads
+    /// first, as a real crash test harness would).
+    pub fn crash(&self, rng: &mut XorShift64Star) -> usize {
+        let strict = self.strict.as_ref().expect("crash requires strict mode");
+        let mut st = strict.lock();
+        let mut dropped = 0usize;
+        let at_risk: Vec<usize> = st.dirty.iter().chain(st.staged.iter()).copied().collect();
+        for line in at_risk {
+            let start = line * CACHELINE;
+            let end = (start + CACHELINE).min(self.len);
+            if self.tear_words {
+                let mut word = [0u8; 8];
+                for woff in (start..end).step_by(8) {
+                    let n = (end - woff).min(8);
+                    if rng.next_u64() & 1 == 0 {
+                        self.copy_out(woff, &mut word[..n]);
+                        st.media[woff..woff + n].copy_from_slice(&word[..n]);
+                    } else {
+                        dropped += 1;
+                    }
+                }
+            } else if rng.next_u64() & 1 == 0 {
+                self.commit_line_to_media(&mut st.media, line);
+            } else {
+                dropped += 1;
+            }
+        }
+        st.dirty.clear();
+        st.staged.clear();
+        // Reboot: working image = media image.
+        let media = std::mem::take(&mut st.media);
+        self.copy_in(0, &media);
+        st.media = media;
+        dropped
+    }
+
+    /// Deterministic crash: `survive(line)` decides per line whether an
+    /// at-risk line reaches media. Used by tests that target one specific
+    /// crash point.
+    pub fn crash_with(&self, mut survive: impl FnMut(usize) -> bool) {
+        let strict = self.strict.as_ref().expect("crash_with requires strict mode");
+        let mut st = strict.lock();
+        let at_risk: Vec<usize> = st.dirty.iter().chain(st.staged.iter()).copied().collect();
+        for line in at_risk {
+            if survive(line) {
+                self.commit_line_to_media(&mut st.media, line);
+            }
+        }
+        st.dirty.clear();
+        st.staged.clear();
+        let media = std::mem::take(&mut st.media);
+        self.copy_in(0, &media);
+        st.media = media;
+    }
+}
+
+impl std::fmt::Debug for NvmRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmRegion")
+            .field("len", &self.len)
+            .field("strict", &self.strict.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: usize) -> NvmRegion {
+        NvmRegion::new(len, NvmOptions::fast())
+    }
+
+    #[test]
+    fn new_region_is_zeroed() {
+        let r = region(1024);
+        let mut buf = [1u8; 1024];
+        r.read_into(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_read_roundtrip_aligned() {
+        let r = region(256);
+        let data: Vec<u8> = (0..64).collect();
+        r.write_bytes(64, &data);
+        let mut out = vec![0u8; 64];
+        r.read_into(64, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn write_read_roundtrip_unaligned() {
+        let r = region(256);
+        let data: Vec<u8> = (10..41).collect(); // 31 bytes, like a record
+        r.write_bytes(13, &data);
+        let mut out = vec![0u8; 31];
+        r.read_into(13, &mut out);
+        assert_eq!(out, data);
+        // Neighbouring bytes untouched.
+        let mut edge = [0u8; 1];
+        r.read_into(12, &mut edge);
+        assert_eq!(edge[0], 0);
+        r.read_into(44, &mut edge);
+        assert_eq!(edge[0], 0);
+    }
+
+    #[test]
+    fn pod_roundtrip() {
+        let r = region(128);
+        r.write_pod(3, &0xDEAD_BEEFu64);
+        assert_eq!(r.read_pod::<u64>(3), 0xDEAD_BEEF);
+        r.write_pod(40, &[7u8; 31]);
+        assert_eq!(r.read_pod::<[u8; 31]>(40), [7u8; 31]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let r = region(64);
+        let mut buf = [0u8; 8];
+        r.read_into(60, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte aligned")]
+    fn misaligned_atomic_panics() {
+        let r = region(64);
+        r.atomic_load_u64(3, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn atomics_work() {
+        let r = region(64);
+        r.atomic_store_u64(8, 5, Ordering::Release);
+        assert_eq!(r.atomic_load_u64(8, Ordering::Acquire), 5);
+        assert_eq!(
+            r.atomic_cas_u64(8, 5, 9, Ordering::AcqRel, Ordering::Acquire),
+            Ok(5)
+        );
+        assert_eq!(
+            r.atomic_cas_u64(8, 5, 11, Ordering::AcqRel, Ordering::Acquire),
+            Err(9)
+        );
+        r.atomic_fetch_or_u64(8, 0b100, Ordering::AcqRel);
+        assert_eq!(r.atomic_load_u64(8, Ordering::Acquire), 13);
+        r.atomic_fetch_and_u64(8, !0b1000, Ordering::AcqRel);
+        assert_eq!(r.atomic_load_u64(8, Ordering::Acquire), 5);
+        r.atomic_fetch_xor_u64(8, 0b110, Ordering::AcqRel);
+        assert_eq!(r.atomic_load_u64(8, Ordering::Acquire), 3);
+    }
+
+    #[test]
+    fn stats_count_blocks_and_lines() {
+        let r = region(4096);
+        let before = r.stats().snapshot();
+        let mut buf = [0u8; 31];
+        r.read_into(0, &mut buf); // 1 block
+        r.read_into(250, &mut buf); // spans blocks 0 and 1
+        let d = r.stats().snapshot().since(&before);
+        assert_eq!(d.reads, 2);
+        assert_eq!(d.read_blocks, 3);
+
+        let before = r.stats().snapshot();
+        r.write_bytes(60, &[1u8; 10]); // spans 2 cachelines
+        let d = r.stats().snapshot().since(&before);
+        assert_eq!(d.write_lines, 2);
+
+        let before = r.stats().snapshot();
+        r.flush(0, 256); // 4 lines
+        r.fence();
+        let d = r.stats().snapshot().since(&before);
+        assert_eq!(d.flushes, 4);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn concurrent_adjacent_byte_writes_do_not_clobber() {
+        use std::sync::Arc;
+        let r = Arc::new(region(64));
+        // Two threads write interleaved odd/even bytes of the same words.
+        let r1 = Arc::clone(&r);
+        let t1 = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                for i in (0..64).step_by(2) {
+                    r1.write_bytes(i, &[0xAA]);
+                }
+            }
+        });
+        let r2 = Arc::clone(&r);
+        let t2 = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                for i in (1..64).step_by(2) {
+                    r2.write_bytes(i, &[0xBB]);
+                }
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let mut buf = [0u8; 64];
+        r.peek(0, &mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            assert_eq!(b, if i % 2 == 0 { 0xAA } else { 0xBB }, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn zero_length_region_is_inert() {
+        let r = NvmRegion::new(0, NvmOptions::fast());
+        assert!(r.is_empty());
+        let mut buf = [];
+        r.read_into(0, &mut buf); // len 0 at off 0 is in bounds
+        r.write_bytes(0, &[]);
+        r.flush(0, 0);
+        r.fence();
+    }
+
+    #[test]
+    fn one_byte_region_roundtrips() {
+        let r = NvmRegion::new(1, NvmOptions::fast());
+        r.write_bytes(0, &[0xAB]);
+        let mut b = [0u8];
+        r.read_into(0, &mut b);
+        assert_eq!(b[0], 0xAB);
+    }
+
+    #[test]
+    fn peek_is_uncharged() {
+        let r = region(256);
+        r.write_bytes(0, &[1; 64]);
+        let before = r.stats().snapshot();
+        let mut buf = [0u8; 64];
+        r.peek(0, &mut buf);
+        let d = r.stats().snapshot().since(&before);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.read_blocks, 0);
+    }
+
+    #[test]
+    fn write_crossing_line_boundary_counts_two_lines() {
+        let r = region(256);
+        let before = r.stats().snapshot();
+        r.write_bytes(63, &[9, 9]); // bytes 63 and 64: lines 0 and 1
+        let d = r.stats().snapshot().since(&before);
+        assert_eq!(d.write_lines, 2);
+    }
+
+    #[test]
+    fn fence_with_nothing_staged_is_harmless() {
+        let r = strict_region(256);
+        r.fence();
+        assert_eq!(r.at_risk_lines(), 0);
+        r.write_bytes(0, &[1]);
+        r.fence(); // dirty but never flushed: still at risk
+        assert_eq!(r.at_risk_lines(), 1);
+    }
+
+    #[test]
+    fn crash_on_pristine_region_keeps_zeroes() {
+        let r = strict_region(256);
+        let mut rng = XorShift64Star::new(5);
+        assert_eq!(r.crash(&mut rng), 0);
+        let mut buf = [1u8; 256];
+        r.peek(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    // ---------------- strict mode ----------------
+
+    fn strict_region(len: usize) -> NvmRegion {
+        NvmRegion::new(len, NvmOptions::strict())
+    }
+
+    #[test]
+    fn unflushed_write_is_lost_when_unlucky() {
+        let r = strict_region(256);
+        r.write_bytes(0, &[0xFF; 8]);
+        // Force "lost" for every line.
+        r.crash_with(|_| false);
+        let mut buf = [0u8; 8];
+        r.peek(0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn unflushed_write_may_survive_eviction() {
+        let r = strict_region(256);
+        r.write_bytes(0, &[0xFF; 8]);
+        r.crash_with(|_| true);
+        let mut buf = [0u8; 8];
+        r.peek(0, &mut buf);
+        assert_eq!(buf, [0xFF; 8]);
+    }
+
+    #[test]
+    fn persisted_write_survives_any_crash() {
+        let r = strict_region(256);
+        r.write_bytes(0, &[0xAB; 16]);
+        r.persist(0, 16);
+        assert_eq!(r.at_risk_lines(), 0);
+        r.crash_with(|_| false);
+        let mut buf = [0u8; 16];
+        r.peek(0, &mut buf);
+        assert_eq!(buf, [0xAB; 16]);
+    }
+
+    #[test]
+    fn flush_without_fence_is_still_at_risk() {
+        let r = strict_region(256);
+        r.write_bytes(0, &[0xCD; 8]);
+        r.flush(0, 8);
+        assert_eq!(r.at_risk_lines(), 1);
+        r.crash_with(|_| false);
+        let mut buf = [0u8; 8];
+        r.peek(0, &mut buf);
+        assert_eq!(buf, [0u8; 8], "staged line must be allowed to be lost");
+    }
+
+    #[test]
+    fn rewrite_after_flush_is_dirty_again() {
+        let r = strict_region(256);
+        r.write_bytes(0, &[1; 8]);
+        r.flush(0, 8);
+        r.write_bytes(0, &[2; 8]); // staged -> dirty again
+        r.fence(); // nothing staged: the second write is NOT persisted
+        r.crash_with(|_| false);
+        let mut buf = [0u8; 8];
+        r.peek(0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn randomized_crash_keeps_subset() {
+        let r = strict_region(4096);
+        for line in 0..64 {
+            r.write_bytes(line * 64, &[line as u8 + 1; 64]);
+        }
+        // Persist the first 32 lines only.
+        r.persist(0, 32 * 64);
+        let mut rng = XorShift64Star::new(42);
+        r.crash(&mut rng);
+        let mut buf = [0u8; 64];
+        for line in 0..32 {
+            r.peek(line * 64, &mut buf);
+            assert_eq!(buf, [line as u8 + 1; 64], "persisted line {line}");
+        }
+        // The unpersisted half: each 8-byte word is either all-old (0) or
+        // all-new; count survivors at word granularity.
+        let mut surviving_words = 0;
+        let mut lost_words = 0;
+        for line in 32..64 {
+            r.peek(line * 64, &mut buf);
+            for word in buf.chunks(8) {
+                if word.iter().all(|&b| b == line as u8 + 1) {
+                    surviving_words += 1;
+                } else {
+                    assert!(word.iter().all(|&b| b == 0), "torn inside a word");
+                    lost_words += 1;
+                }
+            }
+        }
+        // 256 words at ~50% survival: both extremes are astronomically
+        // unlikely.
+        assert!(surviving_words > 0 && lost_words > 0, "{surviving_words}/{lost_words}");
+    }
+
+    #[test]
+    fn torn_line_possible_at_word_granularity() {
+        let r = strict_region(256);
+        // One full line, never flushed.
+        r.write_bytes(0, &[0xEE; 64]);
+        let mut torn_seen = false;
+        for seed in 0..200 {
+            let r = strict_region(256);
+            r.write_bytes(0, &[0xEE; 64]);
+            let mut rng = XorShift64Star::new(seed);
+            r.crash(&mut rng);
+            let mut buf = [0u8; 64];
+            r.peek(0, &mut buf);
+            let words: Vec<bool> = buf.chunks(8).map(|w| w.iter().all(|&b| b == 0xEE)).collect();
+            if words.iter().any(|&x| x) && words.iter().any(|&x| !x) {
+                torn_seen = true;
+                break;
+            }
+        }
+        assert!(torn_seen, "expected at least one torn line in 200 crashes");
+        let _ = r;
+    }
+
+    #[test]
+    fn crash_resets_tracking() {
+        let r = strict_region(256);
+        r.write_bytes(0, &[1; 64]);
+        let mut rng = XorShift64Star::new(7);
+        r.crash(&mut rng);
+        assert_eq!(r.at_risk_lines(), 0);
+    }
+
+    #[test]
+    fn atomic_store_participates_in_persistence() {
+        let r = strict_region(256);
+        r.atomic_store_u64(0, 77, Ordering::Release);
+        r.persist(0, 8);
+        r.crash_with(|_| false);
+        assert_eq!(r.atomic_load_u64(0, Ordering::Acquire), 77);
+    }
+}

@@ -1,0 +1,188 @@
+//! Media access accounting.
+//!
+//! Every argument in the paper reduces to counts of NVM media events on the
+//! critical path: block reads (the OCF exists to remove them), line writes
+//! and flushes (write optimization), and fences. [`NvmStats`] counts all of
+//! them with relaxed atomics; [`StatsSnapshot`] supports before/after
+//! diffing so tests can assert statements like "a negative search with OCF
+//! performs zero NVM block reads".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters for one region (or one region group).
+#[derive(Debug, Default)]
+pub struct NvmStats {
+    /// Read operations issued.
+    pub reads: AtomicU64,
+    /// Bytes read.
+    pub read_bytes: AtomicU64,
+    /// Distinct 256-byte media blocks touched by reads.
+    pub read_blocks: AtomicU64,
+    /// Write operations issued.
+    pub writes: AtomicU64,
+    /// Bytes written.
+    pub write_bytes: AtomicU64,
+    /// Distinct cachelines touched by writes.
+    pub write_lines: AtomicU64,
+    /// `clwb`-equivalent flushes issued (one per covered line).
+    pub flushes: AtomicU64,
+    /// `sfence`-equivalent fences issued.
+    pub fences: AtomicU64,
+}
+
+/// A point-in-time copy of [`NvmStats`], with subtraction for deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Read operations issued.
+    pub reads: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Distinct 256-byte media blocks touched by reads.
+    pub read_blocks: u64,
+    /// Write operations issued.
+    pub writes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Distinct cachelines touched by writes.
+    pub write_lines: u64,
+    /// `clwb`-equivalent flushes issued.
+    pub flushes: u64,
+    /// `sfence`-equivalent fences issued.
+    pub fences: u64,
+}
+
+impl NvmStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn on_read(&self, bytes: usize, blocks: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.read_blocks.fetch_add(blocks as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn on_write(&self, bytes: usize, lines: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.write_lines.fetch_add(lines as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn on_flush(&self, lines: usize) {
+        self.flushes.fetch_add(lines as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn on_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            read_blocks: self.read_blocks.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            write_lines: self.write_lines.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.read_blocks.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.write_lines.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Element-wise saturating difference `self - earlier`.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
+            read_blocks: self.read_blocks.saturating_sub(earlier.read_blocks),
+            writes: self.writes.saturating_sub(earlier.writes),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            write_lines: self.write_lines.saturating_sub(earlier.write_lines),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            fences: self.fences.saturating_sub(earlier.fences),
+        }
+    }
+
+    /// Sum of all media events — a crude "NVM pressure" scalar used in
+    /// ablation summaries.
+    pub fn total_events(&self) -> u64 {
+        self.read_blocks + self.write_lines + self.flushes + self.fences
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NvmStats::new();
+        s.on_read(31, 1);
+        s.on_read(256, 1);
+        s.on_write(8, 1);
+        s.on_flush(2);
+        s.on_fence();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.read_bytes, 287);
+        assert_eq!(snap.read_blocks, 2);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.write_lines, 1);
+        assert_eq!(snap.flushes, 2);
+        assert_eq!(snap.fences, 1);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let s = NvmStats::new();
+        s.on_read(10, 1);
+        let before = s.snapshot();
+        s.on_read(20, 2);
+        s.on_fence();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.read_bytes, 20);
+        assert_eq!(delta.read_blocks, 2);
+        assert_eq!(delta.fences, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = NvmStats::new();
+        s.on_write(100, 2);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn total_events_sums_media_facing_counters() {
+        let snap = StatsSnapshot {
+            read_blocks: 3,
+            write_lines: 2,
+            flushes: 4,
+            fences: 1,
+            ..Default::default()
+        };
+        assert_eq!(snap.total_events(), 10);
+    }
+}

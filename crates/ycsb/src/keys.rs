@@ -1,0 +1,147 @@
+//! Record-id → key/value mapping.
+//!
+//! YCSB names records `user<hash(id)>`; what matters for a hash-table
+//! benchmark is only that (a) the mapping is deterministic, (b) distinct ids
+//! give distinct keys, and (c) key bytes are "random-looking" so the table's
+//! hash sees realistic input. We encode the id and a salted scramble of it
+//! into the 16 key bytes, and derive values deterministically from the key
+//! so every read in every test can be validated.
+
+use hdnh_common::rng::mix64;
+use hdnh_common::{Key, Value};
+
+/// Deterministic id→key/value codec shared by the harness and all tests.
+///
+/// ```
+/// use hdnh_ycsb::KeySpace;
+///
+/// let ks = KeySpace::default();
+/// let v = ks.value(7, 3); // id 7, version 3
+/// assert_eq!(ks.validate(7, &v), Some(3));
+/// assert_eq!(ks.validate(8, &v), None, "values are bound to their id");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct KeySpace {
+    salt: u64,
+}
+
+impl KeySpace {
+    /// A key space; different salts give fully disjoint key sets.
+    pub fn new(salt: u64) -> Self {
+        KeySpace { salt }
+    }
+
+    /// The key for record `id`. Top half is a salted scramble (gives the
+    /// bytes entropy), bottom half is the raw id (keeps debugging sane).
+    #[inline]
+    pub fn key(&self, id: u64) -> Key {
+        Key::from_u64_pair(mix64(id ^ self.salt), id)
+    }
+
+    /// Extracts the record id back out of a key built by [`KeySpace::key`].
+    #[inline]
+    pub fn id_of(&self, key: &Key) -> u64 {
+        key.as_u64()
+    }
+
+    /// The canonical value for `(id, version)`. Tests bump `version` on each
+    /// update and validate reads against the expected version.
+    #[inline]
+    pub fn value(&self, id: u64, version: u32) -> Value {
+        let mut v = [0u8; hdnh_common::VALUE_LEN];
+        v[..8].copy_from_slice(&mix64(id.wrapping_add((version as u64) << 32)).to_le_bytes());
+        v[8..12].copy_from_slice(&version.to_le_bytes());
+        // Last 3 bytes: a truncated checksum of the id so torn values are
+        // detectable even when the version field happens to match.
+        let ck = mix64(id).to_le_bytes();
+        v[12..15].copy_from_slice(&ck[..3]);
+        Value(v)
+    }
+
+    /// Checks that `value` is a canonical value for `id` (any version).
+    /// Returns the version if it validates.
+    pub fn validate(&self, id: u64, value: &Value) -> Option<u32> {
+        let version = u32::from_le_bytes(value.0[8..12].try_into().unwrap());
+        if *value == self.value(id, version) {
+            Some(version)
+        } else {
+            None
+        }
+    }
+
+    /// Keys disjoint from every id in `0..`, for negative-search workloads.
+    /// (Uses the salt's complement so no positive key can collide.)
+    #[inline]
+    pub fn negative_key(&self, id: u64) -> Key {
+        Key::from_u64_pair(mix64(id ^ !self.salt) | 1 << 63, id | 1 << 63)
+    }
+}
+
+impl Default for KeySpace {
+    fn default() -> Self {
+        KeySpace::new(0x5EED_CAFE_1234_5678)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let ks = KeySpace::default();
+        assert_eq!(ks.key(5), ks.key(5));
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..10_000 {
+            assert!(seen.insert(ks.key(id)));
+        }
+    }
+
+    #[test]
+    fn id_roundtrips() {
+        let ks = KeySpace::default();
+        for id in [0u64, 1, 999_999, u32::MAX as u64] {
+            assert_eq!(ks.id_of(&ks.key(id)), id);
+        }
+    }
+
+    #[test]
+    fn values_validate() {
+        let ks = KeySpace::default();
+        for id in 0..100 {
+            for version in 0..4 {
+                let v = ks.value(id, version);
+                assert_eq!(ks.validate(id, &v), Some(version));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_value_fails_validation() {
+        let ks = KeySpace::default();
+        let mut v = ks.value(7, 2);
+        v.0[0] ^= 0xFF;
+        assert_eq!(ks.validate(7, &v), None);
+        // Wrong id also fails.
+        let v = ks.value(7, 2);
+        assert_eq!(ks.validate(8, &v), None);
+    }
+
+    #[test]
+    fn negative_keys_disjoint_from_positive() {
+        let ks = KeySpace::default();
+        let negatives: std::collections::HashSet<_> = (0..5_000).map(|i| ks.negative_key(i)).collect();
+        for id in 0..5_000 {
+            assert!(!negatives.contains(&ks.key(id)));
+        }
+    }
+
+    #[test]
+    fn different_salts_are_disjoint() {
+        let a = KeySpace::new(1);
+        let b = KeySpace::new(2);
+        for id in 0..1_000 {
+            assert_ne!(a.key(id), b.key(id));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Operation-trace serialization.
+//!
+//! The evaluation's methodology pre-generates every operation before timing
+//! (§4.1). Persisting those streams makes runs *bit-reproducible across
+//! machines and versions*: generate once, check the trace into an artifact
+//! store, replay everywhere. The format is a small self-contained binary
+//! codec (magic + version header, one tag byte per op, LEB128 varints for
+//! ids/sequences) — a 180 M-op paper-scale trace fits in a few hundred MB.
+//!
+//! ```
+//! use hdnh_ycsb::{generate_ops, WorkloadSpec};
+//! use hdnh_ycsb::trace::{read_trace, write_trace};
+//!
+//! let ops = generate_ops(&WorkloadSpec::ycsb_a(), 1_000, 1_000, 100, 7);
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, &ops).unwrap();
+//! assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), ops);
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::workload::Op;
+
+/// File magic: "HDNHTRC" + format version 1.
+const MAGIC: [u8; 8] = *b"HDNHTRC\x01";
+
+const TAG_READ: u8 = 1;
+const TAG_READ_ABSENT: u8 = 2;
+const TAG_INSERT: u8 = 3;
+const TAG_UPDATE: u8 = 4;
+const TAG_RMW: u8 = 5;
+const TAG_DELETE: u8 = 6;
+
+fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint(r: &mut impl Read) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        v |= ((byte[0] & 0x7F) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serializes an op stream (with a header carrying the count).
+pub fn write_trace(w: &mut impl Write, ops: &[Op]) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    write_varint(w, ops.len() as u64)?;
+    for op in ops {
+        match op {
+            Op::Read(id) => {
+                w.write_all(&[TAG_READ])?;
+                write_varint(w, *id)?;
+            }
+            Op::ReadAbsent(id) => {
+                w.write_all(&[TAG_READ_ABSENT])?;
+                write_varint(w, *id)?;
+            }
+            Op::Insert(id) => {
+                w.write_all(&[TAG_INSERT])?;
+                write_varint(w, *id)?;
+            }
+            Op::Update(id, seq) => {
+                w.write_all(&[TAG_UPDATE])?;
+                write_varint(w, *id)?;
+                write_varint(w, *seq as u64)?;
+            }
+            Op::ReadModifyWrite(id, seq) => {
+                w.write_all(&[TAG_RMW])?;
+                write_varint(w, *id)?;
+                write_varint(w, *seq as u64)?;
+            }
+            Op::Delete(id) => {
+                w.write_all(&[TAG_DELETE])?;
+                write_varint(w, *id)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes an op stream written by [`write_trace`].
+pub fn read_trace(r: &mut impl Read) -> io::Result<Vec<Op>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an HDNH trace (bad magic or version)",
+        ));
+    }
+    let n = read_varint(r)? as usize;
+    let mut ops = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let op = match tag[0] {
+            TAG_READ => Op::Read(read_varint(r)?),
+            TAG_READ_ABSENT => Op::ReadAbsent(read_varint(r)?),
+            TAG_INSERT => Op::Insert(read_varint(r)?),
+            TAG_UPDATE => {
+                let id = read_varint(r)?;
+                let seq = read_varint(r)? as u32;
+                Op::Update(id, seq)
+            }
+            TAG_RMW => {
+                let id = read_varint(r)?;
+                let seq = read_varint(r)? as u32;
+                Op::ReadModifyWrite(id, seq)
+            }
+            TAG_DELETE => Op::Delete(read_varint(r)?),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown op tag {other}"),
+                ))
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Writes a trace to a file (buffered).
+pub fn save_trace(path: &std::path::Path, ops: &[Op]) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    write_trace(&mut w, ops)?;
+    w.flush()
+}
+
+/// Reads a trace from a file (buffered).
+pub fn load_trace(path: &std::path::Path) -> io::Result<Vec<Op>> {
+    read_trace(&mut io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_ops, WorkloadSpec};
+
+    fn roundtrip(ops: &[Op]) -> Vec<Op> {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops).unwrap();
+        read_trace(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(roundtrip(&[]), Vec::<Op>::new());
+    }
+
+    #[test]
+    fn all_op_kinds_roundtrip() {
+        let ops = vec![
+            Op::Read(0),
+            Op::Read(u64::MAX),
+            Op::ReadAbsent(127),
+            Op::Insert(128),
+            Op::Update(300, 0),
+            Op::Update(1, u32::MAX),
+            Op::ReadModifyWrite(1 << 40, 7),
+            Op::Delete(42),
+        ];
+        assert_eq!(roundtrip(&ops), ops);
+    }
+
+    #[test]
+    fn generated_workloads_roundtrip() {
+        for spec in [
+            WorkloadSpec::ycsb_a(),
+            WorkloadSpec::insert_only(),
+            WorkloadSpec::delete_only(),
+            WorkloadSpec::negative_search_only(),
+        ] {
+            let ops = generate_ops(&spec, 500, 500, 2_000, 99);
+            assert_eq!(roundtrip(&ops), ops);
+        }
+    }
+
+    #[test]
+    fn compactness_one_to_three_bytes_per_small_op() {
+        let ops: Vec<Op> = (0..10_000u64).map(|i| Op::Read(i % 128)).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        // tag + 1-byte varint per op, plus the header.
+        assert!(buf.len() <= 8 + 3 + 2 * ops.len(), "trace bloated: {} bytes", buf.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTATRACE".to_vec();
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_trace_rejected() {
+        let ops = vec![Op::Read(1), Op::Update(2, 3)];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[Op::Read(1)]).unwrap();
+        // Corrupt the tag byte (first byte after the 8-byte magic + 1-byte
+        // count varint).
+        buf[9] = 0xEE;
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hdnh_trace_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("ops.trace");
+        let ops = generate_ops(&WorkloadSpec::ycsb_b(), 100, 100, 500, 3);
+        save_trace(&path, &ops).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), ops);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v, "varint {v}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Trace save/replay: generate a YCSB op stream once, persist it to a
+//! compact binary trace, and replay the identical stream against two
+//! schemes — the reproducibility workflow for sharing benchmark inputs.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use std::time::Instant;
+
+use hdnh::{Hdnh, HdnhParams};
+use hdnh_baselines::{Cceh, CcehParams};
+use hdnh_common::HashIndex;
+use hdnh_ycsb::trace::{load_trace, save_trace};
+use hdnh_ycsb::{generate_ops, KeySpace, Op, WorkloadSpec};
+
+fn replay(index: &dyn HashIndex, ks: &KeySpace, ops: &[Op]) -> (f64, u64) {
+    let mut hits = 0u64;
+    let t0 = Instant::now();
+    for op in ops {
+        match op {
+            Op::Read(id) => {
+                if index.get(&ks.key(*id)).is_some() {
+                    hits += 1;
+                }
+            }
+            Op::ReadAbsent(id) => {
+                index.get(&ks.negative_key(*id));
+            }
+            Op::Insert(id) => {
+                let _ = index.insert(&ks.key(*id), &ks.value(*id, 0));
+            }
+            Op::Update(id, seq) | Op::ReadModifyWrite(id, seq) => {
+                let _ = index.upsert(&ks.key(*id), &ks.value(*id, *seq));
+            }
+            Op::Delete(id) => {
+                index.remove(&ks.key(*id));
+            }
+        }
+    }
+    (ops.len() as f64 / t0.elapsed().as_secs_f64() / 1e6, hits)
+}
+
+fn main() {
+    const RECORDS: u64 = 50_000;
+    const OPS: usize = 100_000;
+
+    // 1. Generate once, save to disk.
+    let ops = generate_ops(&WorkloadSpec::ycsb_a(), RECORDS, RECORDS, OPS, 0xF00D);
+    let path = std::env::temp_dir().join("hdnh_ycsb_a.trace");
+    save_trace(&path, &ops).expect("save trace");
+    let bytes = std::fs::metadata(&path).unwrap().len();
+    println!(
+        "saved {} ops to {} ({} bytes, {:.2} bytes/op)",
+        ops.len(),
+        path.display(),
+        bytes,
+        bytes as f64 / ops.len() as f64
+    );
+
+    // 2. Reload — byte-identical stream, shareable across machines.
+    let replayed = load_trace(&path).expect("load trace");
+    assert_eq!(replayed, ops, "trace roundtrip must be exact");
+
+    // 3. Replay the same stream against two schemes.
+    let ks = KeySpace::default();
+    for (name, index) in [
+        (
+            "HDNH",
+            Box::new(Hdnh::new(HdnhParams::for_capacity(RECORDS as usize))) as Box<dyn HashIndex>,
+        ),
+        (
+            "CCEH",
+            Box::new(Cceh::new(CcehParams::for_capacity(RECORDS as usize))),
+        ),
+    ] {
+        for id in 0..RECORDS {
+            index.insert(&ks.key(id), &ks.value(id, 0)).expect("preload");
+        }
+        let (mops, hits) = replay(index.as_ref(), &ks, &replayed);
+        println!("{name}: {mops:.3} Mops/s over the identical trace ({hits} read hits)");
+    }
+    let _ = std::fs::remove_file(&path);
+    println!("trace_replay OK — same inputs, comparable outputs");
+}

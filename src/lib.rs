@@ -1,0 +1,18 @@
+//! Umbrella crate for the HDNH reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests read naturally; see the individual crates for the
+//! real APIs:
+//!
+//! * [`hdnh`] — the paper's hash table (core contribution).
+//! * [`hdnh_common`] — keys/values, hashing, the [`hdnh_common::HashIndex`]
+//!   trait.
+//! * [`hdnh_nvm`] — the simulated persistent-memory substrate.
+//! * [`hdnh_ycsb`] — YCSB-style workload generation.
+//! * [`hdnh_baselines`] — Level hashing, CCEH, Path hashing.
+
+pub use hdnh;
+pub use hdnh_baselines;
+pub use hdnh_common;
+pub use hdnh_nvm;
+pub use hdnh_ycsb;

@@ -1,0 +1,184 @@
+//! Randomized crash-consistency tests (invariants I1 and I5 of DESIGN.md).
+//!
+//! Strict-mode NVM regions track which cachelines were persisted; a
+//! simulated crash keeps a random subset of the unflushed ones (torn at
+//! 8-byte granularity). These tests crash at many random points and after
+//! every resize phase, then verify that recovery reconstructs exactly the
+//! acknowledged state.
+
+use hdnh::{Hdnh, HdnhParams};
+use hdnh_common::rng::XorShift64Star;
+use hdnh_common::{Key, Value};
+use hdnh_nvm::NvmOptions;
+
+fn params() -> HdnhParams {
+    HdnhParams {
+        segment_bytes: 1024,
+        initial_bottom_segments: 2,
+        nvm: NvmOptions::strict(),
+        ..Default::default()
+    }
+}
+
+fn k(id: u64) -> Key {
+    Key::from_u64(id)
+}
+fn v(x: u64) -> Value {
+    Value::from_u64(x)
+}
+
+/// Crash after a random prefix of a mixed op sequence: everything
+/// acknowledged before the crash must be intact afterwards.
+#[test]
+fn random_crash_points_preserve_acknowledged_state() {
+    for seed in 0..15u64 {
+        let mut rng = XorShift64Star::new(seed);
+        let t = Hdnh::new(params());
+        let mut oracle = std::collections::HashMap::new();
+        let n_ops = 200 + (rng.next_u64() % 800) as usize;
+        for step in 0..n_ops {
+            let id = rng.next_u64() % 600;
+            match rng.next_below(10) {
+                0..=4 => {
+                    if t.insert(&k(id), &v(step as u64)).is_ok() {
+                        oracle.insert(id, step as u64);
+                    }
+                }
+                5..=6 => {
+                    if t.update(&k(id), &v(step as u64 + 1_000_000)).is_ok() {
+                        oracle.insert(id, step as u64 + 1_000_000);
+                    }
+                }
+                7 => {
+                    if t.remove(&k(id)) {
+                        oracle.remove(&id);
+                    }
+                }
+                _ => {
+                    assert_eq!(
+                        t.get(&k(id)).map(|x| x.as_u64()),
+                        oracle.get(&id).copied(),
+                        "pre-crash divergence (seed {seed})"
+                    );
+                }
+            }
+        }
+        let pool = t.into_pool();
+        pool.crash(seed.wrapping_mul(0x9E37_79B9));
+        let r = Hdnh::recover(params(), pool, 2);
+        assert_eq!(r.len(), oracle.len(), "seed {seed}");
+        for (&id, &val) in &oracle {
+            assert_eq!(
+                r.get(&k(id)).map(|x| x.as_u64()),
+                Some(val),
+                "seed {seed} id {id}"
+            );
+        }
+    }
+}
+
+/// Crash at every possible rehash cursor position.
+#[test]
+fn crash_at_every_rehash_cursor() {
+    let probe = Hdnh::new(params());
+    for i in 0..300u64 {
+        probe.insert(&k(i), &v(i)).unwrap();
+    }
+    let buckets = {
+        // Bottom-level bucket count drives the cursor range.
+        let pool = probe.into_pool();
+        let r = Hdnh::recover(params(), pool, 1);
+        let n = r.meta_bottom_buckets();
+        drop(r);
+        n
+    };
+    for stop in 0..=buckets {
+        let t = Hdnh::new(params());
+        for i in 0..300u64 {
+            t.insert(&k(i), &v(i * 2 + 1)).unwrap();
+        }
+        let pool = t.into_crashed_mid_resize(stop);
+        pool.crash(stop as u64);
+        let r = Hdnh::recover(params(), pool, 2);
+        assert_eq!(r.len(), 300, "stop {stop}");
+        for i in 0..300u64 {
+            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i * 2 + 1, "stop {stop} key {i}");
+        }
+    }
+}
+
+/// Double-crash: crash during recovery's own resize completion, then
+/// recover again (recovery must itself be crash-consistent).
+#[test]
+fn crash_then_crash_again_during_recovered_state() {
+    let t = Hdnh::new(params());
+    for i in 0..400u64 {
+        t.insert(&k(i), &v(i)).unwrap();
+    }
+    let pool = t.into_crashed_mid_resize(2);
+    pool.crash(1);
+    let r = Hdnh::recover(params(), pool, 2);
+    assert_eq!(r.len(), 400);
+    // Crash the *recovered* table immediately.
+    let pool = r.into_pool();
+    pool.crash(2);
+    let r2 = Hdnh::recover(params(), pool, 2);
+    assert_eq!(r2.len(), 400);
+    for i in 0..400u64 {
+        assert_eq!(r2.get(&k(i)).unwrap().as_u64(), i);
+    }
+}
+
+/// Repeated crash/recover cycles with work in between.
+#[test]
+fn survives_many_crash_cycles() {
+    let mut expected: std::collections::HashMap<u64, u64> = Default::default();
+    let mut t = Hdnh::new(params());
+    for cycle in 0..8u64 {
+        let base = cycle * 1_000;
+        for i in 0..150 {
+            let id = base + i;
+            t.insert(&k(id), &v(id ^ cycle)).unwrap();
+            expected.insert(id, id ^ cycle);
+        }
+        // Update a slice of older keys.
+        if cycle > 0 {
+            for i in 0..50 {
+                let id = (cycle - 1) * 1_000 + i;
+                t.update(&k(id), &v(id + 7)).unwrap();
+                expected.insert(id, id + 7);
+            }
+        }
+        let pool = t.into_pool();
+        pool.crash(0xC0FFEE + cycle);
+        t = Hdnh::recover(params(), pool, 2);
+        assert_eq!(t.len(), expected.len(), "cycle {cycle}");
+        for (&id, &val) in &expected {
+            assert_eq!(t.get(&k(id)).map(|x| x.as_u64()), Some(val), "cycle {cycle} id {id}");
+        }
+    }
+}
+
+/// The update fallback window (new copy committed, old not yet cleared)
+/// must be healed by recovery's deduplication: never two values for one
+/// key, and the surviving value is one of the two written.
+#[test]
+fn update_crash_window_deduplicates() {
+    for seed in 0..10u64 {
+        let t = Hdnh::new(params());
+        for i in 0..200u64 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        for i in 0..200u64 {
+            t.update(&k(i), &v(i + 500)).unwrap();
+        }
+        let pool = t.into_pool();
+        pool.crash(seed + 77);
+        let r = Hdnh::recover(params(), pool, 2);
+        assert_eq!(r.len(), 200, "seed {seed}");
+        for i in 0..200u64 {
+            let got = r.get(&k(i)).unwrap().as_u64();
+            assert_eq!(got, i + 500, "seed {seed} id {i}: update was acknowledged");
+        }
+    }
+}

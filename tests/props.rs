@@ -1,0 +1,259 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: random op sequences vs an oracle for every scheme, codec
+//! roundtrips, region semantics, and distribution sanity.
+
+use std::collections::HashMap;
+
+use hdnh::{Hdnh, HdnhParams, HotPolicy};
+use hdnh_common::{HashIndex, Key, Record, Value, RECORD_LEN};
+use hdnh_nvm::{NvmOptions, NvmRegion};
+use hdnh_ycsb::KeySpace;
+use proptest::prelude::*;
+
+/// Abstract operation for model-based testing.
+#[derive(Clone, Debug)]
+enum MOp {
+    Insert(u16, u32),
+    Update(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn mop_strategy() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MOp::Insert(k % 512, v)),
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MOp::Update(k % 512, v)),
+        any::<u16>().prop_map(|k| MOp::Remove(k % 512)),
+        any::<u16>().prop_map(|k| MOp::Get(k % 512)),
+    ]
+}
+
+fn check_against_oracle(idx: &dyn HashIndex, ops: &[MOp]) {
+    let mut oracle: HashMap<u16, u32> = HashMap::new();
+    for op in ops {
+        match op {
+            MOp::Insert(id, val) => {
+                let res = idx.insert(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64));
+                assert_eq!(res.is_ok(), !oracle.contains_key(id), "{op:?}");
+                if res.is_ok() {
+                    oracle.insert(*id, *val);
+                }
+            }
+            MOp::Update(id, val) => {
+                let res = idx.update(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64));
+                assert_eq!(res.is_ok(), oracle.contains_key(id), "{op:?}");
+                if res.is_ok() {
+                    oracle.insert(*id, *val);
+                }
+            }
+            MOp::Remove(id) => {
+                assert_eq!(
+                    idx.remove(&Key::from_u64(*id as u64)),
+                    oracle.remove(id).is_some(),
+                    "{op:?}"
+                );
+            }
+            MOp::Get(id) => {
+                assert_eq!(
+                    idx.get(&Key::from_u64(*id as u64)).map(|v| v.as_u64()),
+                    oracle.get(id).map(|&v| v as u64),
+                    "{op:?}"
+                );
+            }
+        }
+    }
+    assert_eq!(idx.len(), oracle.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn hdnh_matches_oracle(ops in proptest::collection::vec(mop_strategy(), 1..400)) {
+        let t = Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 1, // provoke resizes under the sequence
+            ..Default::default()
+        });
+        check_against_oracle(&t, &ops);
+    }
+
+    #[test]
+    fn hdnh_lru_matches_oracle(ops in proptest::collection::vec(mop_strategy(), 1..300)) {
+        let t = Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 1,
+            hot_policy: HotPolicy::Lru,
+            hot_capacity_ratio: 0.05,
+            ..Default::default()
+        });
+        check_against_oracle(&t, &ops);
+    }
+
+    #[test]
+    fn level_hash_matches_oracle(ops in proptest::collection::vec(mop_strategy(), 1..300)) {
+        let t = hdnh_baselines::LevelHash::new(hdnh_baselines::LevelParams {
+            initial_top_buckets: 8,
+            ..Default::default()
+        });
+        check_against_oracle(&t, &ops);
+    }
+
+    #[test]
+    fn cceh_matches_oracle(ops in proptest::collection::vec(mop_strategy(), 1..300)) {
+        let t = hdnh_baselines::Cceh::new(hdnh_baselines::CcehParams {
+            segment_bytes: 1024,
+            initial_depth: 1,
+            ..Default::default()
+        });
+        check_against_oracle(&t, &ops);
+    }
+
+    #[test]
+    fn path_hash_matches_oracle(ops in proptest::collection::vec(mop_strategy(), 1..300)) {
+        let t = hdnh_baselines::PathHash::new(hdnh_baselines::PathParams {
+            root_cells: 2048,
+            reserved_levels: 8,
+            ..Default::default()
+        });
+        check_against_oracle(&t, &ops);
+    }
+
+    /// Crash/recover with random ops and a random crash seed: recovered
+    /// state equals pre-crash acknowledged state (invariant I5).
+    #[test]
+    fn recovery_equals_acknowledged_state(
+        ops in proptest::collection::vec(mop_strategy(), 1..200),
+        crash_seed in any::<u64>(),
+    ) {
+        let params = HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 1,
+            nvm: NvmOptions::strict(),
+            ..Default::default()
+        };
+        let t = Hdnh::new(params.clone());
+        let mut oracle: HashMap<u16, u32> = HashMap::new();
+        for op in &ops {
+            match op {
+                MOp::Insert(id, val) => {
+                    if t.insert(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64)).is_ok() {
+                        oracle.insert(*id, *val);
+                    }
+                }
+                MOp::Update(id, val) => {
+                    if t.update(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64)).is_ok() {
+                        oracle.insert(*id, *val);
+                    }
+                }
+                MOp::Remove(id) => {
+                    if t.remove(&Key::from_u64(*id as u64)) {
+                        oracle.remove(id);
+                    }
+                }
+                MOp::Get(_) => {}
+            }
+        }
+        let pool = t.into_pool();
+        pool.crash(crash_seed);
+        let r = Hdnh::recover(params, pool, 2);
+        prop_assert_eq!(r.len(), oracle.len());
+        for (&id, &val) in &oracle {
+            prop_assert_eq!(
+                r.get(&Key::from_u64(id as u64)).map(|v| v.as_u64()),
+                Some(val as u64)
+            );
+        }
+    }
+
+    /// Trace codec roundtrips arbitrary op streams.
+    #[test]
+    fn trace_roundtrip_arbitrary_ops(
+        raw in proptest::collection::vec((0u8..6, any::<u64>(), any::<u32>()), 0..300)
+    ) {
+        use hdnh_ycsb::trace::{read_trace, write_trace};
+        use hdnh_ycsb::Op;
+        let ops: Vec<Op> = raw
+            .into_iter()
+            .map(|(tag, id, seq)| match tag {
+                0 => Op::Read(id),
+                1 => Op::ReadAbsent(id),
+                2 => Op::Insert(id),
+                3 => Op::Update(id, seq),
+                4 => Op::ReadModifyWrite(id, seq),
+                _ => Op::Delete(id),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        prop_assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), ops);
+    }
+
+    /// Record serialization roundtrips for arbitrary bytes.
+    #[test]
+    fn record_codec_roundtrip(key in any::<[u8; 16]>(), value in any::<[u8; 15]>()) {
+        let rec = Record::new(Key(key), Value(value));
+        let bytes = rec.to_bytes();
+        prop_assert_eq!(bytes.len(), RECORD_LEN);
+        prop_assert_eq!(Record::from_bytes(&bytes), rec);
+    }
+
+    /// Region writes at arbitrary (offset, data) never disturb neighbours.
+    #[test]
+    fn region_writes_are_exact(
+        off in 0usize..1000,
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let region = NvmRegion::new(1064, NvmOptions::fast());
+        // Paint the whole region, overwrite a window, check all bytes.
+        let backdrop = vec![0xA5u8; 1064];
+        region.write_bytes(0, &backdrop);
+        region.write_bytes(off, &data);
+        let mut out = vec![0u8; 1064];
+        region.peek(0, &mut out);
+        for (i, &b) in out.iter().enumerate() {
+            if i >= off && i < off + data.len() {
+                prop_assert_eq!(b, data[i - off]);
+            } else {
+                prop_assert_eq!(b, 0xA5);
+            }
+        }
+    }
+
+    /// KeySpace validation accepts every canonical value and rejects any
+    /// single-byte corruption.
+    #[test]
+    fn keyspace_validation_detects_corruption(
+        id in any::<u64>(),
+        version in any::<u32>(),
+        flip_byte in 0usize..15,
+        flip_bit in 0u8..8,
+    ) {
+        let ks = KeySpace::default();
+        let val = ks.value(id, version);
+        prop_assert_eq!(ks.validate(id, &val), Some(version));
+        let mut corrupted = val;
+        corrupted.0[flip_byte] ^= 1 << flip_bit;
+        prop_assert_eq!(ks.validate(id, &corrupted), None);
+    }
+
+    /// Load factor stays within [0, 1] under arbitrary sequences.
+    #[test]
+    fn load_factor_bounded(ops in proptest::collection::vec(mop_strategy(), 1..200)) {
+        let t = Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 1,
+            ..Default::default()
+        });
+        for op in &ops {
+            match op {
+                MOp::Insert(id, val) => { let _ = t.insert(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64)); }
+                MOp::Update(id, val) => { let _ = t.update(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64)); }
+                MOp::Remove(id) => { let _ = t.remove(&Key::from_u64(*id as u64)); }
+                MOp::Get(id) => { let _ = t.get(&Key::from_u64(*id as u64)); }
+            }
+            let lf = t.load_factor();
+            prop_assert!((0.0..=1.0).contains(&lf), "load factor {}", lf);
+        }
+    }
+}
