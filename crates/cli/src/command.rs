@@ -25,6 +25,8 @@ pub enum Command {
     Verify,
     /// `crash <seed>` — simulate power failure + recovery (strict mode).
     Crash(u64),
+    /// `faultrun [...]` — crash-point injection matrix (see [`FaultRunMode`]).
+    FaultRun(FaultRunMode),
     /// `record <file> <a|b|c|f> <ops>` — generate a YCSB stream and save it
     /// as a binary trace.
     Record(String, char, usize),
@@ -34,6 +36,21 @@ pub enum Command {
     Help,
     /// `quit` / `exit`.
     Quit,
+}
+
+/// What `faultrun` should execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultRunMode {
+    /// The full matrix: every mix, site, hit sample and crash seed, plus
+    /// crashes injected into recovery itself.
+    Full,
+    /// Bounded smoke sweep (one seed, no recovery-phase injection).
+    Quick,
+    /// Recording only: list every crash site with its hit counts per mix.
+    Sites,
+    /// Replay one case from its reproduction tuple
+    /// `mix:site:hit:seed[:recovery_site:recovery_hit]`.
+    Repro(String),
 }
 
 /// Parse error with a human-readable message.
@@ -83,6 +100,28 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
         "info" => Command::Info,
         "verify" | "check" => Command::Verify,
         "crash" => Command::Crash(int(toks.next(), "seed")?),
+        "faultrun" => {
+            let mode = match toks.next() {
+                None | Some("full") => FaultRunMode::Full,
+                Some("quick") => FaultRunMode::Quick,
+                Some("sites") => FaultRunMode::Sites,
+                Some("repro") => FaultRunMode::Repro(
+                    toks.next()
+                        .ok_or_else(|| {
+                            ParseError(
+                                "missing reproduction tuple mix:site:hit:seed[:rsite:rhit]".into(),
+                            )
+                        })?
+                        .to_string(),
+                ),
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "unknown faultrun mode '{other}' (full|quick|sites|repro)"
+                    )))
+                }
+            };
+            Command::FaultRun(mode)
+        }
         "record" => {
             let file = toks
                 .next()
@@ -124,8 +163,10 @@ commands:
   workload <a|b|c|f> <n>  run n ops of a YCSB mix
   stats                   NVM media counters
   info                    table geometry and occupancy
-  verify                  full integrity audit
+  verify                  per-invariant integrity audit
   crash <seed>            simulate power failure + recovery (strict mode)
+  faultrun [mode]         crash-point injection matrix; modes: full (default),
+                          quick, sites, repro <mix:site:hit:seed[:rsite:rhit]>
   record <file> <mix> <n> save a YCSB op stream as a binary trace
   replay <file>           replay a saved trace against the table
   help                    this text
@@ -158,6 +199,30 @@ mod tests {
         assert_eq!(parse("crash 42").unwrap(), Some(Command::Crash(42)));
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("?").unwrap(), Some(Command::Help));
+    }
+
+    #[test]
+    fn parses_faultrun() {
+        assert_eq!(
+            parse("faultrun").unwrap(),
+            Some(Command::FaultRun(FaultRunMode::Full))
+        );
+        assert_eq!(
+            parse("faultrun quick").unwrap(),
+            Some(Command::FaultRun(FaultRunMode::Quick))
+        );
+        assert_eq!(
+            parse("faultrun sites").unwrap(),
+            Some(Command::FaultRun(FaultRunMode::Sites))
+        );
+        assert_eq!(
+            parse("faultrun repro churn:insert.published:3:1").unwrap(),
+            Some(Command::FaultRun(FaultRunMode::Repro(
+                "churn:insert.published:3:1".into()
+            )))
+        );
+        assert!(parse("faultrun bogus").is_err());
+        assert!(parse("faultrun repro").is_err());
     }
 
     #[test]

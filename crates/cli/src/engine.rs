@@ -3,13 +3,14 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use hdnh::faultexplore::{self, ExploreConfig, OpMix};
 use hdnh::{Hdnh, HdnhParams};
 use hdnh_common::{HashIndex, IndexError, Key, Value};
-use hdnh_nvm::NvmOptions;
+use hdnh_nvm::{FaultPlan, NvmOptions};
 use hdnh_ycsb::trace::{load_trace, save_trace};
 use hdnh_ycsb::{generate_ops, KeySpace, Op, WorkloadSpec};
 
-use crate::command::{Command, HELP};
+use crate::command::{Command, FaultRunMode, HELP};
 
 /// Engine configuration (mapped from CLI flags by the binary).
 #[derive(Clone, Debug)]
@@ -142,10 +143,24 @@ impl Engine {
                     t.ocf_footprint_bytes(),
                 ))
             }
-            Command::Verify => Outcome::Text(match self.table().verify_integrity() {
-                Ok(n) => format!("integrity ok: {n} live records"),
-                Err(e) => format!("INTEGRITY VIOLATION: {e}"),
-            }),
+            Command::Verify => {
+                let (reports, live) = self.table().verify_integrity_report();
+                let failed = reports.iter().filter(|r| !r.ok).count();
+                let mut out = String::new();
+                if failed == 0 {
+                    let _ = writeln!(out, "integrity ok: {live} live records");
+                } else {
+                    let _ = writeln!(out, "INTEGRITY VIOLATION: {failed} invariant(s) failed");
+                }
+                for r in &reports {
+                    let _ = writeln!(out, "  {:<22} {}", r.name, if r.ok { "ok" } else { "FAIL" });
+                    for v in &r.violations {
+                        let _ = writeln!(out, "      {v}");
+                    }
+                }
+                out.pop();
+                Outcome::Text(out)
+            }
             Command::Crash(seed) => {
                 if !self.params.nvm.strict {
                     return Outcome::Text(
@@ -165,6 +180,7 @@ impl Engine {
                     t0.elapsed().as_secs_f64() * 1e3
                 ))
             }
+            Command::FaultRun(mode) => Outcome::Text(Self::fault_run(mode)),
             Command::Record(file, mix, ops) => {
                 let spec = Self::spec_for(mix);
                 let preloaded = self.next_fill_id.max(1);
@@ -191,6 +207,119 @@ impl Engine {
             Command::Help => Outcome::Text(HELP.to_string()),
             Command::Quit => Outcome::Quit,
         }
+    }
+
+    /// Runs the crash-point injection matrix. Independent of the shell's
+    /// table — the explorer builds small strict tables of its own.
+    fn fault_run(mode: FaultRunMode) -> String {
+        match mode {
+            FaultRunMode::Sites => {
+                let mut out = String::new();
+                for mix in OpMix::builtin() {
+                    match faultexplore::record_sites(&mix) {
+                        Ok(counts) => {
+                            let _ = writeln!(out, "mix {} ({} ops):", mix.name, mix.ops.len());
+                            for (site, n) in counts {
+                                let _ = writeln!(out, "  {site:<32} {n:>8} hits");
+                            }
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "mix {}: recording failed: {e}", mix.name);
+                        }
+                    }
+                }
+                out.pop();
+                out
+            }
+            FaultRunMode::Repro(tuple) => match Self::parse_repro(&tuple) {
+                Err(e) => format!("error: {e}"),
+                Ok((mix, plan, seed, rplan)) => {
+                    let r = faultexplore::run_single(&mix, &plan, seed, rplan.as_ref(), 2);
+                    match (r.pass, r.detail.is_empty()) {
+                        (true, true) => format!("PASS {}", r.repro()),
+                        (true, false) => format!("PASS {} ({})", r.repro(), r.detail),
+                        (false, _) => format!("FAIL {}\n  {}", r.repro(), r.detail),
+                    }
+                }
+            },
+            FaultRunMode::Full | FaultRunMode::Quick => {
+                let cfg = if mode == FaultRunMode::Quick {
+                    ExploreConfig::quick()
+                } else {
+                    ExploreConfig::full()
+                };
+                let t0 = Instant::now();
+                let report = faultexplore::explore(&cfg, |_| ());
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "explored {} crash sites, {} cases in {:.1} s",
+                    report.sites_seen.len(),
+                    report.cases.len(),
+                    t0.elapsed().as_secs_f64()
+                );
+                // Per-site rollup.
+                let mut per_site: std::collections::BTreeMap<&str, (usize, usize)> =
+                    std::collections::BTreeMap::new();
+                for c in &report.cases {
+                    let e = per_site.entry(c.site.as_str()).or_insert((0, 0));
+                    e.0 += 1;
+                    if c.pass {
+                        e.1 += 1;
+                    }
+                }
+                for (site, (cases, passes)) in &per_site {
+                    let _ = writeln!(
+                        out,
+                        "  {site:<32} {passes:>4}/{cases:<4} {}",
+                        if passes == cases { "ok" } else { "FAIL" }
+                    );
+                }
+                let failures = report.failures();
+                if failures.is_empty() {
+                    let _ = write!(out, "all cases passed");
+                } else {
+                    let _ = writeln!(out, "{} FAILURES (repro with 'faultrun repro <tuple>'):", failures.len());
+                    for f in &failures {
+                        let _ = writeln!(out, "  {}\n    {}", f.repro(), f.detail);
+                    }
+                    out.pop();
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses `mix:site:hit:seed[:recovery_site:recovery_hit]`.
+    #[allow(clippy::type_complexity)]
+    fn parse_repro(
+        tuple: &str,
+    ) -> Result<(OpMix, FaultPlan, u64, Option<FaultPlan>), String> {
+        let parts: Vec<&str> = tuple.split(':').collect();
+        if parts.len() != 4 && parts.len() != 6 {
+            return Err("tuple must be mix:site:hit:seed[:rsite:rhit]".into());
+        }
+        let mix = OpMix::builtin()
+            .into_iter()
+            .find(|m| m.name == parts[0])
+            .ok_or_else(|| format!("unknown mix '{}'", parts[0]))?;
+        let hit: u64 = parts[2].parse().map_err(|_| "hit must be an integer".to_string())?;
+        let seed: u64 = parts[3].parse().map_err(|_| "seed must be an integer".to_string())?;
+        let plan = FaultPlan {
+            site: parts[1].to_string(),
+            hit,
+        };
+        let rplan = if parts.len() == 6 {
+            Some(FaultPlan {
+                site: parts[4].to_string(),
+                hit: parts[5]
+                    .parse()
+                    .map_err(|_| "recovery hit must be an integer".to_string())?,
+            })
+        } else {
+            None
+        };
+        Ok((mix, plan, seed, rplan))
     }
 
     fn spec_for(mix: char) -> WorkloadSpec {

@@ -1,0 +1,664 @@
+//! Exhaustive crash-point exploration (the fault-injection driver).
+//!
+//! The write paths and the NVM primitives are annotated with named crash
+//! sites ([`hdnh_nvm::fault`]). This module turns those annotations into a
+//! systematic robustness check:
+//!
+//! 1. **Record** — run a deterministic scripted op mix once with the
+//!    registry in recording mode, learning how often each site fires.
+//! 2. **Explore** — for every `(site, hit)` sample and every crash seed,
+//!    re-run the same mix with the registry armed. The k-th hit of the site
+//!    panics with an [`InjectedCrash`]; the driver catches the unwind,
+//!    simulates the power failure ([`PersistentPool::crash`] tears unflushed
+//!    cachelines at 8-byte granularity), and runs [`Hdnh::recover`].
+//! 3. **Check** — the recovered table must match the *acknowledged-state
+//!    oracle* (every op completed before the crash is visible; the one op
+//!    in flight may be fully applied or fully absent, never half) and every
+//!    invariant of [`Hdnh::verify_integrity_report`] must hold.
+//!
+//! Recovery has crash sites of its own (`recover.*`); with
+//! [`ExploreConfig::explore_recovery`] the driver additionally re-arms the
+//! registry *during* recovery, crashes a second time, and verifies that the
+//! follow-up recovery still converges.
+//!
+//! Every failure is reported as a `(mix, site, hit, seed)` tuple from which
+//! [`run_single`] reproduces the exact scenario. Armed runs are
+//! single-threaded (one foreground mutator, recovery with one worker) so
+//! the k-th hit of a site is always the same machine state.
+//!
+//! The fault registry is process-global: nothing in this module may run
+//! concurrently with another exploration or registry-using test.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hdnh_common::{Key, Value};
+use hdnh_nvm::{fault, FaultPlan, NvmOptions, NvmRegion};
+
+use crate::params::{HdnhParams, SyncMode};
+use crate::recovery::PersistentPool;
+use crate::table::Hdnh;
+
+/// One scripted table operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert a fresh key.
+    Insert(u64, u64),
+    /// Update an existing key.
+    Update(u64, u64),
+    /// Remove an existing key.
+    Remove(u64),
+}
+
+/// A named deterministic op sequence.
+#[derive(Debug, Clone)]
+pub struct OpMix {
+    /// Mix name, part of every reproduction tuple.
+    pub name: &'static str,
+    /// The operations, executed in order by one thread.
+    pub ops: Vec<Op>,
+}
+
+impl OpMix {
+    /// The built-in mixes, chosen to reach every site category on the
+    /// exploration geometry: plain inserts, update-heavy churn (the
+    /// same-bucket fast path *and* the fallback double-copy window),
+    /// removes, and a fill that triggers a live resize.
+    pub fn builtin() -> Vec<OpMix> {
+        let mut mixes = Vec::new();
+
+        mixes.push(OpMix {
+            name: "insert-light",
+            ops: (0..40).map(|i| Op::Insert(i, i * 3 + 1)).collect(),
+        });
+
+        // Fill enough that buckets run out of free slots, then rewrite every
+        // key repeatedly: early updates take the same-bucket swap, late ones
+        // are forced into the fallback path; finish with deletes and
+        // re-inserts over the holes.
+        let mut churn = Vec::new();
+        for i in 0..56 {
+            churn.push(Op::Insert(i, i + 100));
+        }
+        for round in 0..3 {
+            for i in 0..56 {
+                churn.push(Op::Update(i, i + 200 + round * 56));
+            }
+        }
+        for i in 40..56 {
+            churn.push(Op::Remove(i));
+        }
+        for i in 60..76 {
+            churn.push(Op::Insert(i, i + 900));
+        }
+        mixes.push(OpMix {
+            name: "churn",
+            ops: churn,
+        });
+
+        // Enough inserts to overflow the initial geometry and run a full
+        // resize (allocate, migrate, swap) in the middle of the mix.
+        let mut fill = Vec::new();
+        for i in 0..400 {
+            fill.push(Op::Insert(i, i ^ 0xABCD));
+        }
+        for i in 0..40 {
+            fill.push(Op::Update(i, i + 7));
+        }
+        for i in 300..320 {
+            fill.push(Op::Remove(i));
+        }
+        mixes.push(OpMix {
+            name: "fill-resize",
+            ops: fill,
+        });
+
+        mixes
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Op mixes to drive ([`OpMix::builtin`] by default).
+    pub mixes: Vec<OpMix>,
+    /// Crash seeds tried per `(site, hit)` — each seed tears a different
+    /// random subset of the unflushed cachelines.
+    pub crash_seeds: Vec<u64>,
+    /// Worker threads for the final (unarmed) recovery of each case.
+    pub threads: usize,
+    /// Also inject crashes into recovery itself (two-phase cases).
+    pub explore_recovery: bool,
+}
+
+impl ExploreConfig {
+    /// Full matrix: all built-in mixes, two seeds, recovery exploration on.
+    pub fn full() -> Self {
+        ExploreConfig {
+            mixes: OpMix::builtin(),
+            crash_seeds: vec![1, 2],
+            threads: 2,
+            explore_recovery: true,
+        }
+    }
+
+    /// Bounded smoke configuration (CI): one seed, no recovery phase two.
+    pub fn quick() -> Self {
+        ExploreConfig {
+            mixes: OpMix::builtin(),
+            crash_seeds: vec![1],
+            threads: 2,
+            explore_recovery: false,
+        }
+    }
+}
+
+/// Outcome of one injected-crash case.
+#[derive(Debug, Clone)]
+pub struct FaultCaseResult {
+    /// Mix that drove the table.
+    pub mix: String,
+    /// Crash site that fired.
+    pub site: String,
+    /// 1-based hit of the site at which the crash fired.
+    pub hit: u64,
+    /// Crash seed (selects which unflushed lines tear).
+    pub seed: u64,
+    /// For two-phase cases: the `(site, hit)` injected into recovery.
+    pub recovery_site: Option<(String, u64)>,
+    /// Whether the oracle and every integrity invariant passed.
+    pub pass: bool,
+    /// Failure explanation (empty when passing).
+    pub detail: String,
+}
+
+impl FaultCaseResult {
+    /// The reproduction tuple, e.g. for `hdnh faultrun --repro`.
+    pub fn repro(&self) -> String {
+        match &self.recovery_site {
+            None => format!("{}:{}:{}:{}", self.mix, self.site, self.hit, self.seed),
+            Some((rs, rh)) => format!(
+                "{}:{}:{}:{}:{}:{}",
+                self.mix, self.site, self.hit, self.seed, rs, rh
+            ),
+        }
+    }
+}
+
+/// Aggregate result of an exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Every site observed in recording passes, with total hit counts
+    /// summed over all mixes.
+    pub sites_seen: BTreeMap<String, u64>,
+    /// Every executed case.
+    pub cases: Vec<FaultCaseResult>,
+}
+
+impl ExploreReport {
+    /// The failing cases.
+    pub fn failures(&self) -> Vec<&FaultCaseResult> {
+        self.cases.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// `true` when every case passed.
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(|c| c.pass)
+    }
+}
+
+/// The geometry every exploration case uses: small strict levels so a few
+/// hundred ops exercise bucket overflow, the update fallback and a resize.
+pub fn explore_params() -> HdnhParams {
+    HdnhParams {
+        segment_bytes: 1024,
+        initial_bottom_segments: 2,
+        nvm: NvmOptions::strict(),
+        sync_mode: SyncMode::Background,
+        background_writers: 1,
+        ..Default::default()
+    }
+}
+
+fn apply_model(model: &mut BTreeMap<u64, u64>, op: &Op) {
+    match op {
+        Op::Insert(k, v) | Op::Update(k, v) => {
+            model.insert(*k, *v);
+        }
+        Op::Remove(k) => {
+            model.remove(k);
+        }
+    }
+}
+
+/// Runs the mix on `table`, bumping `applied` after each completed op.
+/// Ops must individually succeed — the mixes are scripted against the
+/// model, so an `Err` is a real bug, not an injected crash.
+fn run_mix(table: &Hdnh, ops: &[Op], applied: &AtomicUsize) {
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => table
+                .insert(&Key::from_u64(*k), &Value::from_u64(*v))
+                .expect("scripted insert"),
+            Op::Update(k, v) => table
+                .update(&Key::from_u64(*k), &Value::from_u64(*v))
+                .expect("scripted update"),
+            Op::Remove(k) => {
+                assert!(table.remove(&Key::from_u64(*k)), "scripted remove");
+            }
+        }
+        applied.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Checks the recovered table against one candidate model state.
+fn table_matches(table: &Hdnh, model: &BTreeMap<u64, u64>) -> Result<(), String> {
+    if table.len() != model.len() {
+        return Err(format!(
+            "live count {} != expected {}",
+            table.len(),
+            model.len()
+        ));
+    }
+    for (k, v) in model {
+        match table.get(&Key::from_u64(*k)) {
+            Some(got) if got.as_u64() == *v => {}
+            Some(got) => {
+                return Err(format!("key {k}: value {} != expected {v}", got.as_u64()))
+            }
+            None => return Err(format!("key {k} lost (expected {v})")),
+        }
+    }
+    Ok(())
+}
+
+/// Oracle + deep integrity check after recovery. `applied` ops completed
+/// before the crash; op `applied` (if any) was in flight and may be fully
+/// applied or fully absent.
+fn check_recovered(table: &Hdnh, ops: &[Op], applied: usize) -> Result<(), String> {
+    let mut without = BTreeMap::new();
+    for op in &ops[..applied.min(ops.len())] {
+        apply_model(&mut without, op);
+    }
+    let matched = match table_matches(table, &without) {
+        Ok(()) => Ok(()),
+        Err(e1) => {
+            if applied < ops.len() {
+                let mut with = without.clone();
+                apply_model(&mut with, &ops[applied]);
+                table_matches(table, &with).map_err(|e2| {
+                    format!("neither pre-op state ({e1}) nor post-op state ({e2}) matches")
+                })
+            } else {
+                Err(e1)
+            }
+        }
+    };
+    matched?;
+    let (reports, _) = table.verify_integrity_report();
+    let broken: Vec<String> = reports
+        .iter()
+        .filter(|r| !r.ok)
+        .map(|r| format!("{}: {}", r.name, r.violations.join("; ")))
+        .collect();
+    if broken.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("integrity: {}", broken.join(" | ")))
+    }
+}
+
+/// Region handles cloned before recovery so a crash *inside* recovery can
+/// be followed by another recovery of the same pool (real NVM survives).
+struct PoolBackup {
+    meta: Arc<NvmRegion>,
+    top: Arc<NvmRegion>,
+    bottom: Arc<NvmRegion>,
+    new_top: Option<Arc<NvmRegion>>,
+}
+
+impl PoolBackup {
+    fn of(pool: &PersistentPool) -> Self {
+        PoolBackup {
+            meta: Arc::clone(&pool.meta),
+            top: Arc::clone(&pool.top),
+            bottom: Arc::clone(&pool.bottom),
+            new_top: pool.new_top.as_ref().map(Arc::clone),
+        }
+    }
+
+    fn restore(&self) -> PersistentPool {
+        PersistentPool {
+            meta: Arc::clone(&self.meta),
+            top: Arc::clone(&self.top),
+            bottom: Arc::clone(&self.bottom),
+            new_top: self.new_top.as_ref().map(Arc::clone),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Builds a table and runs the mix, catching an injected crash anywhere in
+/// between. Returns the pool plus how many ops completed — or `Ok(None)`
+/// when the crash hit table *construction* (pool formatting): the magic
+/// word is written last, so a half-formatted pool is never adopted and
+/// there is nothing to recover.
+fn run_phase_one(mix: &OpMix) -> Result<Option<(PersistentPool, usize)>, String> {
+    let applied = AtomicUsize::new(0);
+    let mut table: Option<Hdnh> = None;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        table = Some(Hdnh::new(explore_params()));
+        run_mix(table.as_ref().unwrap(), &mix.ops, &applied);
+    }));
+    if let Err(payload) = outcome {
+        if fault::injected(&*payload).is_none() {
+            return Err(format!(
+                "genuine panic during mix (not an injected crash): {}",
+                panic_message(&*payload)
+            ));
+        }
+    }
+    let applied = applied.load(Ordering::Relaxed);
+    Ok(table.map(|t| (t.into_pool(), applied)))
+}
+
+/// Executes one fully-specified case. `plan` arms the mix phase;
+/// `recovery_plan` (optional) re-arms during recovery for a second crash.
+/// This is the reproduction entry point: the same arguments always replay
+/// the same machine states.
+pub fn run_single(
+    mix: &OpMix,
+    plan: &FaultPlan,
+    seed: u64,
+    recovery_plan: Option<&FaultPlan>,
+    threads: usize,
+) -> FaultCaseResult {
+    let mut result = FaultCaseResult {
+        mix: mix.name.to_string(),
+        site: plan.site.clone(),
+        hit: plan.hit,
+        seed,
+        recovery_site: recovery_plan.map(|p| (p.site.clone(), p.hit)),
+        pass: false,
+        detail: String::new(),
+    };
+
+    fault::arm(plan.clone());
+    let lint_was = fault::set_lint_persists(true);
+    let phase_one = run_phase_one(mix);
+    fault::set_lint_persists(lint_was);
+    let (pool, applied) = match phase_one {
+        Ok(Some(v)) => v,
+        Ok(None) => {
+            // Crash during pool formatting: the magic word is written last,
+            // so no application state was ever acknowledged.
+            fault::disarm();
+            result.pass = true;
+            result.detail = "injected crash during table construction (no pool formatted)".into();
+            return result;
+        }
+        Err(detail) => {
+            fault::disarm();
+            result.detail = detail;
+            return result;
+        }
+    };
+    if fault::fired().is_none() {
+        // The plan's hit count exceeds what this mix produces — vacuous.
+        fault::disarm();
+        result.pass = true;
+        result.detail = "site/hit not reached by mix".into();
+        return result;
+    }
+
+    let backup = PoolBackup::of(&pool);
+    pool.crash(seed);
+
+    // Optionally crash a second time inside recovery. Armed recoveries run
+    // single-threaded so the k-th hit is deterministic.
+    let mut pool = pool;
+    if let Some(rp) = recovery_plan {
+        fault::rearm(rp.clone());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Hdnh::recover(explore_params(), pool, 1)
+        }));
+        match outcome {
+            Ok(table) => {
+                // The recovery plan never fired (hit count not reached):
+                // this table is already the final state.
+                fault::disarm();
+                match check_recovered(&table, &mix.ops, applied) {
+                    Ok(()) => result.pass = true,
+                    Err(e) => result.detail = format!("(recovery plan unreached) {e}"),
+                }
+                return result;
+            }
+            Err(payload) => {
+                if fault::injected(&*payload).is_none() {
+                    fault::disarm();
+                    result.detail = format!(
+                        "genuine panic during armed recovery: {}",
+                        panic_message(&*payload)
+                    );
+                    return result;
+                }
+                pool = backup.restore();
+                pool.crash(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+            }
+        }
+    }
+
+    fault::disarm();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        Hdnh::recover(explore_params(), pool, threads.max(1))
+    }));
+    match outcome {
+        Ok(table) => match check_recovered(&table, &mix.ops, applied) {
+            Ok(()) => result.pass = true,
+            Err(e) => result.detail = e,
+        },
+        Err(payload) => {
+            result.detail = format!("recovery panicked: {}", panic_message(&*payload));
+        }
+    }
+    result
+}
+
+/// Hit samples for a site observed `n` times: first, middle, last.
+fn hit_samples(n: u64) -> Vec<u64> {
+    let mut v = vec![1, n / 2 + 1, n];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Records per-site hit counts for one mix (no crashing).
+fn record_mix(mix: &OpMix) -> Result<BTreeMap<&'static str, u64>, String> {
+    fault::start_recording();
+    let phase = run_phase_one(mix);
+    let counts = fault::disarm();
+    phase.map(|_| counts)
+}
+
+/// Records per-site hit counts of a *recovery* that follows a crash at
+/// `base` during the mix.
+fn record_recovery(mix: &OpMix, base: &FaultPlan, seed: u64) -> Result<BTreeMap<&'static str, u64>, String> {
+    fault::arm(base.clone());
+    let phase = run_phase_one(mix);
+    match phase {
+        Ok(None) => {
+            fault::disarm();
+            Ok(BTreeMap::new())
+        }
+        Ok(Some((pool, _))) => {
+            if fault::fired().is_none() {
+                fault::disarm();
+                return Ok(BTreeMap::new());
+            }
+            pool.crash(seed);
+            fault::start_recording();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                Hdnh::recover(explore_params(), pool, 1)
+            }));
+            let counts = fault::disarm();
+            match outcome {
+                Ok(_) => Ok(counts),
+                Err(payload) => Err(format!(
+                    "recovery panicked while recording: {}",
+                    panic_message(&*payload)
+                )),
+            }
+        }
+        Err(e) => {
+            fault::disarm();
+            Err(e)
+        }
+    }
+}
+
+/// Base crashes used to seed the recovery-injection phase: a stable-state
+/// crash plus the three resize phases, so every `recover.*` branch runs.
+fn recovery_bases() -> Vec<FaultPlan> {
+    [
+        "insert.published",
+        "resize.allocated",
+        "resize.bucket_migrated",
+        "resize.swapped",
+        "update.fallback.new_committed",
+    ]
+    .into_iter()
+    .map(|site| FaultPlan {
+        site: site.to_string(),
+        hit: 1,
+    })
+    .collect()
+}
+
+/// Runs the full crash-point matrix. Progress (and failures) accumulate in
+/// the returned report; `on_case` is invoked after every case (CLI progress
+/// reporting — pass `|_| ()` when unused).
+pub fn explore(cfg: &ExploreConfig, mut on_case: impl FnMut(&FaultCaseResult)) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    // Injected panics are expected by the thousand; silence the default
+    // printing hook for the duration (messages are captured in results).
+    // The guard restores it even if the driver itself panics.
+    struct HookGuard(Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>>);
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            let prev = self.0.take().unwrap();
+            let _ = std::panic::take_hook();
+            std::panic::set_hook(prev);
+        }
+    }
+    let _hook_guard = HookGuard(Some(std::panic::take_hook()));
+    std::panic::set_hook(Box::new(|_| {}));
+
+    for mix in &cfg.mixes {
+        let counts = match record_mix(mix) {
+            Ok(c) => c,
+            Err(e) => {
+                let r = FaultCaseResult {
+                    mix: mix.name.to_string(),
+                    site: "<recording>".into(),
+                    hit: 0,
+                    seed: 0,
+                    recovery_site: None,
+                    pass: false,
+                    detail: e,
+                };
+                on_case(&r);
+                report.cases.push(r);
+                continue;
+            }
+        };
+        for (site, n) in &counts {
+            *report.sites_seen.entry(site.to_string()).or_insert(0) += n;
+        }
+        for (site, n) in &counts {
+            for hit in hit_samples(*n) {
+                for &seed in &cfg.crash_seeds {
+                    let plan = FaultPlan {
+                        site: site.to_string(),
+                        hit,
+                    };
+                    let r = run_single(mix, &plan, seed, None, cfg.threads);
+                    on_case(&r);
+                    report.cases.push(r);
+                }
+            }
+        }
+    }
+
+    if cfg.explore_recovery {
+        // Phase two: crash during recovery. Use the resize-heavy mix so
+        // recovery has real migration work to interrupt.
+        let mix = cfg
+            .mixes
+            .iter()
+            .find(|m| m.name == "fill-resize")
+            .cloned()
+            .unwrap_or_else(|| OpMix::builtin().remove(2));
+        let seed = *cfg.crash_seeds.first().unwrap_or(&1);
+        for base in recovery_bases() {
+            let rcounts = match record_recovery(&mix, &base, seed) {
+                Ok(c) => c,
+                Err(e) => {
+                    let r = FaultCaseResult {
+                        mix: mix.name.to_string(),
+                        site: base.site.clone(),
+                        hit: base.hit,
+                        seed,
+                        recovery_site: Some(("<recording>".into(), 0)),
+                        pass: false,
+                        detail: e,
+                    };
+                    on_case(&r);
+                    report.cases.push(r);
+                    continue;
+                }
+            };
+            for (site, n) in &rcounts {
+                *report.sites_seen.entry(site.to_string()).or_insert(0) += n;
+                // Only inject at recovery-specific sites in phase two; the
+                // NVM primitives were already swept in phase one and fire
+                // thousands of times during migration.
+                if !site.starts_with("recover.") {
+                    continue;
+                }
+                for hit in hit_samples(*n) {
+                    let rp = FaultPlan {
+                        site: site.to_string(),
+                        hit,
+                    };
+                    let r = run_single(&mix, &base, seed, Some(&rp), cfg.threads);
+                    on_case(&r);
+                    report.cases.push(r);
+                }
+            }
+        }
+    }
+
+    report
+}
+
+// No unit tests here: arming the process-global registry with live site
+// names would crash unrelated lib tests running ops concurrently in the
+// same binary. All driver coverage lives in `tests/fault_matrix.rs`, which
+// is its own process.
+
+/// Records per-site hit counts for one mix without crashing (exposed for
+/// the matrix test and `faultrun --sites`).
+pub fn record_sites(mix: &OpMix) -> Result<BTreeMap<&'static str, u64>, String> {
+    record_mix(mix)
+}

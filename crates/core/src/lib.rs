@@ -41,6 +41,7 @@
 
 
 #![warn(missing_docs)]
+pub mod faultexplore;
 pub mod hot;
 pub mod meta;
 pub mod nvtable;
@@ -50,7 +51,8 @@ pub mod recovery;
 pub mod sync;
 pub mod table;
 
+pub use faultexplore::{ExploreConfig, ExploreReport, FaultCaseResult, OpMix};
 pub use hot::HotTable;
 pub use params::{HdnhParams, HotPolicy, SyncMode};
 pub use recovery::{PersistentPool, RecoveryTiming};
-pub use table::Hdnh;
+pub use table::{Hdnh, InvariantReport};

@@ -98,6 +98,7 @@ impl Meta {
     fn store(&self, off: usize, v: u64) {
         self.region.atomic_store_u64(off, v, Ordering::Release);
         self.region.persist(off, 8);
+        self.region.assert_persisted(off, 8);
     }
 
     #[inline]

@@ -152,6 +152,7 @@ impl Level {
         let off = self.header_off(bucket);
         self.region.atomic_fetch_or_u64(off, 1 << slot, Ordering::AcqRel);
         self.region.persist(off, 8);
+        self.region.assert_persisted(off, 8);
     }
 
     /// Atomically clears slot `slot`'s valid bit and persists — the commit
@@ -160,6 +161,7 @@ impl Level {
         let off = self.header_off(bucket);
         self.region.atomic_fetch_and_u64(off, !(1 << slot), Ordering::AcqRel);
         self.region.persist(off, 8);
+        self.region.assert_persisted(off, 8);
     }
 
     /// Atomically flips the old and new slots' valid bits **in one 8-byte
@@ -170,6 +172,7 @@ impl Level {
         self.region
             .atomic_fetch_xor_u64(off, (1 << old_slot) | (1 << new_slot), Ordering::AcqRel);
         self.region.persist(off, 8);
+        self.region.assert_persisted(off, 8);
     }
 
     // ---------------- record slots ----------------
@@ -181,6 +184,7 @@ impl Level {
         let off = self.slot_off(bucket, slot);
         self.region.write_pod(off, &rec.to_bytes());
         self.region.persist(off, RECORD_LEN);
+        self.region.assert_persisted(off, RECORD_LEN);
     }
 
     /// Reads the record stored in a slot (charged as one NVM block read —
@@ -206,6 +210,18 @@ impl Level {
             *rec = Record::from_bytes(&bytes);
         }
         (header, recs)
+    }
+
+    /// Re-zeroes every bucket header, persisted — recovery's "apply for
+    /// the new level again": a region that was mid-allocation at the crash
+    /// may hold torn header words, and clearing the valid bits is enough
+    /// to make every stale slot invisible again.
+    pub fn wipe_headers(&self) {
+        for b in 0..self.n_buckets() {
+            let off = self.header_off(b);
+            self.region.atomic_store_u64(off, 0, Ordering::Release);
+            self.region.persist(off, 8);
+        }
     }
 
     /// Number of valid slots according to the persisted headers (recovery /

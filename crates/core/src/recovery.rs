@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use hdnh_common::hash::KeyHashes;
 use hdnh_common::rng::XorShift64Star;
 use hdnh_common::Key;
-use hdnh_nvm::NvmRegion;
+use hdnh_nvm::{fault, NvmRegion};
 use parking_lot::RwLock;
 
 use crate::hot::HotTable;
@@ -119,51 +119,127 @@ impl Hdnh {
             "params disagree with the persisted pool geometry"
         );
         let bps = params.segment_bytes / BUCKET_BYTES;
-        let mut top = Level::from_region(pool.top, meta.top_segments(), bps);
-        let mut bottom = Level::from_region(pool.bottom, meta.bottom_segments(), bps);
+        // Level geometry comes from the *actual region sizes* (a real pool
+        // knows the sizes of its DAX files), not from the metadata block: a
+        // crash inside the level-swap window leaves `meta`'s geometry one
+        // store behind the regions that really survived, and recovery must
+        // adopt what is there.
+        let seg_bytes = bps * BUCKET_BYTES;
+        assert!(
+            pool.top.len() % seg_bytes == 0 && pool.bottom.len() % seg_bytes == 0,
+            "pool regions are not whole segments"
+        );
+        let mut top_region = pool.top;
+        let mut bottom_region = pool.bottom;
+        let mut new_top_region = pool.new_top;
+        // The converse skew is possible too: a crash *after* the swap's
+        // metadata stores but before the next clean shutdown leaves the
+        // pool files still labeled by their pre-swap roles while `meta`
+        // already records the post-swap geometry. Levels double in size at
+        // every resize, so the role of each surviving file is recoverable
+        // from its size alone — promote the migrated level and demote the
+        // old top (the old bottom's records all live in the new level).
+        if meta.state() == ResizeState::Stable
+            && (top_region.len() / seg_bytes != meta.top_segments()
+                || bottom_region.len() / seg_bytes != meta.bottom_segments())
+        {
+            let nt = new_top_region.take().expect(
+                "meta geometry disagrees with the pool regions and no in-flight level survived",
+            );
+            assert!(
+                nt.len() / seg_bytes == meta.top_segments()
+                    && top_region.len() / seg_bytes == meta.bottom_segments(),
+                "no role assignment of the surviving regions matches the persisted geometry"
+            );
+            bottom_region = std::mem::replace(&mut top_region, nt);
+            fault::point("recover.relabeled");
+        }
+        let top_segments = top_region.len() / seg_bytes;
+        let bottom_segments = bottom_region.len() / seg_bytes;
+        let mut top = Level::from_region(top_region, top_segments, bps);
+        let mut bottom = Level::from_region(bottom_region, bottom_segments, bps);
+        fault::point("recover.opened");
 
         // ---- resize state machine ----
         match meta.state() {
             ResizeState::Stable => {}
             ResizeState::Allocating => {
                 // Level number 2: the new level was never published. Apply
-                // for it again and run the whole rehash (idempotent: the new
-                // level is fresh, duplicates impossible).
-                let new_top = Level::new(meta.new_top_segments(), bps, &params.nvm);
+                // for it again and run the whole rehash (idempotent: after
+                // the header wipe the new level is empty, duplicates
+                // impossible). Re-adopting a surviving in-flight region
+                // (rather than allocating afresh) matters when *recovery*
+                // crashes later: the migrated records and the persisted
+                // rehash cursor must land in the region the next recovery
+                // will find, not in one that dies with this process.
+                fault::point("recover.alloc.entered");
+                let new_top = match new_top_region.take() {
+                    Some(region) if region.len() == meta.new_top_segments() * seg_bytes => {
+                        let l = Level::from_region(region, meta.new_top_segments(), bps);
+                        l.wipe_headers();
+                        l
+                    }
+                    _ => Level::new(meta.new_top_segments(), bps, &params.nvm),
+                };
                 let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
                 meta.set_state(ResizeState::Rehashing);
                 meta.set_rehash_progress(Some(0));
+                fault::point("recover.alloc.restarted");
                 Self::migrate(&bottom, &new_top, &new_ocf, 0, false, &meta, candidates(&params));
                 Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
             }
             ResizeState::Rehashing => {
-                // Level number 3: resume at the persisted cursor with
-                // duplicate checks (the cursor bucket may be half-moved).
-                let new_top = match pool.new_top {
-                    Some(region) => Level::from_region(region, meta.new_top_segments(), bps),
-                    // The allocation never became visible: start over.
-                    None => Level::new(meta.new_top_segments(), bps, &params.nvm),
-                };
-                // Rebuild the new top's OCF from its persisted headers so
-                // the duplicate check and further inserts see prior work.
-                let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
-                rebuild_ocf_serial(&new_top, &new_ocf);
-                let start = meta.rehash_progress().unwrap_or(0);
-                // The paper's "resizing threads … continue rehashing":
-                // remaining buckets are migrated in parallel stripes. The
-                // dup-checked migration is idempotent, so no finer-grained
-                // progress persistence is needed during recovery — if
-                // recovery itself crashes, the next one redoes the same
-                // idempotent work.
-                migrate_parallel_dupcheck(
-                    &bottom,
-                    &new_top,
-                    &new_ocf,
-                    start,
-                    candidates(&params),
-                    threads,
-                );
-                Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
+                fault::point("recover.rehash.entered");
+                let nts = meta.new_top_segments();
+                if top.n_segments() == nts {
+                    // The crash hit the finalize/swap window *after* the
+                    // fully-migrated new level already became the pool's top
+                    // (and the old top was demoted to bottom), but before
+                    // the geometry / progress / state metadata stores all
+                    // landed. Nothing to migrate — re-issue the remaining
+                    // idempotent metadata stores.
+                    meta.set_geometry(top.n_segments(), bottom.n_segments());
+                    fault::point("recover.finalize.geometry");
+                    meta.set_rehash_progress(None);
+                    meta.set_state(ResizeState::Stable);
+                    fault::point("recover.finalize.stable");
+                } else {
+                    // Level number 3: resume at the persisted cursor with
+                    // duplicate checks (the cursor bucket may be half-moved).
+                    // If the in-flight level's region did not survive the
+                    // crash, the cursor is meaningless — the records behind
+                    // it died with the region — so the rehash restarts from
+                    // bucket 0 into a fresh level (the migration only ever
+                    // copies, so every source record is still in `bottom`).
+                    let (new_top, start) = match new_top_region.take() {
+                        Some(region) => {
+                            let l = Level::from_region(region, nts, bps);
+                            (l, meta.rehash_progress().unwrap_or(0))
+                        }
+                        None => (Level::new(nts, bps, &params.nvm), 0),
+                    };
+                    fault::point("recover.rehash.resumed");
+                    // Rebuild the new top's OCF from its persisted headers so
+                    // the duplicate check and further inserts see prior work.
+                    let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
+                    rebuild_ocf_serial(&new_top, &new_ocf);
+                    // The paper's "resizing threads … continue rehashing":
+                    // remaining buckets are migrated in parallel stripes. The
+                    // dup-checked migration is idempotent, so no finer-grained
+                    // progress persistence is needed during recovery — if
+                    // recovery itself crashes, the next one redoes the same
+                    // idempotent work.
+                    migrate_parallel_dupcheck(
+                        &bottom,
+                        &new_top,
+                        &new_ocf,
+                        start,
+                        candidates(&params),
+                        threads,
+                    );
+                    fault::point("recover.rehash.migrated");
+                    Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
+                }
             }
         }
 
@@ -178,6 +254,7 @@ impl Hdnh {
             hot.as_deref(),
             threads,
         );
+        fault::point("recover.rebuilt");
         let total = t0.elapsed();
 
         // ---- separate timings for table 1 (measurement-only passes) ----
@@ -227,8 +304,11 @@ impl Hdnh {
         let old_top_segments = old_top.n_segments();
         *bottom = old_top;
         meta.set_geometry(top.n_segments(), old_top_segments);
+        fault::point("recover.swap.geometry");
         meta.set_rehash_progress(None);
+        fault::point("recover.swap.progress");
         meta.set_state(ResizeState::Stable);
+        fault::point("recover.swap.stable");
     }
 
     /// Runs a resize but "crashes" after migrating `stop_after_buckets`
@@ -321,24 +401,34 @@ fn migrate_parallel_dupcheck(
     }
     let threads = threads.max(1).min(n - start);
     std::thread::scope(|s| {
-        for t in 0..threads {
-            s.spawn(move || {
-                let remaining = n - start;
-                let per = remaining.div_ceil(threads);
-                let (lo, hi) = (start + t * per, (start + (t + 1) * per).min(n));
-                for b in lo..hi {
-                    let (header, recs) = from.read_bucket(b);
-                    for (slot, rec) in recs.iter().enumerate() {
-                        if header & (1 << slot) == 0 {
-                            continue;
-                        }
-                        let h = KeyHashes::of(&rec.key);
-                        if Hdnh::find_in_level(to, to_ocf, &rec.key, &h, cands).is_none() {
-                            Hdnh::insert_into_level(to, to_ocf, rec, &h, cands);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let remaining = n - start;
+                    let per = remaining.div_ceil(threads);
+                    let (lo, hi) = (start + t * per, (start + (t + 1) * per).min(n));
+                    for b in lo..hi {
+                        let (header, recs) = from.read_bucket(b);
+                        for (slot, rec) in recs.iter().enumerate() {
+                            if header & (1 << slot) == 0 {
+                                continue;
+                            }
+                            let h = KeyHashes::of(&rec.key);
+                            if Hdnh::find_in_level(to, to_ocf, &rec.key, &h, cands).is_none() {
+                                Hdnh::insert_into_level(to, to_ocf, rec, &h, cands);
+                            }
                         }
                     }
-                }
-            });
+                })
+            })
+            .collect();
+        // Re-raise worker panics with their original payload: the fault
+        // explorer discriminates injected crashes by downcasting it, and
+        // scope's own "a scoped thread panicked" message would hide it.
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
 }
@@ -397,7 +487,10 @@ fn rebuild_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
     });
 
     // Pass 2 (serial): dedupe. First occurrence wins; later duplicates are
@@ -409,6 +502,7 @@ fn rebuild_parallel(
             count += 1;
         } else {
             let (level, ocf) = levels[li];
+            fault::point("recover.dedup.clearing");
             level.commit_slot_invalid(b, slot);
             ocf.install(b, slot, false, 0);
             if let Some(hot) = hot {

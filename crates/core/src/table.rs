@@ -39,6 +39,7 @@ use std::sync::Arc;
 use hdnh_common::hash::KeyHashes;
 use hdnh_common::rng::XorShift64Star;
 use hdnh_common::{HashIndex, IndexError, IndexResult, Key, Record, Value};
+use hdnh_nvm::fault;
 use hdnh_nvm::StatsSnapshot;
 use parking_lot::RwLock;
 
@@ -88,6 +89,18 @@ impl Inner {
     fn total_slots(&self) -> usize {
         self.top.n_slots() + self.bottom.n_slots()
     }
+}
+
+/// Outcome of one named integrity invariant from
+/// [`Hdnh::verify_integrity_report`].
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// Stable invariant identifier (see `verify_integrity_report` docs).
+    pub name: &'static str,
+    /// Whether every check under this invariant passed.
+    pub ok: bool,
+    /// The first few violations, human-readable (capped).
+    pub violations: Vec<String>,
 }
 
 /// A record's located position in the table.
@@ -219,7 +232,46 @@ impl Hdnh {
     /// Takes the table offline (write lock) for the scan; intended for
     /// tests and tooling. Returns the number of live records on success.
     pub fn verify_integrity(&self) -> Result<usize, String> {
+        let (reports, live) = self.verify_integrity_report();
+        match reports.iter().find(|r| !r.ok) {
+            Some(r) => Err(format!("{}: {}", r.name, r.violations.join("; "))),
+            None => Ok(live),
+        }
+    }
+
+    /// Per-invariant variant of [`verify_integrity`]: audits every named
+    /// invariant independently (one failing check does not hide the others)
+    /// and returns the reports plus the scanned live-record count.
+    ///
+    /// Invariants:
+    /// * `no-locks-at-rest` — no OCF slot is BUSY while the table is idle.
+    /// * `ocf-bitmap-agreement` — every OCF valid bit equals the persisted
+    ///   bitmap bit (I2).
+    /// * `fingerprint-match` — every valid OCF entry carries the stored
+    ///   key's fingerprint.
+    /// * `no-duplicate-keys` — no key is bitmap-valid in two slots (the
+    ///   update-fallback double-copy window must have been repaired).
+    /// * `hot-consistency` — a hot-table hit for a live key returns the
+    ///   authoritative NVM value.
+    /// * `count-consistency` — `len()` equals the number of valid slots.
+    /// * `meta-quiescent` — the metadata block is stable (no resize state,
+    ///   no rehash cursor) and its geometry matches the live levels.
+    pub fn verify_integrity_report(&self) -> (Vec<InvariantReport>, usize) {
+        /// Cap per invariant so a badly corrupted table stays readable.
+        const MAX_VIOLATIONS: usize = 8;
+        fn push(v: &mut Vec<String>, msg: String) {
+            if v.len() < MAX_VIOLATIONS {
+                v.push(msg);
+            }
+        }
         let inner = self.inner.write();
+        let mut locks = Vec::new();
+        let mut agree = Vec::new();
+        let mut fps = Vec::new();
+        let mut dups = Vec::new();
+        let mut hots = Vec::new();
+        let mut counts = Vec::new();
+        let mut metas = Vec::new();
         let mut live = 0usize;
         let mut seen = std::collections::HashSet::new();
         for li in 0..2 {
@@ -230,25 +282,40 @@ impl Hdnh {
                     let e = ocf.load(bucket, slot);
                     let nv_valid = header & (1 << slot) != 0;
                     if ocf::is_busy(e) {
-                        return Err(format!("slot L{li}/{bucket}/{slot} locked at rest"));
+                        push(&mut locks, format!("slot L{li}/{bucket}/{slot} locked at rest"));
                     }
                     if ocf::is_valid(e) != nv_valid {
-                        return Err(format!(
-                            "OCF/bitmap disagree at L{li}/{bucket}/{slot}: ocf={} nv={}",
-                            ocf::is_valid(e),
-                            nv_valid
-                        ));
+                        push(
+                            &mut agree,
+                            format!(
+                                "OCF/bitmap disagree at L{li}/{bucket}/{slot}: ocf={} nv={}",
+                                ocf::is_valid(e),
+                                nv_valid
+                            ),
+                        );
                     }
                     if nv_valid {
                         let rec = level.read_record(bucket, slot);
                         let h = KeyHashes::of(&rec.key);
                         if self.params.enable_ocf && ocf::fp(e) != h.fp {
-                            return Err(format!(
-                                "fingerprint mismatch at L{li}/{bucket}/{slot}"
-                            ));
+                            push(&mut fps, format!("fingerprint mismatch at L{li}/{bucket}/{slot}"));
                         }
                         if !seen.insert(rec.key) {
-                            return Err(format!("duplicate key at L{li}/{bucket}/{slot}"));
+                            push(&mut dups, format!("duplicate key at L{li}/{bucket}/{slot}"));
+                        }
+                        if let Some(hot) = &inner.hot {
+                            if let Some(v) = hot.search(&rec.key, h.h1, h.h2, h.fp) {
+                                if v != rec.value {
+                                    push(
+                                        &mut hots,
+                                        format!(
+                                            "hot table stale at L{li}/{bucket}/{slot}: cached {} nvm {}",
+                                            v.as_u64(),
+                                            rec.value.as_u64()
+                                        ),
+                                    );
+                                }
+                            }
                         }
                         live += 1;
                     }
@@ -256,9 +323,48 @@ impl Hdnh {
             }
         }
         if live != self.len() {
-            return Err(format!("count drift: scanned {live}, len() {}", self.len()));
+            push(&mut counts, format!("count drift: scanned {live}, len() {}", self.len()));
         }
-        Ok(live)
+        if self.meta.state() != ResizeState::Stable {
+            push(&mut metas, format!("resize state {:?} at rest", self.meta.state()));
+        }
+        if let Some(cursor) = self.meta.rehash_progress() {
+            push(&mut metas, format!("dangling rehash cursor {cursor}"));
+        }
+        if self.meta.top_segments() != inner.top.n_segments()
+            || self.meta.bottom_segments() != inner.bottom.n_segments()
+        {
+            push(
+                &mut metas,
+                format!(
+                    "meta geometry {}/{} != live levels {}/{}",
+                    self.meta.top_segments(),
+                    self.meta.bottom_segments(),
+                    inner.top.n_segments(),
+                    inner.bottom.n_segments()
+                ),
+            );
+        }
+        if inner.pending_new_top.is_some() {
+            push(&mut metas, "in-flight resize level leaked past quiescence".into());
+        }
+        let mk = |name: &'static str, violations: Vec<String>| InvariantReport {
+            name,
+            ok: violations.is_empty(),
+            violations,
+        };
+        (
+            vec![
+                mk("no-locks-at-rest", locks),
+                mk("ocf-bitmap-agreement", agree),
+                mk("fingerprint-match", fps),
+                mk("no-duplicate-keys", dups),
+                mk("hot-consistency", hots),
+                mk("count-consistency", counts),
+                mk("meta-quiescent", metas),
+            ],
+            live,
+        )
     }
 
     /// DRAM footprint of the OCF in bytes.
@@ -367,7 +473,10 @@ impl Hdnh {
     /// after the NVM half committed.
     fn begin_hot_write(&self, inner: &Inner, op: HotOp) -> HotWrite {
         match (&inner.hot, &self.sync) {
-            (Some(hot), Some(pool)) => HotWrite::Pending(pool.dispatch(hot, op)),
+            (Some(hot), Some(pool)) => {
+                fault::point("hot.dispatched");
+                HotWrite::Pending(pool.dispatch(hot, op))
+            }
             (Some(hot), None) => HotWrite::Inline(Arc::clone(hot), op),
             (None, _) => HotWrite::None,
         }
@@ -375,7 +484,10 @@ impl Hdnh {
 
     fn finish_hot_write(w: HotWrite) {
         match w {
-            HotWrite::Pending(handle) => handle.wait(),
+            HotWrite::Pending(handle) => {
+                fault::point("hot.wait_completed");
+                handle.wait()
+            }
             HotWrite::Inline(hot, op) => RAFL_RNG.with(|r| {
                 let rng = &mut *r.borrow_mut();
                 match op {
@@ -434,6 +546,7 @@ impl Hdnh {
                         for slot in 0..SLOTS_PER_BUCKET {
                             match ocf.try_lock_empty(bucket, slot) {
                                 LockOutcome::Locked(pre) => {
+                                    fault::point("insert.slot_locked");
                                     // (a) slot locked — overlap the hot-table
                                     // write with the NVM write.
                                     let hot = self.begin_hot_write(
@@ -447,10 +560,13 @@ impl Hdnh {
                                     );
                                     // (b) record persisted while invisible.
                                     level.write_record(bucket, slot, &rec);
+                                    fault::point("insert.record_written");
                                     // (c) failure-atomic commit.
                                     level.commit_slot_valid(bucket, slot);
+                                    fault::point("insert.bitmap_committed");
                                     // (d) publish in DRAM, release lock.
                                     ocf.commit(bucket, slot, pre, true, h.fp);
+                                    fault::point("insert.published");
                                     Self::finish_hot_write(hot);
                                     self.count.fetch_add(1, Ordering::Relaxed);
                                     return Ok(());
@@ -477,6 +593,7 @@ impl Hdnh {
                 let Some(old) = self.find_and_lock(&inner, key, &h) else {
                     return Err(IndexError::KeyNotFound);
                 };
+                fault::point("update.old_locked");
                 let (level, ocf) = inner.level(old.li);
                 let hot = self.begin_hot_write(
                     &inner,
@@ -495,9 +612,12 @@ impl Hdnh {
                     }
                     if let LockOutcome::Locked(pre_new) = ocf.try_lock_empty(old.bucket, ns) {
                         level.write_record(old.bucket, ns, &rec);
+                        fault::point("update.new_written");
                         level.commit_slot_swap(old.bucket, old.slot, ns);
+                        fault::point("update.swap_committed");
                         ocf.commit(old.bucket, ns, pre_new, true, h.fp);
                         ocf.commit(old.bucket, old.slot, old.entry, false, 0);
+                        fault::point("update.published");
                         Self::finish_hot_write(hot);
                         return Ok(());
                     }
@@ -515,10 +635,17 @@ impl Hdnh {
                             if let LockOutcome::Locked(pre_new) = ocf2.try_lock_empty(bucket2, ns)
                             {
                                 level2.write_record(bucket2, ns, &rec);
+                                fault::point("update.fallback.new_written");
                                 level2.commit_slot_valid(bucket2, ns);
+                                // The double-copy window: both the old and
+                                // the new version are bitmap-valid until the
+                                // next commit; recovery dedupes it.
+                                fault::point("update.fallback.new_committed");
                                 ocf2.commit(bucket2, ns, pre_new, true, h.fp);
                                 level.commit_slot_invalid(old.bucket, old.slot);
+                                fault::point("update.fallback.old_cleared");
                                 ocf.commit(old.bucket, old.slot, old.entry, false, 0);
+                                fault::point("update.fallback.published");
                                 Self::finish_hot_write(hot);
                                 return Ok(());
                             }
@@ -547,6 +674,7 @@ impl Hdnh {
         let Some(old) = self.find_and_lock(&inner, key, &h) else {
             return false;
         };
+        fault::point("remove.old_locked");
         let (level, ocf) = inner.level(old.li);
         let hot = self.begin_hot_write(
             &inner,
@@ -558,7 +686,9 @@ impl Hdnh {
             },
         );
         level.commit_slot_invalid(old.bucket, old.slot);
+        fault::point("remove.bitmap_cleared");
         ocf.commit(old.bucket, old.slot, old.entry, false, 0);
+        fault::point("remove.published");
         Self::finish_hot_write(hot);
         self.count.fetch_sub(1, Ordering::Relaxed);
         true
@@ -607,13 +737,21 @@ impl Hdnh {
         // Phase 1 — "apply for a new level" (level number 2). The planned
         // size is persisted first so recovery can always re-allocate.
         self.meta.set_new_top_segments(new_top_segments);
+        fault::point("resize.planned");
         self.meta.set_state(ResizeState::Allocating);
+        fault::point("resize.allocating");
         let new_top = Level::new(new_top_segments, bps, &self.params.nvm);
         let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
+        // Keep the new level reachable from the table while migration runs:
+        // a crash (unwind) mid-migration must surface its region to
+        // `into_pool`, exactly as a real NVM allocation would survive.
+        inner.pending_new_top = Some((new_top.clone(), Ocf::new(0, SLOTS_PER_BUCKET)));
+        fault::point("resize.allocated");
 
         // Phase 2 — rehash bottom-level items into the new top (level 3).
         self.meta.set_state(ResizeState::Rehashing);
         self.meta.set_rehash_progress(Some(0));
+        fault::point("resize.rehashing");
         Self::migrate(
             &inner.bottom,
             &new_top,
@@ -651,10 +789,12 @@ impl Hdnh {
                     continue;
                 }
                 Self::insert_into_level(to, to_ocf, rec, &h, candidates);
+                fault::point("resize.record_migrated");
             }
             // Paper: record the migrated bucket index so a crash resumes at
             // the next bucket.
             meta.set_rehash_progress(Some(b + 1));
+            fault::point("resize.bucket_migrated");
         }
     }
 
@@ -671,7 +811,9 @@ impl Hdnh {
             for slot in 0..SLOTS_PER_BUCKET {
                 if let LockOutcome::Locked(pre) = ocf.try_lock_empty(bucket, slot) {
                     level.write_record(bucket, slot, rec);
+                    fault::point("migrate.record_written");
                     level.commit_slot_valid(bucket, slot);
+                    fault::point("migrate.slot_committed");
                     ocf.commit(bucket, slot, pre, true, h.fp);
                     return;
                 }
@@ -704,6 +846,13 @@ impl Hdnh {
     }
 
     /// Phase-3 swap shared by resize and recovery-resume.
+    ///
+    /// Persistent commit order after the in-DRAM swap: geometry, then
+    /// cursor, then state. Recovery distinguishes every intermediate
+    /// window: a crash with the swap done but `Stable` unwritten is
+    /// detected either by `top_segments == new_top_segments` (geometry
+    /// already published — only this code writes that combination) or by
+    /// the pool's region sizes matching the post-swap arrangement.
     pub(crate) fn finalize_swap(&self, inner: &mut Inner, new_top: Level, new_ocf: Ocf) {
         let old_top_segments = inner.top.n_segments();
         let new_top_segments = new_top.n_segments();
@@ -712,9 +861,13 @@ impl Hdnh {
         inner.bottom = old_top;
         inner.ocf_bottom = old_ocf_top;
         inner.pending_new_top = None;
+        fault::point("resize.swapped");
         self.meta.set_geometry(new_top_segments, old_top_segments);
+        fault::point("resize.geometry_published");
         self.meta.set_rehash_progress(None);
+        fault::point("resize.progress_cleared");
         self.meta.set_state(ResizeState::Stable);
+        fault::point("resize.finalized");
         // The hot table scales with the table (§3.3 "dynamically adjusted"):
         // re-allocate at the new capacity; heat re-accumulates on reads.
         if self.params.enable_hot_table {

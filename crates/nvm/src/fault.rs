@@ -1,0 +1,250 @@
+//! Deterministic crash-point injection.
+//!
+//! Every durability-relevant step in the system is annotated with a named
+//! *crash site* via [`point`]. When injection is disabled (the default and
+//! the benchmark configuration) a site costs one relaxed atomic load.
+//! When enabled, the registry either *records* how often each site is hit
+//! by a workload, or is *armed* with a [`FaultPlan`]: at the k-th hit of
+//! the planned site the calling thread unwinds with an [`InjectedCrash`]
+//! panic payload, simulating the CPU dying at exactly that instruction.
+//! The harness catches the unwind, tears unflushed cachelines with
+//! [`NvmRegion::crash`](crate::NvmRegion::crash), and runs recovery.
+//!
+//! The registry is process-global (crash sites are free functions deep in
+//! the write paths), so explorers and tests that use it must not run
+//! concurrently with each other; each driver serializes its own runs.
+//!
+//! The same module hosts the strict-mode *ack-without-persist lint* gate:
+//! when [`set_lint_persists`] is on, [`NvmRegion::assert_persisted`]
+//! (called where an operation acknowledges durability) fails fast if any
+//! acknowledged byte still sits on a dirty or merely-staged cacheline.
+//! The lint assumes a single mutating thread (concurrent writers sharing
+//! a cacheline would trip it spuriously), so drivers enable it only for
+//! single-threaded phases.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+/// Panic payload thrown by [`point`] when an armed plan triggers.
+#[derive(Debug, Clone)]
+pub struct InjectedCrash {
+    /// The crash site that fired.
+    pub site: &'static str,
+    /// Which hit of that site fired (1-based).
+    pub hit: u64,
+}
+
+/// "Crash at the `hit`-th time site `site` is reached" (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Name of the crash site to trigger at.
+    pub site: String,
+    /// 1-based hit count at which to crash.
+    pub hit: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Count hits per site without crashing.
+    Record,
+    /// Crash at the planned (site, hit).
+    Armed,
+}
+
+struct FaultState {
+    mode: Mode,
+    plan: Option<FaultPlan>,
+    counts: BTreeMap<&'static str, u64>,
+    fired: Option<InjectedCrash>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static LINT_PERSISTS: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<FaultState>> = Mutex::new(None);
+
+/// Declares a crash site. One relaxed load when injection is disabled.
+#[inline]
+pub fn point(site: &'static str) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    point_slow(site);
+}
+
+#[cold]
+fn point_slow(site: &'static str) {
+    let crash = {
+        let mut guard = STATE.lock();
+        let Some(st) = guard.as_mut() else {
+            return;
+        };
+        let n = st.counts.entry(site).or_insert(0);
+        *n += 1;
+        let n = *n;
+        match (&st.mode, &st.plan) {
+            (Mode::Armed, Some(plan)) if plan.site == site && plan.hit == n => {
+                let info = InjectedCrash { site, hit: n };
+                st.fired = Some(info.clone());
+                // Disarm so the unwind (and any later recovery pass) runs
+                // to completion instead of re-firing.
+                st.mode = Mode::Record;
+                st.plan = None;
+                Some(info)
+            }
+            _ => None,
+        }
+    };
+    if let Some(info) = crash {
+        std::panic::panic_any(info);
+    }
+}
+
+/// Starts counting hits per site (no crashing). Clears previous counts.
+pub fn start_recording() {
+    let mut guard = STATE.lock();
+    *guard = Some(FaultState {
+        mode: Mode::Record,
+        plan: None,
+        counts: BTreeMap::new(),
+        fired: None,
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Arms a crash plan. Hit counting restarts from zero.
+pub fn arm(plan: FaultPlan) {
+    let mut guard = STATE.lock();
+    *guard = Some(FaultState {
+        mode: Mode::Armed,
+        plan: Some(plan),
+        counts: BTreeMap::new(),
+        fired: None,
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Re-arms with a follow-up plan (e.g. a second crash during recovery)
+/// *without* clearing the record of what already fired. Hit counting
+/// restarts from zero so the plan's count is relative to the new phase.
+pub fn rearm(plan: FaultPlan) {
+    let mut guard = STATE.lock();
+    match guard.as_mut() {
+        Some(st) => {
+            st.mode = Mode::Armed;
+            st.plan = Some(plan);
+            st.counts.clear();
+        }
+        None => {
+            *guard = Some(FaultState {
+                mode: Mode::Armed,
+                plan: Some(plan),
+                counts: BTreeMap::new(),
+                fired: None,
+            });
+        }
+    }
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Disables injection entirely and returns the recorded per-site hit
+/// counts of the finished phase.
+pub fn disarm() -> BTreeMap<&'static str, u64> {
+    ACTIVE.store(false, Ordering::Relaxed);
+    let mut guard = STATE.lock();
+    guard.take().map(|st| st.counts).unwrap_or_default()
+}
+
+/// The injected crash that fired since the last [`arm`], if any.
+pub fn fired() -> Option<InjectedCrash> {
+    STATE.lock().as_ref().and_then(|st| st.fired.clone())
+}
+
+/// Snapshot of the current phase's per-site hit counts.
+pub fn counts() -> BTreeMap<&'static str, u64> {
+    STATE
+        .lock()
+        .as_ref()
+        .map(|st| st.counts.clone())
+        .unwrap_or_default()
+}
+
+/// Interprets a `catch_unwind` payload: `Some` if the panic was an
+/// injected crash, `None` for a genuine failure that must propagate.
+pub fn injected(payload: &(dyn std::any::Any + Send)) -> Option<&InjectedCrash> {
+    payload.downcast_ref::<InjectedCrash>()
+}
+
+/// Enables or disables the strict-mode ack-without-persist lint. Returns
+/// the previous setting. Only honoured in debug builds.
+pub fn set_lint_persists(on: bool) -> bool {
+    LINT_PERSISTS.swap(on, Ordering::Relaxed)
+}
+
+/// Whether the ack-without-persist lint is currently enabled.
+#[inline]
+pub fn lint_persists() -> bool {
+    LINT_PERSISTS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; keep these tests on one lock so
+    // they do not interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_points_are_inert() {
+        let _g = TEST_LOCK.lock();
+        let _ = disarm();
+        point("test.site");
+        assert!(counts().is_empty());
+    }
+
+    #[test]
+    fn recording_counts_hits() {
+        let _g = TEST_LOCK.lock();
+        start_recording();
+        point("test.a");
+        point("test.a");
+        point("test.b");
+        let counts = disarm();
+        assert_eq!(counts.get("test.a"), Some(&2));
+        assert_eq!(counts.get("test.b"), Some(&1));
+    }
+
+    #[test]
+    fn armed_plan_fires_at_kth_hit() {
+        let _g = TEST_LOCK.lock();
+        arm(FaultPlan {
+            site: "test.x".into(),
+            hit: 3,
+        });
+        point("test.x");
+        point("test.x");
+        let r = std::panic::catch_unwind(|| point("test.x"));
+        let err = r.expect_err("third hit must crash");
+        let info = injected(&*err).expect("payload must be InjectedCrash");
+        assert_eq!(info.site, "test.x");
+        assert_eq!(info.hit, 3);
+        assert_eq!(fired().unwrap().site, "test.x");
+        // Disarmed after firing: the same site no longer crashes.
+        point("test.x");
+        let _ = disarm();
+    }
+
+    #[test]
+    fn other_sites_do_not_fire() {
+        let _g = TEST_LOCK.lock();
+        arm(FaultPlan {
+            site: "test.only".into(),
+            hit: 1,
+        });
+        point("test.other");
+        assert!(fired().is_none());
+        let _ = disarm();
+    }
+}

@@ -35,12 +35,14 @@
 
 #![warn(missing_docs)]
 pub mod bandwidth;
+pub mod fault;
 pub mod latency;
 pub mod pod;
 pub mod region;
 pub mod stats;
 
 pub use bandwidth::{BandwidthLimiter, BandwidthModel};
+pub use fault::{FaultPlan, InjectedCrash};
 pub use latency::LatencyModel;
 pub use pod::Pod;
 pub use region::{NvmOptions, NvmRegion, CACHELINE, NVM_BLOCK};

@@ -23,6 +23,7 @@ use hdnh_common::rng::XorShift64Star;
 use parking_lot::Mutex;
 
 use crate::bandwidth::{BandwidthLimiter, BandwidthModel};
+use crate::fault;
 use crate::latency::LatencyModel;
 use crate::pod::Pod;
 use crate::stats::NvmStats;
@@ -257,6 +258,7 @@ impl NvmRegion {
     /// Writes `data` at `off`. Sub-word edges merge with a CAS loop so
     /// concurrent writers of adjacent byte ranges never interfere.
     pub fn write_bytes(&self, off: usize, data: &[u8]) {
+        fault::point("nvm.write");
         self.check(off, data.len());
         let lines = Self::lines_spanned(off, data.len());
         self.stats.on_write(data.len(), lines);
@@ -350,6 +352,7 @@ impl NvmRegion {
     /// Atomic 64-bit store — the paper's "atomic write" for bitmap commits.
     #[inline]
     pub fn atomic_store_u64(&self, off: usize, val: u64, order: Ordering) {
+        fault::point("nvm.atomic_store");
         self.stats.on_write(8, 1);
         self.latency.charge_write(1);
         self.word_at(off).store(val, order);
@@ -366,6 +369,7 @@ impl NvmRegion {
         success: Ordering,
         failure: Ordering,
     ) -> Result<u64, u64> {
+        fault::point("nvm.cas");
         self.stats.on_write(8, 1);
         self.latency.charge_write(1);
         let r = self.word_at(off).compare_exchange(current, new, success, failure);
@@ -378,6 +382,7 @@ impl NvmRegion {
     /// Atomic fetch-or on a 64-bit word (set bitmap bits).
     #[inline]
     pub fn atomic_fetch_or_u64(&self, off: usize, bits: u64, order: Ordering) -> u64 {
+        fault::point("nvm.fetch_or");
         self.stats.on_write(8, 1);
         self.latency.charge_write(1);
         let r = self.word_at(off).fetch_or(bits, order);
@@ -388,6 +393,7 @@ impl NvmRegion {
     /// Atomic fetch-and on a 64-bit word (clear bitmap bits).
     #[inline]
     pub fn atomic_fetch_and_u64(&self, off: usize, bits: u64, order: Ordering) -> u64 {
+        fault::point("nvm.fetch_and");
         self.stats.on_write(8, 1);
         self.latency.charge_write(1);
         let r = self.word_at(off).fetch_and(bits, order);
@@ -399,6 +405,7 @@ impl NvmRegion {
     /// the paper's figure-10 update commit).
     #[inline]
     pub fn atomic_fetch_xor_u64(&self, off: usize, bits: u64, order: Ordering) -> u64 {
+        fault::point("nvm.fetch_xor");
         self.stats.on_write(8, 1);
         self.latency.charge_write(1);
         let r = self.word_at(off).fetch_xor(bits, order);
@@ -413,6 +420,7 @@ impl NvmRegion {
     /// `clwb` every cacheline covering `[off, off+len)`. Lines become
     /// *staged*: they reach media at the next [`fence`](Self::fence).
     pub fn flush(&self, off: usize, len: usize) {
+        fault::point("nvm.flush");
         self.check(off, len);
         let lines = Self::lines_spanned(off, len);
         self.stats.on_flush(lines);
@@ -432,6 +440,7 @@ impl NvmRegion {
 
     /// `sfence`: commits every staged line to the media image.
     pub fn fence(&self) {
+        fault::point("nvm.fence");
         self.stats.on_fence();
         self.latency.charge_fence();
         if let Some(strict) = &self.strict {
@@ -467,6 +476,49 @@ impl NvmRegion {
         let strict = self.strict.as_ref().expect("at_risk_lines requires strict mode");
         let st = strict.lock();
         st.dirty.len() + st.staged.len()
+    }
+
+    /// Ack-without-persist lint: asserts that every byte of
+    /// `[off, off+len)` has actually reached the media image — i.e. no
+    /// covering cacheline is still dirty (never flushed) or merely staged
+    /// (flushed but not yet fenced). Called where an operation is about to
+    /// acknowledge durability for those bytes; catches a missing `fence`
+    /// after a `flush` (or a missing `flush` altogether) deterministically
+    /// instead of relying on a randomized crash to land in the window.
+    ///
+    /// Debug builds only, and only when [`fault::set_lint_persists`] is
+    /// enabled: the check assumes a single mutating thread (a concurrent
+    /// writer sharing a cacheline would re-dirty it legitimately).
+    /// No-op outside strict mode.
+    #[inline]
+    pub fn assert_persisted(&self, off: usize, len: usize) {
+        #[cfg(debug_assertions)]
+        {
+            if len == 0 || !fault::lint_persists() {
+                return;
+            }
+            if let Some(strict) = &self.strict {
+                let st = strict.lock();
+                for line in (off / CACHELINE)..=((off + len - 1) / CACHELINE) {
+                    assert!(
+                        !st.dirty.contains(&line),
+                        "ack-without-persist: bytes {off}..{} acknowledged durable but \
+                         line {line} is dirty (missing flush)",
+                        off + len
+                    );
+                    assert!(
+                        !st.staged.contains(&line),
+                        "ack-without-persist: bytes {off}..{} acknowledged durable but \
+                         line {line} is staged (flush without fence)",
+                        off + len
+                    );
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (off, len);
+        }
     }
 
     /// Simulates a power failure and reboot.
@@ -887,5 +939,71 @@ mod tests {
         r.persist(0, 8);
         r.crash_with(|_| false);
         assert_eq!(r.atomic_load_u64(0, Ordering::Acquire), 77);
+    }
+
+    // ---------------- ack-without-persist lint ----------------
+
+    /// Serializes lint tests: the lint gate is process-global.
+    static LINT_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_lint(f: impl FnOnce()) {
+        let _g = LINT_LOCK.lock();
+        let prev = crate::fault::set_lint_persists(true);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        crate::fault::set_lint_persists(prev);
+        if let Err(e) = r {
+            std::panic::resume_unwind(e);
+        }
+    }
+
+    #[test]
+    fn lint_accepts_persisted_bytes() {
+        with_lint(|| {
+            let r = strict_region(256);
+            r.write_bytes(0, &[1; 16]);
+            r.persist(0, 16);
+            r.assert_persisted(0, 16);
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lint_catches_missing_flush() {
+        with_lint(|| {
+            let r = strict_region(256);
+            r.write_bytes(0, &[1; 16]);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                r.assert_persisted(0, 16)
+            }))
+            .expect_err("dirty line must trip the lint");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("missing flush"), "{msg}");
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lint_catches_flush_without_fence() {
+        with_lint(|| {
+            let r = strict_region(256);
+            r.write_bytes(0, &[1; 16]);
+            r.flush(0, 16);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                r.assert_persisted(0, 16)
+            }))
+            .expect_err("staged line must trip the lint");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("flush without fence"), "{msg}");
+        });
+    }
+
+    #[test]
+    fn lint_disabled_is_silent() {
+        let _g = LINT_LOCK.lock();
+        let prev = crate::fault::set_lint_persists(false);
+        let r = strict_region(256);
+        r.write_bytes(0, &[1; 16]);
+        r.assert_persisted(0, 16); // gate off: no panic
+        crate::fault::set_lint_persists(prev);
     }
 }

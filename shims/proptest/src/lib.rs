@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements a small deterministic property-testing engine with the API
+//! surface the workspace's tests use: `Strategy` (with `prop_map`),
+//! `any::<T>()`, integer range strategies, tuple strategies,
+//! `prop_oneof!`, `collection::vec`, `ProptestConfig`, the `proptest!`
+//! macro, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: no shrinking (a failure reports the
+//! deterministic per-case seed instead, which replays the exact inputs),
+//! and generation is driven by a fixed xorshift stream seeded from the
+//! test name so runs are reproducible without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+
+/// Subset of proptest's run configuration honoured by the shim runner.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `element` with a length in `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// Creates a strategy for vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty size range for vec strategy");
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]`-style function running `config.cases`
+/// deterministic cases; on panic the failing case's seed is printed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::test_runner::seed_base(stringify!($name));
+            for case in 0..config.cases {
+                let seed = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let _guard = $crate::test_runner::CaseGuard::new(stringify!($name), case, seed);
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Chooses uniformly among the given strategies (all must share a value
+/// type). Weighted arms are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

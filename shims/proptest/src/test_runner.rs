@@ -1,0 +1,65 @@
+//! Deterministic RNG and case bookkeeping for the proptest shim.
+
+/// xorshift64* generator; the whole shim's entropy source.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        TestRng(if seed == 0 { 0x853C_49E6_748F_EA9B } else { seed })
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+}
+
+/// Derives a per-test base seed from the test's name (FNV-1a), so runs
+/// are reproducible without a persistence file.
+pub fn seed_base(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Prints the failing case's identity if the test body panics, making
+/// any failure replayable (same name + case index → same inputs).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    seed: u64,
+}
+
+impl CaseGuard {
+    pub fn new(name: &'static str, case: u32, seed: u64) -> Self {
+        CaseGuard { name, case, seed }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: test `{}` failed at case {} (seed {:#018x})",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline placeholder for the `rand` crate.
+//!
+//! The workspace declares `rand` in a few manifests but the sources use
+//! their own xorshift generators throughout, so nothing here is needed
+//! beyond letting dependency resolution succeed without a registry. A
+//! tiny seedable generator is provided in case future code reaches for
+//! `rand::rngs::SmallRng`-style functionality.
+
+/// Minimal xorshift64* generator, deterministic and seedable.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng(u64);
+
+impl XorShiftRng {
+    /// Creates a generator from a nonzero-coerced seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        XorShiftRng(seed | 1)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShiftRng::seed_from_u64(42);
+        let mut b = XorShiftRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

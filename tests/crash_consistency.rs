@@ -5,6 +5,12 @@
 //! 8-byte granularity). These tests crash at many random points and after
 //! every resize phase, then verify that recovery reconstructs exactly the
 //! acknowledged state.
+//!
+//! Every scenario prints a `repro:` line to stderr before the crash; the
+//! harness replays captured output on failure, so any panic — including
+//! internal persistence-lint asserts with no seed in their message — comes
+//! with the exact (seed, op index, crash context) needed to re-run it.
+//! For crash-*site* level replay use `faultrun repro <tuple>` in the CLI.
 
 use hdnh::{Hdnh, HdnhParams};
 use hdnh_common::rng::XorShift64Star;
@@ -58,20 +64,29 @@ fn random_crash_points_preserve_acknowledged_state() {
                     assert_eq!(
                         t.get(&k(id)).map(|x| x.as_u64()),
                         oracle.get(&id).copied(),
-                        "pre-crash divergence (seed {seed})"
+                        "pre-crash divergence at op {step}/{n_ops} id {id} (rng_seed={seed})"
                     );
                 }
             }
         }
+        let crash_seed = seed.wrapping_mul(0x9E37_79B9);
         let pool = t.into_pool();
-        pool.crash(seed.wrapping_mul(0x9E37_79B9));
+        let dropped = pool.crash(crash_seed);
+        eprintln!(
+            "repro: random_crash_points rng_seed={seed} n_ops={n_ops} \
+             crash_seed={crash_seed} dropped_words={dropped}"
+        );
         let r = Hdnh::recover(params(), pool, 2);
-        assert_eq!(r.len(), oracle.len(), "seed {seed}");
+        assert_eq!(
+            r.len(),
+            oracle.len(),
+            "live count after recovery (rng_seed={seed} n_ops={n_ops} crash_seed={crash_seed})"
+        );
         for (&id, &val) in &oracle {
             assert_eq!(
                 r.get(&k(id)).map(|x| x.as_u64()),
                 Some(val),
-                "seed {seed} id {id}"
+                "id {id} (rng_seed={seed} n_ops={n_ops} crash_seed={crash_seed})"
             );
         }
     }
@@ -98,11 +113,19 @@ fn crash_at_every_rehash_cursor() {
             t.insert(&k(i), &v(i * 2 + 1)).unwrap();
         }
         let pool = t.into_crashed_mid_resize(stop);
-        pool.crash(stop as u64);
+        let dropped = pool.crash(stop as u64);
+        eprintln!(
+            "repro: rehash_cursor crash at rehash cursor {stop}/{buckets} \
+             crash_seed={stop} dropped_words={dropped}"
+        );
         let r = Hdnh::recover(params(), pool, 2);
-        assert_eq!(r.len(), 300, "stop {stop}");
+        assert_eq!(r.len(), 300, "live count (rehash cursor {stop}, crash_seed={stop})");
         for i in 0..300u64 {
-            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i * 2 + 1, "stop {stop} key {i}");
+            assert_eq!(
+                r.get(&k(i)).unwrap().as_u64(),
+                i * 2 + 1,
+                "key {i} (rehash cursor {stop}, crash_seed={stop})"
+            );
         }
     }
 }
@@ -116,16 +139,18 @@ fn crash_then_crash_again_during_recovered_state() {
         t.insert(&k(i), &v(i)).unwrap();
     }
     let pool = t.into_crashed_mid_resize(2);
-    pool.crash(1);
+    let dropped = pool.crash(1);
+    eprintln!("repro: double_crash first crash at rehash cursor 2, crash_seed=1, dropped_words={dropped}");
     let r = Hdnh::recover(params(), pool, 2);
-    assert_eq!(r.len(), 400);
+    assert_eq!(r.len(), 400, "after first recovery");
     // Crash the *recovered* table immediately.
     let pool = r.into_pool();
-    pool.crash(2);
+    let dropped = pool.crash(2);
+    eprintln!("repro: double_crash second crash of recovered table, crash_seed=2, dropped_words={dropped}");
     let r2 = Hdnh::recover(params(), pool, 2);
-    assert_eq!(r2.len(), 400);
+    assert_eq!(r2.len(), 400, "after second recovery");
     for i in 0..400u64 {
-        assert_eq!(r2.get(&k(i)).unwrap().as_u64(), i);
+        assert_eq!(r2.get(&k(i)).unwrap().as_u64(), i, "key {i} after second recovery");
     }
 }
 
@@ -150,11 +175,21 @@ fn survives_many_crash_cycles() {
             }
         }
         let pool = t.into_pool();
-        pool.crash(0xC0FFEE + cycle);
+        let crash_seed = 0xC0FFEE + cycle;
+        let dropped = pool.crash(crash_seed);
+        eprintln!("repro: crash_cycles cycle={cycle} crash_seed={crash_seed:#x} dropped_words={dropped}");
         t = Hdnh::recover(params(), pool, 2);
-        assert_eq!(t.len(), expected.len(), "cycle {cycle}");
+        assert_eq!(
+            t.len(),
+            expected.len(),
+            "live count (cycle {cycle}, crash_seed={crash_seed:#x})"
+        );
         for (&id, &val) in &expected {
-            assert_eq!(t.get(&k(id)).map(|x| x.as_u64()), Some(val), "cycle {cycle} id {id}");
+            assert_eq!(
+                t.get(&k(id)).map(|x| x.as_u64()),
+                Some(val),
+                "id {id} (cycle {cycle}, crash_seed={crash_seed:#x})"
+            );
         }
     }
 }
@@ -173,12 +208,18 @@ fn update_crash_window_deduplicates() {
             t.update(&k(i), &v(i + 500)).unwrap();
         }
         let pool = t.into_pool();
-        pool.crash(seed + 77);
+        let crash_seed = seed + 77;
+        let dropped = pool.crash(crash_seed);
+        eprintln!("repro: update_window crash after 200 updates, crash_seed={crash_seed} dropped_words={dropped}");
         let r = Hdnh::recover(params(), pool, 2);
-        assert_eq!(r.len(), 200, "seed {seed}");
+        assert_eq!(r.len(), 200, "live count (crash_seed={crash_seed})");
         for i in 0..200u64 {
             let got = r.get(&k(i)).unwrap().as_u64();
-            assert_eq!(got, i + 500, "seed {seed} id {i}: update was acknowledged");
+            assert_eq!(
+                got,
+                i + 500,
+                "id {i}: update was acknowledged (crash_seed={crash_seed})"
+            );
         }
     }
 }

@@ -1,0 +1,71 @@
+//! Exhaustive crash-point matrix (the fault-injection acceptance test).
+//!
+//! Drives `hdnh::faultexplore` over every named crash site discovered by
+//! the built-in op mixes, crashing at sampled hit counts and verifying that
+//! recovery restores an oracle-consistent, invariant-clean table. Runs in
+//! its own test binary because the fault registry is process-global: one
+//! `#[test]` owns the whole matrix so nothing else can arm or record
+//! concurrently.
+
+use hdnh::faultexplore::{explore, ExploreConfig};
+
+/// Site categories the ISSUE demands coverage for, with a witness prefix.
+const REQUIRED_CATEGORIES: &[(&str, &str)] = &[
+    ("insert", "insert."),
+    ("update", "update."),
+    ("update-fallback", "update.fallback."),
+    ("remove", "remove."),
+    ("resize-allocate", "resize.alloc"),
+    ("resize-migrate", "migrate."),
+    ("resize-swap", "resize.swapped"),
+    ("sync-write", "hot."),
+    ("recovery", "recover."),
+    ("nvm-store", "nvm.write"),
+    ("nvm-flush", "nvm.flush"),
+    ("nvm-fence", "nvm.fence"),
+    ("nvm-cas", "nvm.fetch_or"),
+];
+
+#[test]
+fn crash_point_matrix() {
+    let cfg = ExploreConfig::full();
+    let mut n = 0usize;
+    let report = explore(&cfg, |case| {
+        n += 1;
+        if !case.pass {
+            eprintln!("FAIL {} :: {}", case.repro(), case.detail);
+        } else if n % 50 == 0 {
+            eprintln!("... {n} cases, last {}", case.repro());
+        }
+    });
+
+    // Coverage: the matrix must have discovered a rich site inventory.
+    assert!(
+        report.sites_seen.len() >= 25,
+        "only {} distinct crash sites discovered: {:?}",
+        report.sites_seen.len(),
+        report.sites_seen.keys().collect::<Vec<_>>()
+    );
+    for (category, prefix) in REQUIRED_CATEGORIES {
+        assert!(
+            report.sites_seen.keys().any(|s| s.starts_with(prefix)),
+            "no crash site covers category '{category}' (prefix '{prefix}'); saw {:?}",
+            report.sites_seen.keys().collect::<Vec<_>>()
+        );
+    }
+
+    // Correctness: every (mix, site, hit, seed) case recovered cleanly.
+    let failures = report.failures();
+    assert!(
+        failures.is_empty(),
+        "{} of {} cases failed:\n{}",
+        failures.len(),
+        report.cases.len(),
+        failures
+            .iter()
+            .map(|f| format!("  {} :: {}", f.repro(), f.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.cases.len() >= 100, "matrix suspiciously small: {n} cases");
+}
