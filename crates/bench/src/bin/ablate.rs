@@ -106,8 +106,8 @@ fn main() {
             false,
         );
         let after = t.nvm_stats();
-        let pos_blocks = mid.since(&before).read_blocks as f64 / ops as f64;
-        let neg_blocks = after.since(&mid).read_blocks as f64 / ops as f64;
+        let pos_blocks = mid.since(&before).per_op(ops as u64).read_blocks;
+        let neg_blocks = after.since(&mid).per_op(ops as u64).read_blocks;
 
         table.row(vec![
             scheme.name().to_string(),

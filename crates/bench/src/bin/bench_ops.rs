@@ -1,0 +1,111 @@
+//! Machine-readable YCSB run: workloads A/B/C/F against one preloaded HDNH
+//! table with the `hdnh-obs` registry enabled, consolidated into
+//! `BENCH_ops.json`.
+//!
+//! Unlike the figure binaries (which print tables for humans), this one
+//! exists for harnesses: per workload it emits throughput, the registry's
+//! per-op latency percentiles, event counters, derived rates (OCF false
+//! positives, hot-table hits, sync-write overlap) and NVM media counts per
+//! op — everything needed to track a regression without re-parsing prose.
+//!
+//! Knobs: `HDNH_SCALE`, `HDNH_THREADS`, `HDNH_NO_LATENCY` as everywhere,
+//! plus `HDNH_BENCH_OUT` to override the output path (default
+//! `BENCH_ops.json` in the working directory).
+
+use std::fmt::Write as _;
+
+use hdnh::Hdnh;
+use hdnh_bench::report::banner;
+use hdnh_bench::runner::{preload, run_workload};
+use hdnh_bench::schemes::hdnh_params;
+use hdnh_bench::{max_threads, scaled};
+use hdnh_obs as obs;
+use hdnh_ycsb::{KeySpace, WorkloadSpec};
+
+fn main() {
+    let preloaded = scaled(60_000) as u64;
+    let ops_per_thread = scaled(25_000);
+    let threads = max_threads().max(1);
+    let out_path = std::env::var("HDNH_BENCH_OUT").unwrap_or_else(|_| "BENCH_ops.json".into());
+    banner(
+        "bench_ops",
+        "YCSB A/B/C/F with full-path metrics (machine-readable)",
+        &format!(
+            "preload {preloaded}; {ops_per_thread} ops/thread x {threads} threads; \
+             registry JSON per workload -> {out_path}"
+        ),
+    );
+
+    obs::set_enabled(true);
+    let ks = KeySpace::default();
+    let table = Hdnh::new(hdnh_params(preloaded as usize));
+    preload(&table, &ks, preloaded, threads);
+
+    let workloads: [(char, WorkloadSpec); 4] = [
+        ('a', WorkloadSpec::ycsb_a()),
+        ('b', WorkloadSpec::ycsb_b()),
+        ('c', WorkloadSpec::ycsb_c()),
+        ('f', WorkloadSpec::ycsb_f()),
+    ];
+
+    let mut wl_json = String::new();
+    for (i, (name, spec)) in workloads.iter().enumerate() {
+        let m0 = obs::snapshot();
+        let s0 = table.nvm_stats();
+        let r = run_workload(
+            &table,
+            &ks,
+            spec,
+            preloaded,
+            ops_per_thread,
+            threads,
+            0xA11CE ^ i as u64,
+            false,
+        );
+        let dm = obs::snapshot().since(&m0);
+        let per = table.nvm_stats().since(&s0).per_op(r.ops as u64);
+        let get = dm.op(obs::OpKind::Get);
+        println!(
+            "YCSB-{}: {} ops in {:.3} s ({:.3} Mops/s); get p50 {} ns p99 {} ns; \
+             registry ops {}; blk reads/op {:.3}",
+            name.to_ascii_uppercase(),
+            r.ops,
+            r.secs,
+            r.mops(),
+            get.quantile(0.5),
+            get.quantile(0.99),
+            dm.total_ops(),
+            per.read_blocks,
+        );
+        let _ = write!(
+            wl_json,
+            "{}\"{}\":{{\"ops\":{},\"secs\":{:.6},\"mops\":{:.4},\"metrics\":{},\
+             \"nvm_per_op\":{{\"reads\":{:.4},\"read_blocks\":{:.4},\"writes\":{:.4},\
+             \"write_lines\":{:.4},\"flushes\":{:.4},\"fences\":{:.4}}}}}",
+            if i == 0 { "" } else { "," },
+            name,
+            r.ops,
+            r.secs,
+            r.mops(),
+            dm.to_json(),
+            per.reads,
+            per.read_blocks,
+            per.writes,
+            per.write_lines,
+            per.flushes,
+            per.fences,
+        );
+    }
+
+    let doc = format!(
+        "{{\"bench\":\"ops\",\"threads\":{threads},\"preload\":{preloaded},\
+         \"ops_per_thread\":{ops_per_thread},\"workloads\":{{{wl_json}}}}}\n"
+    );
+    match std::fs::write(&out_path, &doc) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error writing {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

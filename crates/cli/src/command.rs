@@ -17,8 +17,10 @@ pub enum Command {
     Fill(u64),
     /// `workload <a|b|c|f> <ops>` — run a YCSB mix against the table.
     Workload(char, usize),
-    /// `stats` — NVM media counters.
-    Stats,
+    /// `stats [delta|reset]` — NVM media counters (see [`StatsMode`]).
+    Stats(StatsMode),
+    /// `metrics [...]` — hdnh-obs registry exposition (see [`MetricsMode`]).
+    Metrics(MetricsMode),
     /// `info` — table geometry, length, load factor, footprints.
     Info,
     /// `verify` — full integrity audit.
@@ -36,6 +38,43 @@ pub enum Command {
     Help,
     /// `quit` / `exit`.
     Quit,
+}
+
+/// What `stats` should print.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsMode {
+    /// Counters since process start.
+    Absolute,
+    /// Counters since the last `stats reset`.
+    Delta,
+    /// Move the delta baseline to now (prints nothing else).
+    Reset,
+}
+
+/// Output format for `metrics`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricsFormat {
+    /// Prometheus text followed by the one-line JSON document.
+    Both,
+    /// One-line JSON only.
+    Json,
+    /// Prometheus text only.
+    Prom,
+}
+
+/// What `metrics` should do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricsMode {
+    /// Print the registry (optionally as a delta since the last
+    /// `metrics reset`).
+    Show {
+        /// Which exposition format(s) to print.
+        format: MetricsFormat,
+        /// Subtract the baseline captured by the last `metrics reset`.
+        delta: bool,
+    },
+    /// Move the delta baseline to now.
+    Reset,
 }
 
 /// What `faultrun` should execute.
@@ -96,7 +135,45 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
             };
             Command::Workload(mix, int(toks.next(), "op count")? as usize)
         }
-        "stats" => Command::Stats,
+        "stats" => {
+            let mode = match toks.next() {
+                None => StatsMode::Absolute,
+                Some("delta") => StatsMode::Delta,
+                Some("reset") => StatsMode::Reset,
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "unknown stats mode '{other}' (delta|reset)"
+                    )))
+                }
+            };
+            Command::Stats(mode)
+        }
+        "metrics" => {
+            let mut format = MetricsFormat::Both;
+            let mut delta = false;
+            let mut reset = false;
+            for tok in toks.by_ref() {
+                match tok {
+                    "json" => format = MetricsFormat::Json,
+                    "prom" | "prometheus" => format = MetricsFormat::Prom,
+                    "delta" => delta = true,
+                    "reset" => reset = true,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown metrics argument '{other}' (json|prom|delta|reset)"
+                        )))
+                    }
+                }
+            }
+            if reset && (delta || format != MetricsFormat::Both) {
+                return Err(ParseError("'metrics reset' takes no other arguments".into()));
+            }
+            Command::Metrics(if reset {
+                MetricsMode::Reset
+            } else {
+                MetricsMode::Show { format, delta }
+            })
+        }
         "info" => Command::Info,
         "verify" | "check" => Command::Verify,
         "crash" => Command::Crash(int(toks.next(), "seed")?),
@@ -161,7 +238,11 @@ commands:
   delete <key>            remove a record
   fill <n>                bulk-insert ids 0..n
   workload <a|b|c|f> <n>  run n ops of a YCSB mix
-  stats                   NVM media counters
+  stats [delta|reset]     NVM media counters (absolute, since-reset, or
+                          move the baseline)
+  metrics [json|prom] [delta]  hdnh-obs registry: per-op latency histograms,
+                          event counters, derived rates, phase spans
+  metrics reset           move the metrics delta baseline
   info                    table geometry and occupancy
   verify                  per-invariant integrity audit
   crash <seed>            simulate power failure + recovery (strict mode)
@@ -193,7 +274,7 @@ mod tests {
 
     #[test]
     fn parses_admin() {
-        assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("stats").unwrap(), Some(Command::Stats(StatsMode::Absolute)));
         assert_eq!(parse("info").unwrap(), Some(Command::Info));
         assert_eq!(parse("verify").unwrap(), Some(Command::Verify));
         assert_eq!(parse("crash 42").unwrap(), Some(Command::Crash(42)));
@@ -223,6 +304,59 @@ mod tests {
         );
         assert!(parse("faultrun bogus").is_err());
         assert!(parse("faultrun repro").is_err());
+    }
+
+    #[test]
+    fn parses_stats_modes() {
+        assert_eq!(
+            parse("stats delta").unwrap(),
+            Some(Command::Stats(StatsMode::Delta))
+        );
+        assert_eq!(
+            parse("stats reset").unwrap(),
+            Some(Command::Stats(StatsMode::Reset))
+        );
+        assert!(parse("stats bogus").is_err());
+        assert!(parse("stats delta extra").is_err());
+    }
+
+    #[test]
+    fn parses_metrics_forms() {
+        assert_eq!(
+            parse("metrics").unwrap(),
+            Some(Command::Metrics(MetricsMode::Show {
+                format: MetricsFormat::Both,
+                delta: false,
+            }))
+        );
+        assert_eq!(
+            parse("metrics json").unwrap(),
+            Some(Command::Metrics(MetricsMode::Show {
+                format: MetricsFormat::Json,
+                delta: false,
+            }))
+        );
+        assert_eq!(
+            parse("metrics prom delta").unwrap(),
+            Some(Command::Metrics(MetricsMode::Show {
+                format: MetricsFormat::Prom,
+                delta: true,
+            }))
+        );
+        assert_eq!(
+            parse("metrics delta json").unwrap(),
+            Some(Command::Metrics(MetricsMode::Show {
+                format: MetricsFormat::Json,
+                delta: true,
+            }))
+        );
+        assert_eq!(
+            parse("metrics reset").unwrap(),
+            Some(Command::Metrics(MetricsMode::Reset))
+        );
+        assert!(parse("metrics bogus").is_err());
+        assert!(parse("metrics reset delta").is_err());
+        assert!(parse("metrics json reset").is_err());
     }
 
     #[test]

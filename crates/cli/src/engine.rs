@@ -6,11 +6,12 @@ use std::time::Instant;
 use hdnh::faultexplore::{self, ExploreConfig, OpMix};
 use hdnh::{Hdnh, HdnhParams};
 use hdnh_common::{HashIndex, IndexError, Key, Value};
-use hdnh_nvm::{FaultPlan, NvmOptions};
+use hdnh_nvm::{FaultPlan, NvmOptions, StatsSnapshot};
+use hdnh_obs as obs;
 use hdnh_ycsb::trace::{load_trace, save_trace};
 use hdnh_ycsb::{generate_ops, KeySpace, Op, WorkloadSpec};
 
-use crate::command::{Command, FaultRunMode, HELP};
+use crate::command::{Command, FaultRunMode, MetricsFormat, MetricsMode, StatsMode, HELP};
 
 /// Engine configuration (mapped from CLI flags by the binary).
 #[derive(Clone, Debug)]
@@ -40,6 +41,10 @@ pub struct Engine {
     ks: KeySpace,
     /// Next id for `fill` continuation and workload inserts.
     next_fill_id: u64,
+    /// Baseline for `stats delta` (moved by `stats reset`).
+    stats_base: StatsSnapshot,
+    /// Baseline for `metrics delta` (moved by `metrics reset`).
+    metrics_base: obs::MetricsSnapshot,
 }
 
 /// Outcome of executing one command.
@@ -62,11 +67,16 @@ impl Engine {
         } else {
             NvmOptions::fast()
         };
+        // The shell is an observability surface: the registry is always on
+        // here (library users opt in via `hdnh_obs::set_enabled`).
+        obs::set_enabled(true);
         Engine {
             table: Some(Hdnh::new(params.clone())),
             params,
             ks: KeySpace::default(),
             next_fill_id: 0,
+            stats_base: StatsSnapshot::default(),
+            metrics_base: obs::MetricsSnapshot::empty(),
         }
     }
 
@@ -120,13 +130,49 @@ impl Engine {
                 ))
             }
             Command::Workload(mix, ops) => self.run_workload(mix, ops),
-            Command::Stats => {
-                let s = self.table().nvm_stats();
+            Command::Stats(mode) => {
+                let now = self.table().nvm_stats();
+                let s = match mode {
+                    StatsMode::Absolute => now,
+                    StatsMode::Delta => now.since(&self.stats_base),
+                    StatsMode::Reset => {
+                        self.stats_base = now;
+                        return Outcome::Text("stats baseline reset".to_string());
+                    }
+                };
                 let mut out = String::new();
+                if mode == StatsMode::Delta {
+                    let _ = writeln!(out, "(since last 'stats reset')");
+                }
                 let _ = writeln!(out, "reads        {:>12}  ({} blocks)", s.reads, s.read_blocks);
                 let _ = writeln!(out, "writes       {:>12}  ({} lines)", s.writes, s.write_lines);
                 let _ = writeln!(out, "flushes      {:>12}", s.flushes);
                 let _ = write!(out, "fences       {:>12}", s.fences);
+                Outcome::Text(out)
+            }
+            Command::Metrics(mode) => {
+                let now = obs::snapshot();
+                let (s, format) = match mode {
+                    MetricsMode::Reset => {
+                        self.metrics_base = now;
+                        return Outcome::Text("metrics baseline reset".to_string());
+                    }
+                    MetricsMode::Show { format, delta } => {
+                        let s = if delta { now.since(&self.metrics_base) } else { now };
+                        (s, format)
+                    }
+                };
+                let out = match format {
+                    MetricsFormat::Both => {
+                        format!("{}{}", s.to_prometheus(), s.to_json())
+                    }
+                    MetricsFormat::Json => s.to_json(),
+                    MetricsFormat::Prom => {
+                        let mut p = s.to_prometheus();
+                        p.pop(); // drop trailing newline for println
+                        p
+                    }
+                };
                 Outcome::Text(out)
             }
             Command::Info => {
@@ -144,11 +190,14 @@ impl Engine {
                 ))
             }
             Command::Verify => {
+                let span = obs::phase_start();
                 let (reports, live) = self.table().verify_integrity_report();
+                obs::phase_record(obs::Phase::Verify, span, live as u64);
+                let ms = obs::snapshot().phase(obs::Phase::Verify).last_ns as f64 / 1e6;
                 let failed = reports.iter().filter(|r| !r.ok).count();
                 let mut out = String::new();
                 if failed == 0 {
-                    let _ = writeln!(out, "integrity ok: {live} live records");
+                    let _ = writeln!(out, "integrity ok: {live} live records ({ms:.1} ms)");
                 } else {
                     let _ = writeln!(out, "INTEGRITY VIOLATION: {failed} invariant(s) failed");
                 }
@@ -167,7 +216,6 @@ impl Engine {
                         "crash requires strict mode (run with --strict)".to_string(),
                     );
                 }
-                let t0 = Instant::now();
                 let table = self.table.take().expect("table present");
                 let pool = table.into_pool();
                 let dropped = pool.crash(seed);
@@ -175,9 +223,12 @@ impl Engine {
                 let recovered = Hdnh::recover(self.params.clone(), pool, threads);
                 let len = recovered.len();
                 self.table = Some(recovered);
+                // Recovery time comes from the registry's recovery_total
+                // span (recorded inside `recover` itself), not a wrapper
+                // clock, so the shell and `metrics` report the same number.
+                let ms = obs::snapshot().phase(obs::Phase::RecoveryTotal).last_ns as f64 / 1e6;
                 Outcome::Text(format!(
-                    "crashed ({dropped} words dropped), recovered {len} records in {:.1} ms",
-                    t0.elapsed().as_secs_f64() * 1e3
+                    "crashed ({dropped} words dropped), recovered {len} records in {ms:.1} ms"
                 ))
             }
             Command::FaultRun(mode) => Outcome::Text(Self::fault_run(mode)),
@@ -248,15 +299,18 @@ impl Engine {
                 } else {
                     ExploreConfig::full()
                 };
-                let t0 = Instant::now();
+                let span = obs::phase_start();
                 let report = faultexplore::explore(&cfg, |_| ());
+                obs::phase_record(obs::Phase::FaultExplore, span, report.cases.len() as u64);
+                let secs =
+                    obs::snapshot().phase(obs::Phase::FaultExplore).last_ns as f64 / 1e9;
                 let mut out = String::new();
                 let _ = writeln!(
                     out,
                     "explored {} crash sites, {} cases in {:.1} s",
                     report.sites_seen.len(),
                     report.cases.len(),
-                    t0.elapsed().as_secs_f64()
+                    secs
                 );
                 // Per-site rollup.
                 let mut per_site: std::collections::BTreeMap<&str, (usize, usize)> =
@@ -420,6 +474,43 @@ mod tests {
         run(&mut e, "fill 100");
         let out = run(&mut e, "stats");
         assert!(out.contains("writes"), "{out}");
+    }
+
+    #[test]
+    fn stats_delta_and_reset() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "fill 200");
+        let absolute = run(&mut e, "stats");
+        assert!(!absolute.contains("(0 lines)"), "{absolute}");
+        assert_eq!(run(&mut e, "stats reset"), "stats baseline reset");
+        // Nothing touched the table since the reset: the delta is zero even
+        // though the absolute counters still show the fill.
+        let out = run(&mut e, "stats delta");
+        assert!(out.starts_with("(since last 'stats reset')"), "{out}");
+        assert!(out.contains("(0 lines)"), "{out}");
+        run(&mut e, "fill 100");
+        let out = run(&mut e, "stats delta");
+        assert!(!out.contains("(0 lines)"), "{out}");
+    }
+
+    #[test]
+    fn metrics_exposition_forms() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "fill 200");
+        let out = run(&mut e, "metrics json");
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        assert!(out.contains("\"insert\"") && out.contains("\"derived\""), "{out}");
+        let out = run(&mut e, "metrics prom");
+        assert!(out.contains("hdnh_ops_total"), "{out}");
+        assert!(!out.starts_with('{'), "{out}");
+        let both = run(&mut e, "metrics");
+        assert!(both.contains("hdnh_ops_total"), "{both}");
+        assert!(both.lines().last().unwrap().starts_with('{'), "{both}");
+        assert_eq!(run(&mut e, "metrics reset"), "metrics baseline reset");
+        // Delta form stays parseable (exact zeros can't be asserted here:
+        // the registry is process-global and tests run concurrently).
+        let out = run(&mut e, "metrics delta json");
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
     }
 
     #[test]

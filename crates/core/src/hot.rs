@@ -35,6 +35,7 @@ use std::sync::atomic::{fence, AtomicU32, Ordering};
 
 use hdnh_common::rng::XorShift64Star;
 use hdnh_common::{Key, Record, Value};
+use hdnh_obs as obs;
 use parking_lot::Mutex;
 
 use crate::params::HotPolicy;
@@ -357,10 +358,12 @@ impl HotTable {
                 }
                 if rec.key == *key {
                     self.touch(level, idx);
+                    obs::count(obs::Counter::HotHit);
                     return Some(rec.value);
                 }
             }
         }
+        obs::count(obs::Counter::HotMiss);
         None
     }
 
@@ -457,7 +460,10 @@ impl HotTable {
                     });
                 match victim {
                     Some(s) => (s, false),
-                    None => return, // everything busy: skip
+                    None => {
+                        obs::count(obs::Counter::HotPutSkip);
+                        return; // everything busy: skip
+                    }
                 }
             }
         };
@@ -465,6 +471,7 @@ impl HotTable {
         let idx = lv.slot_idx(bucket, slot);
         let m = lv.meta[idx].load(Ordering::Relaxed);
         if m_busy(m) {
+            obs::count(obs::Counter::HotPutSkip);
             return; // contended: skip, stay best-effort
         }
         if let Some(locked) = self.try_lock(level, idx, m) {
@@ -473,15 +480,21 @@ impl HotTable {
             match self.policy {
                 HotPolicy::Rafl => {
                     if reset_hot {
+                        obs::count(obs::Counter::HotEvictRandom);
                         // "After that we set all hotmaps of the bucket to 0"
                         // — stop hot squatters monopolising the bucket.
                         for s in 0..lv.slots {
                             lv.meta[lv.slot_idx(bucket, s)].fetch_and(!M_HOT, Ordering::Relaxed);
                         }
+                        obs::count(obs::Counter::HotHotmapClear);
+                    } else {
+                        obs::count(obs::Counter::HotEvictCold);
                     }
                 }
                 HotPolicy::Lru => self.lru_touch(level, idx),
             }
+        } else {
+            obs::count(obs::Counter::HotPutSkip);
         }
     }
 

@@ -28,6 +28,8 @@
 
 use std::sync::atomic::{fence, AtomicU16, Ordering};
 
+use hdnh_obs as obs;
+
 /// VALID bit: slot holds a live record.
 pub const E_VALID: u16 = 1;
 /// BUSY bit: slot is locked by a writer (the paper's opmap).
@@ -149,6 +151,9 @@ impl Ocf {
         let cur = cell.load(Ordering::Relaxed);
         if is_valid(cur) || is_busy(cur) {
             return if is_busy(cur) {
+                // Contention events only: a Mismatch on a valid slot is the
+                // insert scan walking occupied slots, not a failed lock.
+                obs::count(obs::Counter::OpmapCasFail);
                 LockOutcome::Contended
             } else {
                 LockOutcome::Mismatch
@@ -159,7 +164,10 @@ impl Ocf {
                 fence(Ordering::Release);
                 LockOutcome::Locked(cur)
             }
-            Err(_) => LockOutcome::Contended,
+            Err(_) => {
+                obs::count(obs::Counter::OpmapCasFail);
+                LockOutcome::Contended
+            }
         }
     }
 
@@ -168,6 +176,7 @@ impl Ocf {
     /// Guarantees the slot content cannot have changed since that load.
     pub fn try_lock_at(&self, bucket: usize, slot: usize, expected: u16) -> LockOutcome {
         if is_busy(expected) {
+            obs::count(obs::Counter::OpmapCasFail);
             return LockOutcome::Contended;
         }
         let cell = &self.entries[self.idx(bucket, slot)];
@@ -182,6 +191,7 @@ impl Ocf {
                 LockOutcome::Locked(expected)
             }
             Err(now) => {
+                obs::count(obs::Counter::OpmapCasFail);
                 if now & !E_BUSY != expected & !E_BUSY {
                     LockOutcome::Mismatch
                 } else {

@@ -31,6 +31,7 @@ use hdnh_common::hash::KeyHashes;
 use hdnh_common::rng::XorShift64Star;
 use hdnh_common::Key;
 use hdnh_nvm::{fault, NvmRegion};
+use hdnh_obs as obs;
 use parking_lot::RwLock;
 
 use crate::hot::HotTable;
@@ -161,7 +162,10 @@ impl Hdnh {
         fault::point("recover.opened");
 
         // ---- resize state machine ----
-        match meta.state() {
+        let resume_state = meta.state();
+        let resume_span = obs::phase_start();
+        let mut resumed_moved = 0u64;
+        match resume_state {
             ResizeState::Stable => {}
             ResizeState::Allocating => {
                 // Level number 2: the new level was never published. Apply
@@ -185,7 +189,9 @@ impl Hdnh {
                 meta.set_state(ResizeState::Rehashing);
                 meta.set_rehash_progress(Some(0));
                 fault::point("recover.alloc.restarted");
-                Self::migrate(&bottom, &new_top, &new_ocf, 0, false, &meta, candidates(&params));
+                resumed_moved =
+                    Self::migrate(&bottom, &new_top, &new_ocf, 0, false, &meta, candidates(&params))
+                        as u64;
                 Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
             }
             ResizeState::Rehashing => {
@@ -229,21 +235,25 @@ impl Hdnh {
                     // progress persistence is needed during recovery — if
                     // recovery itself crashes, the next one redoes the same
                     // idempotent work.
-                    migrate_parallel_dupcheck(
+                    resumed_moved = migrate_parallel_dupcheck(
                         &bottom,
                         &new_top,
                         &new_ocf,
                         start,
                         candidates(&params),
                         threads,
-                    );
+                    ) as u64;
                     fault::point("recover.rehash.migrated");
                     Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
                 }
             }
         }
+        if resume_state != ResizeState::Stable {
+            obs::phase_record(obs::Phase::RecoveryResume, resume_span, resumed_moved);
+        }
 
         // ---- rebuild DRAM structures (merged single scan) ----
+        let rebuild_span = obs::phase_start();
         let ocf_top = Ocf::new(top.n_buckets(), SLOTS_PER_BUCKET);
         let ocf_bottom = Ocf::new(bottom.n_buckets(), SLOTS_PER_BUCKET);
         let hot = params
@@ -254,8 +264,10 @@ impl Hdnh {
             hot.as_deref(),
             threads,
         );
+        obs::phase_record(obs::Phase::RecoveryRebuild, rebuild_span, count as u64);
         fault::point("recover.rebuilt");
         let total = t0.elapsed();
+        obs::phase_record_ns(obs::Phase::RecoveryTotal, total.as_nanos() as u64, count as u64);
 
         // ---- separate timings for table 1 (measurement-only passes) ----
         let t1 = Instant::now();
@@ -386,7 +398,8 @@ fn candidates(params: &HdnhParams) -> usize {
 /// skipping records that already arrived before the crash. Source buckets
 /// are disjoint across stripes and every key lives in exactly one source
 /// bucket, so threads never race on the same key; slot allocation in the
-/// target goes through the OCF's CAS locks.
+/// target goes through the OCF's CAS locks. Returns the number of records
+/// actually moved (dup-checked records already present are not counted).
 fn migrate_parallel_dupcheck(
     from: &Level,
     to: &Level,
@@ -394,16 +407,17 @@ fn migrate_parallel_dupcheck(
     start: usize,
     cands: usize,
     threads: usize,
-) {
+) -> usize {
     let n = from.n_buckets();
     if start >= n {
-        return;
+        return 0;
     }
     let threads = threads.max(1).min(n - start);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 s.spawn(move || {
+                    let mut moved = 0usize;
                     let remaining = n - start;
                     let per = remaining.div_ceil(threads);
                     let (lo, hi) = (start + t * per, (start + (t + 1) * per).min(n));
@@ -416,21 +430,26 @@ fn migrate_parallel_dupcheck(
                             let h = KeyHashes::of(&rec.key);
                             if Hdnh::find_in_level(to, to_ocf, &rec.key, &h, cands).is_none() {
                                 Hdnh::insert_into_level(to, to_ocf, rec, &h, cands);
+                                moved += 1;
                             }
                         }
                     }
+                    moved
                 })
             })
             .collect();
         // Re-raise worker panics with their original payload: the fault
         // explorer discriminates injected crashes by downcasting it, and
         // scope's own "a scoped thread panicked" message would hide it.
+        let mut moved = 0usize;
         for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
+            match h.join() {
+                Ok(m) => moved += m,
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-    });
+        moved
+    })
 }
 
 /// Scans one level serially and installs OCF entries (used for the new top

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hdnh_common::rng::XorShift64Star;
 use hdnh_common::{Key, Record};
+use hdnh_obs as obs;
 
 use crate::hot::HotTable;
 
@@ -74,6 +75,13 @@ impl SyncSignal {
     /// machine still schedules the background worker.
     #[inline]
     fn wait(&self) {
+        if self.0.load(Ordering::Acquire) == 1 {
+            // The DRAM half finished strictly inside the NVM half's shadow:
+            // the overlap the paper's figure 7 argues for.
+            obs::count(obs::Counter::SyncOverlapWin);
+            return;
+        }
+        obs::count(obs::Counter::SyncOverlapWait);
         let mut spins = 0u32;
         while self.0.load(Ordering::Acquire) == 0 {
             spins += 1;

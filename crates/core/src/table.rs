@@ -41,6 +41,7 @@ use hdnh_common::rng::XorShift64Star;
 use hdnh_common::{HashIndex, IndexError, IndexResult, Key, Record, Value};
 use hdnh_nvm::fault;
 use hdnh_nvm::StatsSnapshot;
+use hdnh_obs as obs;
 use parking_lot::RwLock;
 
 use crate::hot::HotTable;
@@ -423,13 +424,18 @@ impl Hdnh {
                         // With the filter disabled (ablation) every valid
                         // slot costs a media read, like Level hashing.
                         if self.params.enable_ocf && ocf::fp(e) != h.fp {
+                            obs::count(obs::Counter::OcfNegativeShortCircuit);
                             continue 'slot;
                         }
                         let rec = level.read_record(bucket, slot);
                         if !ocf.revalidate(bucket, slot, e) {
+                            obs::count(obs::Counter::SeqlockReadRetry);
                             continue; // concurrent writer: retry this slot
                         }
                         if rec.key == *key {
+                            if self.params.enable_ocf {
+                                obs::count(obs::Counter::OcfTrueMatch);
+                            }
                             return Some(Located {
                                 li,
                                 bucket,
@@ -437,6 +443,12 @@ impl Hdnh {
                                 entry: e,
                                 value: rec.value,
                             });
+                        }
+                        // Fingerprint matched but the key differs: the NVM
+                        // read above was wasted (the 1/256 false-positive
+                        // cost the paper budgets for).
+                        if self.params.enable_ocf {
+                            obs::count(obs::Counter::OcfFalsePositive);
                         }
                         continue 'slot;
                     }
@@ -505,6 +517,13 @@ impl Hdnh {
 
     /// Point lookup (§3.5, figure 8): hot table → OCF fingerprints → NVM.
     pub fn get(&self, key: &Key) -> Option<Value> {
+        let t = obs::op_start();
+        let out = self.get_inner(key);
+        obs::op_record(obs::OpKind::Get, t);
+        out
+    }
+
+    fn get_inner(&self, key: &Key) -> Option<Value> {
         let h = KeyHashes::of(key);
         let inner = self.inner.read();
         if let Some(hot) = &inner.hot {
@@ -531,6 +550,13 @@ impl Hdnh {
 
     /// Inserts a new record (figure 9).
     pub fn insert(&self, key: &Key, value: &Value) -> IndexResult<()> {
+        let t = obs::op_start();
+        let out = self.insert_inner(key, value);
+        obs::op_record(obs::OpKind::Insert, t);
+        out
+    }
+
+    fn insert_inner(&self, key: &Key, value: &Value) -> IndexResult<()> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
         loop {
@@ -584,6 +610,13 @@ impl Hdnh {
 
     /// Replaces the value of an existing key (figure 10).
     pub fn update(&self, key: &Key, value: &Value) -> IndexResult<()> {
+        let t = obs::op_start();
+        let out = self.update_inner(key, value);
+        obs::op_record(obs::OpKind::Update, t);
+        out
+    }
+
+    fn update_inner(&self, key: &Key, value: &Value) -> IndexResult<()> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
         loop {
@@ -669,6 +702,13 @@ impl Hdnh {
 
     /// Removes a key. Returns `true` if it was present.
     pub fn remove(&self, key: &Key) -> bool {
+        let t = obs::op_start();
+        let out = self.remove_inner(key);
+        obs::op_record(obs::OpKind::Remove, t);
+        out
+    }
+
+    fn remove_inner(&self, key: &Key) -> bool {
         let h = KeyHashes::of(key);
         let inner = self.inner.read();
         let Some(old) = self.find_and_lock(&inner, key, &h) else {
@@ -736,6 +776,7 @@ impl Hdnh {
 
         // Phase 1 — "apply for a new level" (level number 2). The planned
         // size is persisted first so recovery can always re-allocate.
+        let span = obs::phase_start();
         self.meta.set_new_top_segments(new_top_segments);
         fault::point("resize.planned");
         self.meta.set_state(ResizeState::Allocating);
@@ -747,12 +788,14 @@ impl Hdnh {
         // `into_pool`, exactly as a real NVM allocation would survive.
         inner.pending_new_top = Some((new_top.clone(), Ocf::new(0, SLOTS_PER_BUCKET)));
         fault::point("resize.allocated");
+        obs::phase_record(obs::Phase::ResizeAllocate, span, new_top.n_slots() as u64);
 
         // Phase 2 — rehash bottom-level items into the new top (level 3).
+        let span = obs::phase_start();
         self.meta.set_state(ResizeState::Rehashing);
         self.meta.set_rehash_progress(Some(0));
         fault::point("resize.rehashing");
-        Self::migrate(
+        let moved = Self::migrate(
             &inner.bottom,
             &new_top,
             &new_ocf,
@@ -761,14 +804,18 @@ impl Hdnh {
             &self.meta,
             self.n_candidates(),
         );
+        obs::phase_record(obs::Phase::ResizeRehash, span, moved as u64);
 
         // Phase 3 — swap levels, publish geometry, return to stable.
+        let span = obs::phase_start();
         self.finalize_swap(inner, new_top, new_ocf);
+        obs::phase_record(obs::Phase::ResizeSwap, span, 0);
     }
 
     /// Moves every valid record in `from` buckets `[start..]` into `to`,
     /// updating the persisted progress cursor per bucket. With `dup_check`
     /// (recovery resume), records already present in `to` are skipped.
+    /// Returns the number of records moved.
     pub(crate) fn migrate(
         from: &Level,
         to: &Level,
@@ -777,7 +824,8 @@ impl Hdnh {
         dup_check: bool,
         meta: &Meta,
         candidates: usize,
-    ) {
+    ) -> usize {
+        let mut moved = 0usize;
         for b in start..from.n_buckets() {
             let (header, recs) = from.read_bucket(b);
             for (slot, rec) in recs.iter().enumerate() {
@@ -789,6 +837,7 @@ impl Hdnh {
                     continue;
                 }
                 Self::insert_into_level(to, to_ocf, rec, &h, candidates);
+                moved += 1;
                 fault::point("resize.record_migrated");
             }
             // Paper: record the migrated bucket index so a crash resumes at
@@ -796,6 +845,7 @@ impl Hdnh {
             meta.set_rehash_progress(Some(b + 1));
             fault::point("resize.bucket_migrated");
         }
+        moved
     }
 
     /// Single-threaded insert used by resize/recovery (same persistence

@@ -46,4 +46,4 @@ pub use fault::{FaultPlan, InjectedCrash};
 pub use latency::LatencyModel;
 pub use pod::Pod;
 pub use region::{NvmOptions, NvmRegion, CACHELINE, NVM_BLOCK};
-pub use stats::{NvmStats, StatsSnapshot};
+pub use stats::{NvmStats, PerOpStats, StatsSnapshot};

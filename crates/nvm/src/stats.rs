@@ -31,24 +31,62 @@ pub struct NvmStats {
 }
 
 /// A point-in-time copy of [`NvmStats`], with subtraction for deltas.
+///
+/// The fields mix two units, and asserting on the wrong one is a classic
+/// footgun:
+///
+/// * **API events** (`reads`, `writes`, `fences`) count *calls into the
+///   device* — one `read_record` is one read regardless of size.
+/// * **Media events** (`read_blocks`, `write_lines`, `flushes`) count
+///   *device work*: 256-byte read blocks (the paper's XPLine-granularity
+///   read unit) and 64-byte written/flushed cachelines. One API read can
+///   touch several blocks, and one API write several lines.
+/// * `read_bytes` / `write_bytes` are plain byte totals.
+///
+/// The paper's efficiency arguments are all in media units; use the API
+/// counts only to normalize (see [`per_op`](Self::per_op)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Read operations issued.
+    /// Read operations issued (API events, size-independent).
     pub reads: u64,
     /// Bytes read.
     pub read_bytes: u64,
-    /// Distinct 256-byte media blocks touched by reads.
+    /// Distinct 256-byte media blocks touched by reads (media events).
     pub read_blocks: u64,
-    /// Write operations issued.
+    /// Write operations issued (API events, size-independent).
     pub writes: u64,
     /// Bytes written.
     pub write_bytes: u64,
-    /// Distinct cachelines touched by writes.
+    /// Distinct 64-byte cachelines touched by writes (media events).
     pub write_lines: u64,
-    /// `clwb`-equivalent flushes issued.
+    /// `clwb`-equivalent flushes issued, one per covered line (media
+    /// events).
     pub flushes: u64,
-    /// `sfence`-equivalent fences issued.
+    /// `sfence`-equivalent fences issued (API events).
     pub fences: u64,
+}
+
+/// A [`StatsSnapshot`] normalized to a per-operation view: every field
+/// divided by an op count. Shared by benches and tests so nobody
+/// hand-rolls the divisions (and the divide-by-zero guard) differently.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerOpStats {
+    /// Read operations per op.
+    pub reads: f64,
+    /// Bytes read per op.
+    pub read_bytes: f64,
+    /// 256-byte media blocks read per op.
+    pub read_blocks: f64,
+    /// Write operations per op.
+    pub writes: f64,
+    /// Bytes written per op.
+    pub write_bytes: f64,
+    /// Cachelines written per op.
+    pub write_lines: f64,
+    /// Line flushes per op.
+    pub flushes: f64,
+    /// Fences per op.
+    pub fences: f64,
 }
 
 impl NvmStats {
@@ -123,10 +161,38 @@ impl StatsSnapshot {
         }
     }
 
-    /// Sum of all media events — a crude "NVM pressure" scalar used in
-    /// ablation summaries.
+    /// Sum of all media-facing events — a crude "NVM pressure" scalar used
+    /// in ablation summaries.
+    ///
+    /// Deliberately sums **media units plus fences**, not API events: it
+    /// uses `read_blocks` (256-byte blocks actually pulled from media)
+    /// rather than `reads` (API calls, which may each touch several
+    /// blocks), and `write_lines`/`flushes` rather than `writes`. Fences
+    /// are API events but each one stalls the write pipeline, so they
+    /// count as pressure too. `reads`/`writes`/byte totals are excluded —
+    /// adding call counts to block counts would double-count every access
+    /// in mismatched units.
     pub fn total_events(&self) -> u64 {
         self.read_blocks + self.write_lines + self.flushes + self.fences
+    }
+
+    /// Normalizes every field by `ops` operations. Returns all zeros when
+    /// `ops` is 0 (no NaNs in reports).
+    pub fn per_op(&self, ops: u64) -> PerOpStats {
+        if ops == 0 {
+            return PerOpStats::default();
+        }
+        let d = ops as f64;
+        PerOpStats {
+            reads: self.reads as f64 / d,
+            read_bytes: self.read_bytes as f64 / d,
+            read_blocks: self.read_blocks as f64 / d,
+            writes: self.writes as f64 / d,
+            write_bytes: self.write_bytes as f64 / d,
+            write_lines: self.write_lines as f64 / d,
+            flushes: self.flushes as f64 / d,
+            fences: self.fences as f64 / d,
+        }
     }
 }
 
@@ -181,8 +247,33 @@ mod tests {
             write_lines: 2,
             flushes: 4,
             fences: 1,
-            ..Default::default()
+            // API-event counters must NOT contribute.
+            reads: 100,
+            writes: 100,
+            read_bytes: 1_000,
+            write_bytes: 1_000,
         };
         assert_eq!(snap.total_events(), 10);
+    }
+
+    #[test]
+    fn per_op_normalizes_and_guards_zero() {
+        let snap = StatsSnapshot {
+            reads: 10,
+            read_bytes: 310,
+            read_blocks: 20,
+            writes: 5,
+            write_bytes: 40,
+            write_lines: 5,
+            flushes: 5,
+            fences: 5,
+        };
+        let per = snap.per_op(10);
+        assert_eq!(per.reads, 1.0);
+        assert_eq!(per.read_bytes, 31.0);
+        assert_eq!(per.read_blocks, 2.0);
+        assert_eq!(per.writes, 0.5);
+        assert_eq!(per.fences, 0.5);
+        assert_eq!(snap.per_op(0), PerOpStats::default());
     }
 }

@@ -1,0 +1,201 @@
+//! Exposition: Prometheus text format and hand-rolled JSON.
+//!
+//! Both renderers work from a [`MetricsSnapshot`], so absolute and delta
+//! views use the same code path. JSON is emitted as a single line so CLI
+//! consumers (and the CI smoke test) can grab it with a one-line match and
+//! feed it straight to a JSON parser.
+
+use std::fmt::Write;
+
+use crate::{Counter, MetricsSnapshot, OpKind, Phase};
+
+const QUANTILES: [(f64, &str); 4] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// Prometheus text exposition format.
+pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    out.push_str("# TYPE hdnh_ops_total counter\n");
+    for &op in &OpKind::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_ops_total{{op=\"{}\"}} {}",
+            op.name(),
+            s.op(op).count()
+        );
+    }
+
+    out.push_str("# TYPE hdnh_op_latency_ns gauge\n");
+    for &op in &OpKind::ALL {
+        let h = s.op(op);
+        for &(q, label) in &QUANTILES {
+            let _ = writeln!(
+                out,
+                "hdnh_op_latency_ns{{op=\"{}\",quantile=\"{label}\"}} {}",
+                op.name(),
+                h.quantile(q)
+            );
+        }
+    }
+    out.push_str("# TYPE hdnh_op_latency_ns_max gauge\n");
+    for &op in &OpKind::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_op_latency_ns_max{{op=\"{}\"}} {}",
+            op.name(),
+            s.op(op).max()
+        );
+    }
+
+    out.push_str("# TYPE hdnh_events_total counter\n");
+    for &c in &Counter::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_events_total{{event=\"{}\"}} {}",
+            c.name(),
+            s.counter(c)
+        );
+    }
+
+    out.push_str("# TYPE hdnh_ocf_false_positive_rate gauge\n");
+    let _ = writeln!(out, "hdnh_ocf_false_positive_rate {:.6}", s.ocf_false_positive_rate());
+    out.push_str("# TYPE hdnh_hot_hit_rate gauge\n");
+    let _ = writeln!(out, "hdnh_hot_hit_rate {:.6}", s.hot_hit_rate());
+    out.push_str("# TYPE hdnh_sync_overlap_win_rate gauge\n");
+    let _ = writeln!(out, "hdnh_sync_overlap_win_rate {:.6}", s.sync_overlap_win_rate());
+
+    out.push_str("# TYPE hdnh_phase_runs_total counter\n");
+    for &p in &Phase::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_phase_runs_total{{phase=\"{}\"}} {}",
+            p.name(),
+            s.phase(p).runs
+        );
+    }
+    out.push_str("# TYPE hdnh_phase_ns_total counter\n");
+    for &p in &Phase::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_phase_ns_total{{phase=\"{}\"}} {}",
+            p.name(),
+            s.phase(p).total_ns
+        );
+    }
+    out.push_str("# TYPE hdnh_phase_last_ns gauge\n");
+    for &p in &Phase::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_phase_last_ns{{phase=\"{}\"}} {}",
+            p.name(),
+            s.phase(p).last_ns
+        );
+    }
+    out.push_str("# TYPE hdnh_phase_items_total counter\n");
+    for &p in &Phase::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_phase_items_total{{phase=\"{}\"}} {}",
+            p.name(),
+            s.phase(p).items
+        );
+    }
+    out
+}
+
+/// One line of JSON covering ops, events, derived rates and phases.
+pub(crate) fn json(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"ops\":{");
+    for (i, &op) in OpKind::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let h = s.op(op);
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"min_ns\":{}}}",
+            op.name(),
+            h.count(),
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.quantile(0.999),
+            h.max(),
+            h.min(),
+        );
+    }
+    out.push_str("},\"events\":{");
+    for (i, &c) in Counter::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", c.name(), s.counter(c));
+    }
+    let _ = write!(
+        out,
+        "}},\"derived\":{{\"total_ops\":{},\"ocf_false_positive_rate\":{:.6},\"hot_hit_rate\":{:.6},\"sync_overlap_win_rate\":{:.6}}},\"phases\":{{",
+        s.total_ops(),
+        s.ocf_false_positive_rate(),
+        s.hot_hit_rate(),
+        s.sync_overlap_win_rate(),
+    );
+    for (i, &p) in Phase::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = s.phase(p);
+        let _ = write!(
+            out,
+            "\"{}\":{{\"runs\":{},\"total_ns\":{},\"last_ns\":{},\"max_ns\":{},\"items\":{}}}",
+            p.name(),
+            ph.runs,
+            ph.total_ns,
+            ph.last_ns,
+            ph.max_ns,
+            ph.items,
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsSnapshot;
+
+    #[test]
+    fn prometheus_covers_every_family() {
+        let text = MetricsSnapshot::empty().to_prometheus();
+        for family in [
+            "hdnh_ops_total{op=\"get\"}",
+            "hdnh_op_latency_ns{op=\"get\",quantile=\"0.5\"}",
+            "hdnh_op_latency_ns{op=\"update\",quantile=\"0.99\"}",
+            "hdnh_op_latency_ns_max{op=\"remove\"}",
+            "hdnh_events_total{event=\"ocf_false_positive\"}",
+            "hdnh_events_total{event=\"seqlock_read_retry\"}",
+            "hdnh_ocf_false_positive_rate",
+            "hdnh_hot_hit_rate",
+            "hdnh_phase_runs_total{phase=\"resize_rehash\"}",
+            "hdnh_phase_items_total{phase=\"recovery_total\"}",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_is_one_line_and_balanced() {
+        let j = MetricsSnapshot::empty().to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"ops\":{"));
+        assert!(j.ends_with("}}"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces: {j}"
+        );
+        for key in ["\"get\"", "\"events\"", "\"derived\"", "\"total_ops\"", "\"phases\"", "\"resize_allocate\""] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

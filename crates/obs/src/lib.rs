@@ -1,0 +1,770 @@
+//! Process-wide observability registry for the HDNH stack.
+//!
+//! Every claim in the paper is an observability claim — the OCF exists to
+//! drive NVM block reads per probe toward zero, RAFL exists to keep the
+//! hot-table hit rate high, and the optimistic seqlock read is only
+//! "read-efficient" if retries stay negligible. This crate makes those
+//! quantities observable at runtime with three primitive kinds:
+//!
+//! * **[`Counter`]s** — monotonic event counts (OCF outcomes, hot-table
+//!   hits, seqlock retries, …), sharded across a small fixed set of slots
+//!   indexed by a per-thread id so concurrent increments do not contend on
+//!   one cacheline.
+//! * **Per-op latency histograms** — one sharded
+//!   [`AtomicHistogram`](hist::AtomicHistogram) per [`OpKind`], log-linear
+//!   (HdrHistogram-style) with p50/p90/p99/p999 + exact max.
+//! * **[`Phase`] spans** — duration + item counts for rare long-running
+//!   phases (the three resize phases, recovery, verification).
+//!
+//! The registry is process-global and **disabled by default**. Every
+//! instrumentation site is gated on one relaxed atomic load (the same
+//! pattern as the crash-point registry in `hdnh-nvm`'s `fault` module), so
+//! a build that never calls [`set_enabled`] pays one predictable branch per
+//! site and nothing else. [`snapshot`] merges all shards into a
+//! [`MetricsSnapshot`] that can be diffed ([`MetricsSnapshot::since`]) and
+//! rendered as Prometheus text or JSON.
+//!
+//! Because the registry is global, tests that assert exact counts must
+//! serialize against other threads recording metrics (see
+//! `tests/metrics_accounting.rs` in the workspace root).
+
+#![warn(missing_docs)]
+
+pub mod hist;
+
+mod expo;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use hist::{AtomicHistogram, HistSnapshot};
+
+/// Number of counter/histogram shards. Threads are striped across shards
+/// by a monotonically assigned id; 8 shards is plenty for the thread
+/// counts the benches use while keeping snapshot merges cheap.
+const SHARDS: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Metric identifiers
+// ---------------------------------------------------------------------------
+
+/// Monotonic event counters, one per observable path decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// OCF fingerprint matched and the NVM record's key matched too.
+    OcfTrueMatch = 0,
+    /// OCF fingerprint matched but the NVM record's key differed — the
+    /// probe paid an NVM block read for nothing.
+    OcfFalsePositive,
+    /// OCF fingerprint mismatch let a probe skip the NVM read entirely.
+    OcfNegativeShortCircuit,
+    /// Optimistic OCF read had to retry because the entry version moved.
+    SeqlockReadRetry,
+    /// An opmap (OCF busy-bit) lock attempt failed: slot busy or CAS lost.
+    OpmapCasFail,
+    /// Hot-table search hit.
+    HotHit,
+    /// Hot-table search miss.
+    HotMiss,
+    /// RAFL eviction of a cold (hot-bit clear) victim.
+    HotEvictCold,
+    /// RAFL eviction of a random victim (all candidates were hot).
+    HotEvictRandom,
+    /// RAFL cleared a bucket's hot bits after a random eviction.
+    HotHotmapClear,
+    /// Hot-table insert abandoned (victim slot contended).
+    HotPutSkip,
+    /// Synchronous-write overlap won: the DRAM write finished under the
+    /// NVM write and the foreground thread never spun.
+    SyncOverlapWin,
+    /// Synchronous-write overlap lost: the foreground thread had to spin
+    /// for the background writer.
+    SyncOverlapWait,
+}
+
+impl Counter {
+    /// Every counter, in exposition order.
+    pub const ALL: [Counter; 13] = [
+        Counter::OcfTrueMatch,
+        Counter::OcfFalsePositive,
+        Counter::OcfNegativeShortCircuit,
+        Counter::SeqlockReadRetry,
+        Counter::OpmapCasFail,
+        Counter::HotHit,
+        Counter::HotMiss,
+        Counter::HotEvictCold,
+        Counter::HotEvictRandom,
+        Counter::HotHotmapClear,
+        Counter::HotPutSkip,
+        Counter::SyncOverlapWin,
+        Counter::SyncOverlapWait,
+    ];
+
+    /// Stable snake_case name used in exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OcfTrueMatch => "ocf_true_match",
+            Counter::OcfFalsePositive => "ocf_false_positive",
+            Counter::OcfNegativeShortCircuit => "ocf_negative_short_circuit",
+            Counter::SeqlockReadRetry => "seqlock_read_retry",
+            Counter::OpmapCasFail => "opmap_cas_fail",
+            Counter::HotHit => "hot_hit",
+            Counter::HotMiss => "hot_miss",
+            Counter::HotEvictCold => "hot_evict_cold",
+            Counter::HotEvictRandom => "hot_evict_random",
+            Counter::HotHotmapClear => "hot_hotmap_clear",
+            Counter::HotPutSkip => "hot_put_skip",
+            Counter::SyncOverlapWin => "sync_overlap_win",
+            Counter::SyncOverlapWait => "sync_overlap_wait",
+        }
+    }
+}
+
+const N_COUNTERS: usize = Counter::ALL.len();
+
+/// The four public table operations, each with its own latency histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum OpKind {
+    /// Point lookup.
+    Get = 0,
+    /// Insert of a new key.
+    Insert,
+    /// In-place update of an existing key.
+    Update,
+    /// Removal.
+    Remove,
+}
+
+impl OpKind {
+    /// Every op kind, in exposition order.
+    pub const ALL: [OpKind; 4] = [OpKind::Get, OpKind::Insert, OpKind::Update, OpKind::Remove];
+
+    /// Stable name used in exposition labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Get => "get",
+            OpKind::Insert => "insert",
+            OpKind::Update => "update",
+            OpKind::Remove => "remove",
+        }
+    }
+}
+
+const N_OPS: usize = OpKind::ALL.len();
+
+/// Rare long-running phases measured as spans (duration + items).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Resize phase 1: plan + allocate the new level pair.
+    ResizeAllocate = 0,
+    /// Resize phase 2: rehash the old bottom level (items = records moved).
+    ResizeRehash,
+    /// Resize phase 3: persist the level swap and retire the old region.
+    ResizeSwap,
+    /// Recovery: resuming an interrupted resize (items = records moved).
+    RecoveryResume,
+    /// Recovery: rebuilding the DRAM OCF + hot table (items = live records).
+    RecoveryRebuild,
+    /// Recovery end to end (items = live records).
+    RecoveryTotal,
+    /// Full integrity audit (items = live records).
+    Verify,
+    /// One crash-point exploration sweep (items = cases executed).
+    FaultExplore,
+}
+
+impl Phase {
+    /// Every phase, in exposition order.
+    pub const ALL: [Phase; 8] = [
+        Phase::ResizeAllocate,
+        Phase::ResizeRehash,
+        Phase::ResizeSwap,
+        Phase::RecoveryResume,
+        Phase::RecoveryRebuild,
+        Phase::RecoveryTotal,
+        Phase::Verify,
+        Phase::FaultExplore,
+    ];
+
+    /// Stable name used in exposition labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ResizeAllocate => "resize_allocate",
+            Phase::ResizeRehash => "resize_rehash",
+            Phase::ResizeSwap => "resize_swap",
+            Phase::RecoveryResume => "recovery_resume",
+            Phase::RecoveryRebuild => "recovery_rebuild",
+            Phase::RecoveryTotal => "recovery_total",
+            Phase::Verify => "verify",
+            Phase::FaultExplore => "fault_explore",
+        }
+    }
+}
+
+const N_PHASES: usize = Phase::ALL.len();
+
+// ---------------------------------------------------------------------------
+// Global storage
+// ---------------------------------------------------------------------------
+
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+struct CounterShard {
+    vals: [AtomicU64; N_COUNTERS],
+    // Pad each shard past a cacheline pair so neighbouring shards (and
+    // therefore unrelated threads) never false-share.
+    _pad: [u64; 3],
+}
+
+impl CounterShard {
+    const fn new() -> Self {
+        CounterShard {
+            vals: [ZERO; N_COUNTERS],
+            _pad: [0; 3],
+        }
+    }
+}
+
+const COUNTER_SHARD: CounterShard = CounterShard::new();
+static COUNTERS: [CounterShard; SHARDS] = [COUNTER_SHARD; SHARDS];
+
+const HIST: AtomicHistogram = AtomicHistogram::new();
+const HIST_ROW: [AtomicHistogram; N_OPS] = [HIST; N_OPS];
+static OP_HISTS: [[AtomicHistogram; N_OPS]; SHARDS] = [HIST_ROW; SHARDS];
+
+struct PhaseCell {
+    runs: AtomicU64,
+    total_ns: AtomicU64,
+    last_ns: AtomicU64,
+    max_ns: AtomicU64,
+    items: AtomicU64,
+}
+
+impl PhaseCell {
+    const fn new() -> Self {
+        PhaseCell {
+            runs: ZERO,
+            total_ns: ZERO,
+            last_ns: ZERO,
+            max_ns: ZERO,
+            items: ZERO,
+        }
+    }
+
+    fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            runs: self.runs.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            last_ns: self.last_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.runs.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.last_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        self.items.store(0, Ordering::Relaxed);
+    }
+}
+
+const PHASE_CELL: PhaseCell = PhaseCell::new();
+static PHASES: [PhaseCell; N_PHASES] = [PHASE_CELL; N_PHASES];
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+#[inline]
+fn shard() -> usize {
+    SHARD.with(|s| *s)
+}
+
+// ---------------------------------------------------------------------------
+// Recording API
+// ---------------------------------------------------------------------------
+
+/// Whether the registry is recording. One relaxed load — this is the whole
+/// disabled-path cost of every instrumentation site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Increments `c` by one (no-op while disabled).
+#[inline]
+pub fn count(c: Counter) {
+    if !enabled() {
+        return;
+    }
+    add_slow(c, 1);
+}
+
+/// Increments `c` by `n` (no-op while disabled).
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    add_slow(c, n);
+}
+
+#[cold]
+fn add_slow(c: Counter, n: u64) {
+    COUNTERS[shard()].vals[c as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Starts an op latency measurement; `None` while disabled, so the
+/// disabled path never reads the clock.
+#[inline]
+pub fn op_start() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Completes an op latency measurement started with [`op_start`].
+#[inline]
+pub fn op_record(op: OpKind, started: Option<Instant>) {
+    if let Some(t) = started {
+        op_record_slow(op, t.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Records a pre-measured op latency in nanoseconds (no-op while disabled).
+#[inline]
+pub fn op_record_ns(op: OpKind, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    op_record_slow(op, ns);
+}
+
+#[cold]
+fn op_record_slow(op: OpKind, ns: u64) {
+    OP_HISTS[shard()][op as usize].record(ns);
+}
+
+/// Starts a phase span; `None` while disabled.
+#[inline]
+pub fn phase_start() -> Option<Instant> {
+    op_start()
+}
+
+/// Completes a phase span started with [`phase_start`]. `items` is the
+/// phase's work unit (records moved, cases run, …); pass 0 when
+/// meaningless.
+#[inline]
+pub fn phase_record(p: Phase, started: Option<Instant>, items: u64) {
+    if let Some(t) = started {
+        phase_apply(p, t.elapsed().as_nanos() as u64, items);
+    }
+}
+
+/// Records a pre-measured phase span (no-op while disabled). For callers
+/// that already time the phase for their own reporting.
+#[inline]
+pub fn phase_record_ns(p: Phase, ns: u64, items: u64) {
+    if !enabled() {
+        return;
+    }
+    phase_apply(p, ns, items);
+}
+
+#[cold]
+fn phase_apply(p: Phase, ns: u64, items: u64) {
+    let cell = &PHASES[p as usize];
+    cell.runs.fetch_add(1, Ordering::Relaxed);
+    cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+    cell.last_ns.store(ns, Ordering::Relaxed);
+    cell.max_ns.fetch_max(ns, Ordering::Relaxed);
+    cell.items.fetch_add(items, Ordering::Relaxed);
+}
+
+/// Zeroes every counter, histogram and phase cell.
+pub fn reset() {
+    for sh in &COUNTERS {
+        for v in &sh.vals {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+    for row in &OP_HISTS {
+        for h in row {
+            h.reset();
+        }
+    }
+    for p in &PHASES {
+        p.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of one [`Phase`]'s span cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Completed runs of the phase.
+    pub runs: u64,
+    /// Total nanoseconds across all runs.
+    pub total_ns: u64,
+    /// Duration of the most recent run.
+    pub last_ns: u64,
+    /// Longest single run.
+    pub max_ns: u64,
+    /// Total work items across all runs.
+    pub items: u64,
+}
+
+impl PhaseSnapshot {
+    /// Span activity between `earlier` and `self`. `runs`, `total_ns` and
+    /// `items` subtract exactly; `last_ns` is the latest run's duration and
+    /// `max_ns` the all-time max (a window max is not derivable from two
+    /// endpoints).
+    pub fn since(&self, earlier: &PhaseSnapshot) -> PhaseSnapshot {
+        PhaseSnapshot {
+            runs: self.runs.saturating_sub(earlier.runs),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+            last_ns: self.last_ns,
+            max_ns: self.max_ns,
+            items: self.items.saturating_sub(earlier.items),
+        }
+    }
+
+    /// Mean run duration in nanoseconds, 0.0 when no runs completed.
+    pub fn mean_ns(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.runs as f64
+        }
+    }
+}
+
+/// A merged point-in-time copy of the whole registry.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    counters: Vec<u64>,
+    ops: Vec<HistSnapshot>,
+    phases: Vec<PhaseSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot (baseline for deltas).
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            counters: vec![0; N_COUNTERS],
+            ops: (0..N_OPS).map(|_| HistSnapshot::empty()).collect(),
+            phases: vec![PhaseSnapshot::default(); N_PHASES],
+        }
+    }
+
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Latency histogram of one op kind.
+    pub fn op(&self, op: OpKind) -> &HistSnapshot {
+        &self.ops[op as usize]
+    }
+
+    /// Span cell of one phase.
+    pub fn phase(&self, p: Phase) -> &PhaseSnapshot {
+        &self.phases[p as usize]
+    }
+
+    /// Total operations across all four histograms — by construction equal
+    /// to the number of completed public table ops recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().map(|h| h.count()).sum()
+    }
+
+    /// Fraction of OCF fingerprint matches whose NVM read found a
+    /// different key: `false_positive / (false_positive + true_match)`.
+    /// 0.0 when no matches occurred.
+    pub fn ocf_false_positive_rate(&self) -> f64 {
+        ratio(
+            self.counter(Counter::OcfFalsePositive),
+            self.counter(Counter::OcfFalsePositive) + self.counter(Counter::OcfTrueMatch),
+        )
+    }
+
+    /// Fraction of hot-table searches that hit: `hit / (hit + miss)`.
+    /// 0.0 when no searches occurred.
+    pub fn hot_hit_rate(&self) -> f64 {
+        ratio(
+            self.counter(Counter::HotHit),
+            self.counter(Counter::HotHit) + self.counter(Counter::HotMiss),
+        )
+    }
+
+    /// Fraction of synchronous writes where the DRAM write finished under
+    /// the NVM write: `win / (win + wait)`. 0.0 when none occurred.
+    pub fn sync_overlap_win_rate(&self) -> f64 {
+        ratio(
+            self.counter(Counter::SyncOverlapWin),
+            self.counter(Counter::SyncOverlapWin) + self.counter(Counter::SyncOverlapWait),
+        )
+    }
+
+    /// Activity between `earlier` and `self` (see the `since` methods of
+    /// the component types for exactness guarantees).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .zip(&earlier.counters)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            ops: self
+                .ops
+                .iter()
+                .zip(&earlier.ops)
+                .map(|(a, b)| a.since(b))
+                .collect(),
+            phases: self
+                .phases
+                .iter()
+                .zip(&earlier.phases)
+                .map(|(a, b)| a.since(b))
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        expo::prometheus(self)
+    }
+
+    /// Renders the snapshot as one line of JSON.
+    pub fn to_json(&self) -> String {
+        expo::json(self)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Merges every shard into one [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    let mut counters = vec![0u64; N_COUNTERS];
+    for sh in &COUNTERS {
+        for (acc, v) in counters.iter_mut().zip(&sh.vals) {
+            *acc += v.load(Ordering::Relaxed);
+        }
+    }
+    let ops = (0..N_OPS)
+        .map(|i| {
+            let mut merged = HistSnapshot::empty();
+            for row in &OP_HISTS {
+                merged.merge(&row[i].snapshot());
+            }
+            merged
+        })
+        .collect();
+    let phases = PHASES.iter().map(PhaseCell::snapshot).collect();
+    MetricsSnapshot {
+        counters,
+        ops,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The registry is process-global, so tests that enable/reset it must
+    /// not run concurrently with each other.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = exclusive();
+        reset();
+        set_enabled(false);
+        count(Counter::HotHit);
+        add(Counter::HotMiss, 10);
+        op_record_ns(OpKind::Get, 100);
+        assert!(op_start().is_none());
+        phase_record_ns(Phase::Verify, 1_000, 5);
+        let s = snapshot();
+        assert_eq!(s.counter(Counter::HotHit), 0);
+        assert_eq!(s.total_ops(), 0);
+        assert_eq!(s.phase(Phase::Verify).runs, 0);
+    }
+
+    #[test]
+    fn counter_and_phase_roundtrip() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        count(Counter::OcfTrueMatch);
+        add(Counter::OcfFalsePositive, 3);
+        op_record_ns(OpKind::Insert, 500);
+        op_record_ns(OpKind::Insert, 700);
+        phase_record_ns(Phase::ResizeRehash, 10_000, 42);
+        phase_record_ns(Phase::ResizeRehash, 20_000, 8);
+        let s = snapshot();
+        set_enabled(false);
+        assert_eq!(s.counter(Counter::OcfTrueMatch), 1);
+        assert_eq!(s.counter(Counter::OcfFalsePositive), 3);
+        assert_eq!(s.op(OpKind::Insert).count(), 2);
+        assert_eq!(s.op(OpKind::Insert).sum(), 1_200);
+        assert_eq!(s.ocf_false_positive_rate(), 0.75);
+        let ph = s.phase(Phase::ResizeRehash);
+        assert_eq!(ph.runs, 2);
+        assert_eq!(ph.total_ns, 30_000);
+        assert_eq!(ph.last_ns, 20_000);
+        assert_eq!(ph.max_ns, 20_000);
+        assert_eq!(ph.items, 50);
+        assert_eq!(ph.mean_ns(), 15_000.0);
+        reset();
+        assert_eq!(snapshot().total_ops(), 0);
+    }
+
+    #[test]
+    fn since_diffs_counters_and_ops() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        count(Counter::HotHit);
+        op_record_ns(OpKind::Get, 100);
+        let base = snapshot();
+        count(Counter::HotHit);
+        count(Counter::HotMiss);
+        op_record_ns(OpKind::Get, 200);
+        op_record_ns(OpKind::Update, 300);
+        let delta = snapshot().since(&base);
+        set_enabled(false);
+        assert_eq!(delta.counter(Counter::HotHit), 1);
+        assert_eq!(delta.counter(Counter::HotMiss), 1);
+        assert_eq!(delta.op(OpKind::Get).count(), 1);
+        assert_eq!(delta.op(OpKind::Update).count(), 1);
+        assert_eq!(delta.total_ops(), 2);
+        assert_eq!(delta.hot_hit_rate(), 0.5);
+        reset();
+    }
+
+    /// Satellite: N writer threads + concurrent snapshot merges. Counter
+    /// totals must be exact and histogram populations conserved.
+    #[test]
+    fn concurrent_writers_and_snapshots_are_exact() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50_000;
+        let stop = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let writers: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    s.spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let c = Counter::ALL[(i as usize + t) % Counter::ALL.len()];
+                            count(c);
+                            let op = OpKind::ALL[(i as usize) % OpKind::ALL.len()];
+                            // Deterministic pseudo-latencies spanning magnitudes.
+                            op_record_ns(op, (i * 2654435761) % 1_000_000 + 1);
+                        }
+                    })
+                })
+                .collect();
+            // Concurrent snapshotter: totals must be monotonic and never
+            // exceed the final population.
+            let stop_ref = &stop;
+            s.spawn(move || {
+                let mut prev_ops = 0u64;
+                let mut prev_events: u64 = 0;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    let snap = snapshot();
+                    let ops = snap.total_ops();
+                    let events: u64 = Counter::ALL.iter().map(|&c| snap.counter(c)).sum();
+                    assert!(ops >= prev_ops, "op population went backwards");
+                    assert!(events >= prev_events, "counter total went backwards");
+                    assert!(ops <= THREADS as u64 * PER_THREAD);
+                    assert!(events <= THREADS as u64 * PER_THREAD);
+                    prev_ops = ops;
+                    prev_events = events;
+                }
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        let snap = snapshot();
+        set_enabled(false);
+
+        // Counters: each thread spreads PER_THREAD increments round-robin
+        // starting at its own offset, so the total per counter is exact.
+        let mut expected = [0u64; Counter::ALL.len()];
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                expected[(i as usize + t) % Counter::ALL.len()] += 1;
+            }
+        }
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(snap.counter(c), expected[i], "counter {}", c.name());
+        }
+
+        // Histograms: population and value-sum conserved exactly.
+        assert_eq!(snap.total_ops(), THREADS as u64 * PER_THREAD);
+        let mut expected_per_op = [0u64; OpKind::ALL.len()];
+        let mut expected_sum = [0u64; OpKind::ALL.len()];
+        for _ in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let k = (i as usize) % OpKind::ALL.len();
+                expected_per_op[k] += 1;
+                expected_sum[k] += (i * 2654435761) % 1_000_000 + 1;
+            }
+        }
+        for (i, &op) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(snap.op(op).count(), expected_per_op[i], "op {}", op.name());
+            assert_eq!(snap.op(op).sum(), expected_sum[i], "sum {}", op.name());
+        }
+        reset();
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(OpKind::ALL.iter().map(|o| o.name()));
+        names.extend(Phase::ALL.iter().map(|p| p.name()));
+        let count = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), count, "duplicate metric name");
+    }
+}

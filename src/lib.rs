@@ -8,6 +8,8 @@
 //! * [`hdnh_common`] — keys/values, hashing, the [`hdnh_common::HashIndex`]
 //!   trait.
 //! * [`hdnh_nvm`] — the simulated persistent-memory substrate.
+//! * [`hdnh_obs`] — process-wide metrics registry (counters, latency
+//!   histograms, phase spans) threaded through the core.
 //! * [`hdnh_ycsb`] — YCSB-style workload generation.
 //! * [`hdnh_baselines`] — Level hashing, CCEH, Path hashing.
 
@@ -15,4 +17,5 @@ pub use hdnh;
 pub use hdnh_baselines;
 pub use hdnh_common;
 pub use hdnh_nvm;
+pub use hdnh_obs;
 pub use hdnh_ycsb;

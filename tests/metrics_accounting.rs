@@ -1,0 +1,159 @@
+//! Ground-truth accounting for the `hdnh-obs` registry: recorded OCF and
+//! hot-table outcomes are checked against independently computed
+//! expectations, and histogram populations against exact op counts.
+//!
+//! The registry is process-global, so every test here serializes on one
+//! mutex and asserts only *deltas* between snapshots taken inside the
+//! critical section.
+
+use std::sync::Mutex;
+
+use hdnh::{Hdnh, HdnhParams};
+use hdnh_common::hash::KeyHashes;
+use hdnh_common::HashIndex;
+use hdnh_obs as obs;
+use hdnh_ycsb::{generate_ops, KeySpace, Op, WorkloadSpec};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A poisoned lock only means another accounting test failed; the
+    // registry itself is still usable.
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn ocf_outcomes_match_nvm_read_ground_truth() {
+    let _g = lock();
+    obs::set_enabled(true);
+    // Hot table off: every get goes through the OCF to NVM, so the NVM
+    // `reads` counter (API read calls; one per record the filter let
+    // through) is an independent witness for the OCF outcome counters.
+    let n = 2_000u64;
+    let t = Hdnh::new(HdnhParams {
+        enable_hot_table: false,
+        ..HdnhParams::for_capacity(4 * n as usize)
+    });
+    let ks = KeySpace::default();
+    for id in 0..n {
+        t.insert(&ks.key(id), &ks.value(id, 0)).unwrap();
+    }
+    assert_eq!(t.resize_count(), 0, "sized to avoid resize during the probes");
+
+    // Negative probes: no true matches; every record actually read from
+    // NVM is by definition a fingerprint false positive.
+    let m0 = obs::snapshot();
+    let s0 = t.nvm_stats();
+    for i in 0..n {
+        assert!(t.get(&ks.negative_key(i)).is_none());
+    }
+    let dm = obs::snapshot().since(&m0);
+    let ds = t.nvm_stats().since(&s0);
+    assert_eq!(dm.counter(obs::Counter::OcfTrueMatch), 0);
+    assert_eq!(
+        dm.counter(obs::Counter::OcfFalsePositive),
+        ds.reads,
+        "every NVM read on a negative probe is a false positive"
+    );
+    assert_eq!(dm.op(obs::OpKind::Get).count(), n);
+
+    // Positive gets: exactly one true match per key; NVM reads are the
+    // true matches plus the false positives hit along the way.
+    let m0 = obs::snapshot();
+    let s0 = t.nvm_stats();
+    for id in 0..n {
+        assert!(t.get(&ks.key(id)).is_some());
+    }
+    let dm = obs::snapshot().since(&m0);
+    let ds = t.nvm_stats().since(&s0);
+    assert_eq!(dm.counter(obs::Counter::OcfTrueMatch), n);
+    assert_eq!(
+        ds.reads,
+        dm.counter(obs::Counter::OcfTrueMatch) + dm.counter(obs::Counter::OcfFalsePositive),
+    );
+    let derived = dm.ocf_false_positive_rate();
+    let expect = dm.counter(obs::Counter::OcfFalsePositive) as f64
+        / (dm.counter(obs::Counter::OcfFalsePositive) + n) as f64;
+    assert!((derived - expect).abs() < 1e-12, "{derived} vs {expect}");
+}
+
+#[test]
+fn hot_hit_counters_match_is_hot_predictions() {
+    let _g = lock();
+    obs::set_enabled(true);
+    let t = Hdnh::new(HdnhParams::for_capacity(4_000));
+    let ks = KeySpace::default();
+    for id in 0..1_000 {
+        t.insert(&ks.key(id), &ks.value(id, 0)).unwrap();
+    }
+    let hot = t.hot_table().expect("hot table enabled by default");
+
+    // Predict each get's hot-table outcome immediately beforehand with
+    // `is_hot` (a passive probe that records nothing), then check the
+    // registry recorded exactly the predicted outcome tallies.
+    let m0 = obs::snapshot();
+    let (mut hits, mut misses, mut gets) = (0u64, 0u64, 0u64);
+    for _round in 0..3 {
+        for id in 0..1_000u64 {
+            let key = ks.key(id);
+            let h = KeyHashes::of(&key);
+            if hot.is_hot(&key, h.h1, h.h2, h.fp).is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            assert!(t.get(&key).is_some());
+            gets += 1;
+        }
+    }
+    let dm = obs::snapshot().since(&m0);
+    assert_eq!(dm.counter(obs::Counter::HotHit), hits);
+    assert_eq!(dm.counter(obs::Counter::HotMiss), misses);
+    assert_eq!(hits + misses, gets, "every get consults the hot table once");
+    assert_eq!(dm.op(obs::OpKind::Get).count(), gets);
+    assert!(hits > 0, "repeat access must produce hot-table hits");
+    let expect = hits as f64 / gets as f64;
+    assert!((dm.hot_hit_rate() - expect).abs() < 1e-12);
+}
+
+#[test]
+fn ycsb_a_histogram_population_equals_op_count() {
+    let _g = lock();
+    obs::set_enabled(true);
+    let t = Hdnh::new(HdnhParams::for_capacity(20_000));
+    let ks = KeySpace::default();
+    let preload = 5_000u64;
+    for id in 0..preload {
+        t.insert(&ks.key(id), &ks.value(id, 0)).unwrap();
+    }
+    let n_ops = 10_000usize;
+    let ops = generate_ops(&WorkloadSpec::ycsb_a(), preload, preload, n_ops, 0xC0FFEE);
+
+    let m0 = obs::snapshot();
+    for op in &ops {
+        match op {
+            Op::Read(id) => {
+                assert!(t.get(&ks.key(*id)).is_some());
+            }
+            // All keys are preloaded, so the upsert resolves as exactly one
+            // update — never a fallback insert.
+            Op::Update(id, seq) => t.upsert(&ks.key(*id), &ks.value(*id, *seq)).unwrap(),
+            other => panic!("unexpected op in YCSB-A: {other:?}"),
+        }
+    }
+    let dm = obs::snapshot().since(&m0);
+
+    let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count() as u64;
+    assert_eq!(dm.total_ops(), n_ops as u64, "one histogram record per op");
+    assert_eq!(dm.op(obs::OpKind::Get).count(), reads);
+    assert_eq!(dm.op(obs::OpKind::Update).count(), n_ops as u64 - reads);
+    assert_eq!(dm.op(obs::OpKind::Insert).count(), 0);
+    assert_eq!(dm.op(obs::OpKind::Remove).count(), 0);
+    for kind in obs::OpKind::ALL {
+        let h = dm.op(kind);
+        if h.count() > 0 {
+            assert!(h.quantile(0.5) >= 1, "{:?} p50", kind);
+            assert!(h.max() >= h.quantile(0.99), "{:?} max vs p99", kind);
+        }
+    }
+}
