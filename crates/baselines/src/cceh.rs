@@ -279,7 +279,7 @@ pub struct Cceh {
 impl Cceh {
     /// Creates an empty table.
     pub fn new(params: CcehParams) -> Self {
-        assert!(params.segment_bytes % BUCKET_BYTES == 0);
+        assert!(params.segment_bytes.is_multiple_of(BUCKET_BYTES));
         let n = 1usize << params.initial_depth;
         let entries = (0..n)
             .map(|i| Segment::new(params.segment_bytes, params.initial_depth, i as u64, &params.nvm))
@@ -448,9 +448,9 @@ impl Cceh {
         let group_bits = dir.global_depth - local;
         let group = (Self::seg_index(h, dir.global_depth) >> group_bits) << group_bits;
         let span = 1usize << (dir.global_depth - new_depth);
-        for j in 0..parts {
+        for (j, child) in children.iter().enumerate() {
             for slot in dir.entries[group + j * span..group + (j + 1) * span].iter_mut() {
-                *slot = Arc::clone(&children[j]);
+                *slot = Arc::clone(child);
             }
         }
         drop(dir);
@@ -516,7 +516,7 @@ impl Cceh {
             .into_iter()
             .map(|s| s.expect("directory hole: missing segment"))
             .collect();
-        let t = Cceh {
+        Cceh {
             dir: RwLock::new(Directory {
                 global_depth,
                 entries,
@@ -524,8 +524,7 @@ impl Cceh {
             params,
             count: AtomicUsize::new(count),
             splits: AtomicUsize::new(0),
-        };
-        t
+        }
     }
 }
 

@@ -32,7 +32,7 @@ pub const SLOTS: usize = 4;
 /// Bucket stride: 8-byte header + 4 records, kept 8-byte aligned.
 pub const BUCKET_STRIDE: usize = 8 + SLOTS * RECORD_LEN + 1; // 133 -> pad
 const BUCKET_BYTES: usize = 136;
-const _: () = assert!(BUCKET_BYTES >= 8 + SLOTS * RECORD_LEN && BUCKET_BYTES % 8 == 0);
+const _: () = assert!(BUCKET_BYTES >= 8 + SLOTS * RECORD_LEN && BUCKET_BYTES.is_multiple_of(8));
 
 /// Configuration for [`LevelHash`].
 #[derive(Clone, Debug)]
@@ -216,9 +216,9 @@ impl LevelHash {
         for b in Tables::candidates(storage, key) {
             let _g = storage.locks[b].read();
             let (header, recs) = storage.read_bucket(b);
-            for s in 0..SLOTS {
-                if header & (1 << s) != 0 && recs[s].key == *key {
-                    return Some((b, s, recs[s].value));
+            for (s, rec) in recs.iter().enumerate() {
+                if header & (1 << s) != 0 && rec.key == *key {
+                    return Some((b, s, rec.value));
                 }
             }
         }
@@ -246,11 +246,10 @@ impl LevelHash {
             let _g = storage.locks[b].read();
             storage.read_bucket(b)
         };
-        for s in 0..SLOTS {
+        for (s, &occupant) in recs.iter().enumerate() {
             if header & (1 << s) == 0 {
                 continue;
             }
-            let occupant = recs[s];
             let alts = Tables::candidates(storage, &occupant.key);
             let alt = if alts[0] == b { alts[1] } else { alts[0] };
             if alt == b {
@@ -292,11 +291,10 @@ impl LevelHash {
         let new_top = LevelStorage::new(t.top.n_buckets * 2, &self.params.nvm);
         for b in 0..t.bottom.n_buckets {
             let (header, recs) = t.bottom.read_bucket(b);
-            for s in 0..SLOTS {
+            for (s, &rec) in recs.iter().enumerate() {
                 if header & (1 << s) == 0 {
                     continue;
                 }
-                let rec = recs[s];
                 let mut placed = false;
                 for nb in Tables::candidates(&new_top, &rec.key) {
                     if Self::insert_into_locked(&new_top, nb, &rec) {
@@ -375,8 +373,8 @@ impl HashIndex for LevelHash {
             for b in Tables::candidates(storage, key) {
                 let _g = storage.locks[b].write();
                 let (header, recs) = storage.read_bucket(b);
-                for s in 0..SLOTS {
-                    if header & (1 << s) != 0 && recs[s].key == *key {
+                for (s, occupant) in recs.iter().enumerate() {
+                    if header & (1 << s) != 0 && occupant.key == *key {
                         // Out-of-place within the bucket when possible
                         // (crash-consistent); in-place otherwise (original
                         // Level hashing logs; we accept the simpler scheme
@@ -409,8 +407,8 @@ impl HashIndex for LevelHash {
             for b in Tables::candidates(storage, key) {
                 let _g = storage.locks[b].write();
                 let (header, recs) = storage.read_bucket(b);
-                for s in 0..SLOTS {
-                    if header & (1 << s) != 0 && recs[s].key == *key {
+                for (s, occupant) in recs.iter().enumerate() {
+                    if header & (1 << s) != 0 && occupant.key == *key {
                         storage.clear_valid(b, s);
                         self.count.fetch_sub(1, AOrd::Relaxed);
                         return true;

@@ -105,7 +105,7 @@ impl PathHash {
     pub fn new(params: PathParams) -> Self {
         assert!(
             params.root_cells >= (1 << params.reserved_levels)
-                && params.root_cells % (1 << params.reserved_levels) == 0,
+                && params.root_cells.is_multiple_of(1 << params.reserved_levels),
             "root cells must be a positive multiple of 2^reserved_levels"
         );
         let mut level_offsets = Vec::with_capacity(params.reserved_levels + 1);

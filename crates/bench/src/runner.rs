@@ -129,6 +129,7 @@ pub fn run_streams(
 ///
 /// Each thread gets `ops_per_thread` operations; inserts take ids from
 /// disjoint ranges above `preloaded`.
+#[allow(clippy::too_many_arguments)] // flat knob list mirrors the bench CLI
 pub fn run_workload(
     index: &dyn HashIndex,
     ks: &KeySpace,

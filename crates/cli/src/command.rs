@@ -25,6 +25,9 @@ pub enum Command {
     Info,
     /// `verify` — full integrity audit.
     Verify,
+    /// `scrub` — checksum-verify every live record, repairing from the hot
+    /// table or quarantining damaged slots.
+    Scrub,
     /// `crash <seed>` — simulate power failure + recovery (strict mode).
     Crash(u64),
     /// `faultrun [...]` — crash-point injection matrix (see [`FaultRunMode`]).
@@ -176,6 +179,7 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
         }
         "info" => Command::Info,
         "verify" | "check" => Command::Verify,
+        "scrub" => Command::Scrub,
         "crash" => Command::Crash(int(toks.next(), "seed")?),
         "faultrun" => {
             let mode = match toks.next() {
@@ -245,6 +249,8 @@ commands:
   metrics reset           move the metrics delta baseline
   info                    table geometry and occupancy
   verify                  per-invariant integrity audit
+  scrub                   checksum-verify all live records; repair or
+                          quarantine damaged slots
   crash <seed>            simulate power failure + recovery (strict mode)
   faultrun [mode]         crash-point injection matrix; modes: full (default),
                           quick, sites, repro <mix:site:hit:seed[:rsite:rhit]>
@@ -277,6 +283,8 @@ mod tests {
         assert_eq!(parse("stats").unwrap(), Some(Command::Stats(StatsMode::Absolute)));
         assert_eq!(parse("info").unwrap(), Some(Command::Info));
         assert_eq!(parse("verify").unwrap(), Some(Command::Verify));
+        assert_eq!(parse("scrub").unwrap(), Some(Command::Scrub));
+        assert!(parse("scrub extra").is_err());
         assert_eq!(parse("crash 42").unwrap(), Some(Command::Crash(42)));
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("?").unwrap(), Some(Command::Help));

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use hdnh::faultexplore::{self, ExploreConfig, OpMix};
-use hdnh::{Hdnh, HdnhParams};
+use hdnh::{Hdnh, HdnhError, HdnhParams};
 use hdnh_common::{HashIndex, IndexError, Key, Value};
 use hdnh_nvm::{FaultPlan, NvmOptions, StatsSnapshot};
 use hdnh_obs as obs;
@@ -52,6 +52,10 @@ pub struct Engine {
 pub enum Outcome {
     /// Printable response.
     Text(String),
+    /// Printable response for a command that found a failure (integrity
+    /// violation, corruption, failed fault case, i/o problem). The shell
+    /// prints it like [`Outcome::Text`] but exits nonzero.
+    Failure(String),
     /// The shell should exit.
     Quit,
 }
@@ -80,64 +84,79 @@ impl Engine {
         }
     }
 
-    fn table(&self) -> &Hdnh {
-        self.table.as_ref().expect("table present")
+    /// The live table, as a typed error instead of a panic when a prior
+    /// crash/recovery cycle failed to hand one back.
+    fn table(&self) -> Result<&Hdnh, HdnhError> {
+        self.table.as_ref().ok_or_else(|| {
+            HdnhError::Recovery("no live table (a previous crash/recovery did not complete)".into())
+        })
     }
 
-    /// Executes one command, returning the response text.
+    /// Executes one command, returning the response text. Engine-level
+    /// errors ([`HdnhError`]) become [`Outcome::Failure`] so the shell can
+    /// exit nonzero; per-operation conditions (duplicate key, not found)
+    /// stay plain text.
     pub fn execute(&mut self, cmd: Command) -> Outcome {
+        match self.execute_inner(cmd) {
+            Ok(outcome) => outcome,
+            Err(e) => Outcome::Failure(format!("error: {e}")),
+        }
+    }
+
+    fn execute_inner(&mut self, cmd: Command) -> Result<Outcome, HdnhError> {
         match cmd {
-            Command::Insert(k, v) => Outcome::Text(
-                match self.table().insert(&Key::from_u64(k), &Value::from_u64(v)) {
+            Command::Insert(k, v) => Ok(Outcome::Text(
+                match self.table()?.insert(&Key::from_u64(k), &Value::from_u64(v)) {
                     Ok(()) => "ok".to_string(),
                     Err(e) => format!("error: {e}"),
                 },
-            ),
-            Command::Get(k) => Outcome::Text(match self.table().get(&Key::from_u64(k)) {
+            )),
+            Command::Get(k) => Ok(Outcome::Text(match self.table()?.get(&Key::from_u64(k)) {
                 Some(v) => v.as_u64().to_string(),
                 None => "(not found)".to_string(),
-            }),
-            Command::Update(k, v) => Outcome::Text(
-                match self.table().update(&Key::from_u64(k), &Value::from_u64(v)) {
+            })),
+            Command::Update(k, v) => Ok(Outcome::Text(
+                match self.table()?.update(&Key::from_u64(k), &Value::from_u64(v)) {
                     Ok(()) => "ok".to_string(),
                     Err(e) => format!("error: {e}"),
                 },
-            ),
-            Command::Delete(k) => Outcome::Text(
-                if self.table().remove(&Key::from_u64(k)) {
+            )),
+            Command::Delete(k) => Ok(Outcome::Text(
+                if self.table()?.remove(&Key::from_u64(k)) {
                     "ok".to_string()
                 } else {
                     "(not found)".to_string()
                 },
-            ),
+            )),
             Command::Fill(n) => {
                 let start_id = self.next_fill_id;
                 let t0 = Instant::now();
                 let mut inserted = 0u64;
+                let table = self.table()?;
                 for i in 0..n {
                     let id = start_id + i;
-                    match self.table().insert(&self.ks.key(id), &self.ks.value(id, 0)) {
+                    match table.insert(&self.ks.key(id), &self.ks.value(id, 0)) {
                         Ok(()) => inserted += 1,
                         Err(IndexError::DuplicateKey) => {}
-                        Err(e) => return Outcome::Text(format!("error at id {id}: {e}")),
+                        Err(e) => return Ok(Outcome::Text(format!("error at id {id}: {e}"))),
                     }
                 }
                 self.next_fill_id = start_id + n;
-                Outcome::Text(format!(
+                Ok(Outcome::Text(format!(
                     "inserted {inserted} records (ids {start_id}..{}) in {:.1} ms",
                     start_id + n,
                     t0.elapsed().as_secs_f64() * 1e3
-                ))
+                )))
             }
             Command::Workload(mix, ops) => self.run_workload(mix, ops),
             Command::Stats(mode) => {
-                let now = self.table().nvm_stats();
+                let now = self.table()?.nvm_stats();
                 let s = match mode {
                     StatsMode::Absolute => now,
                     StatsMode::Delta => now.since(&self.stats_base),
                     StatsMode::Reset => {
                         self.stats_base = now;
-                        return Outcome::Text("stats baseline reset".to_string());
+                        return Ok(Outcome::Text("stats baseline reset".to_string()));
                     }
                 };
                 let mut out = String::new();
@@ -148,14 +167,14 @@ impl Engine {
                 let _ = writeln!(out, "writes       {:>12}  ({} lines)", s.writes, s.write_lines);
                 let _ = writeln!(out, "flushes      {:>12}", s.flushes);
                 let _ = write!(out, "fences       {:>12}", s.fences);
-                Outcome::Text(out)
+                Ok(Outcome::Text(out))
             }
             Command::Metrics(mode) => {
                 let now = obs::snapshot();
                 let (s, format) = match mode {
                     MetricsMode::Reset => {
                         self.metrics_base = now;
-                        return Outcome::Text("metrics baseline reset".to_string());
+                        return Ok(Outcome::Text("metrics baseline reset".to_string()));
                     }
                     MetricsMode::Show { format, delta } => {
                         let s = if delta { now.since(&self.metrics_base) } else { now };
@@ -173,25 +192,25 @@ impl Engine {
                         p
                     }
                 };
-                Outcome::Text(out)
+                Ok(Outcome::Text(out))
             }
             Command::Info => {
-                let t = self.table();
+                let t = self.table()?;
                 let hot = t
                     .hot_table()
                     .map(|h| format!("{} / {} slots, {:?}", h.len(), h.capacity(), h.policy()))
                     .unwrap_or_else(|| "disabled".to_string());
-                Outcome::Text(format!(
+                Ok(Outcome::Text(format!(
                     "records      {}\nload factor  {:.3}\nresizes      {}\nocf bytes    {}\nhot table    {hot}",
                     t.len(),
                     t.load_factor(),
                     t.resize_count(),
                     t.ocf_footprint_bytes(),
-                ))
+                )))
             }
             Command::Verify => {
                 let span = obs::phase_start();
-                let (reports, live) = self.table().verify_integrity_report();
+                let (reports, live) = self.table()?.verify_integrity_report();
                 obs::phase_record(obs::Phase::Verify, span, live as u64);
                 let ms = obs::snapshot().phase(obs::Phase::Verify).last_ns as f64 / 1e6;
                 let failed = reports.iter().filter(|r| !r.ok).count();
@@ -208,15 +227,42 @@ impl Engine {
                     }
                 }
                 out.pop();
-                Outcome::Text(out)
+                if failed == 0 {
+                    Ok(Outcome::Text(out))
+                } else {
+                    Ok(Outcome::Failure(out))
+                }
+            }
+            Command::Scrub => {
+                let report = self.table()?.scrub();
+                let mut out = report.to_json();
+                for err in &report.errors {
+                    let _ = write!(out, "\n  {err}");
+                }
+                if report.detected > report.errors.len() {
+                    let _ = write!(
+                        out,
+                        "\n  ... ({} more not retained)",
+                        report.detected - report.errors.len()
+                    );
+                }
+                if report.clean() {
+                    Ok(Outcome::Text(out))
+                } else {
+                    Ok(Outcome::Failure(out))
+                }
             }
             Command::Crash(seed) => {
                 if !self.params.nvm.strict {
-                    return Outcome::Text(
+                    return Ok(Outcome::Text(
                         "crash requires strict mode (run with --strict)".to_string(),
-                    );
+                    ));
                 }
-                let table = self.table.take().expect("table present");
+                let table = self.table.take().ok_or_else(|| {
+                    HdnhError::Recovery(
+                        "no live table (a previous crash/recovery did not complete)".into(),
+                    )
+                })?;
                 let pool = table.into_pool();
                 let dropped = pool.crash(seed);
                 let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
@@ -227,42 +273,42 @@ impl Engine {
                 // span (recorded inside `recover` itself), not a wrapper
                 // clock, so the shell and `metrics` report the same number.
                 let ms = obs::snapshot().phase(obs::Phase::RecoveryTotal).last_ns as f64 / 1e6;
-                Outcome::Text(format!(
+                Ok(Outcome::Text(format!(
                     "crashed ({dropped} words dropped), recovered {len} records in {ms:.1} ms"
-                ))
+                )))
             }
-            Command::FaultRun(mode) => Outcome::Text(Self::fault_run(mode)),
+            Command::FaultRun(mode) => Ok(Self::fault_run(mode)),
             Command::Record(file, mix, ops) => {
                 let spec = Self::spec_for(mix);
                 let preloaded = self.next_fill_id.max(1);
                 let stream = generate_ops(&spec, preloaded, self.next_fill_id, ops, 0x7EC0);
-                match save_trace(std::path::Path::new(&file), &stream) {
-                    Ok(()) => Outcome::Text(format!("recorded {ops} ops to {file}")),
-                    Err(e) => Outcome::Text(format!("error: {e}")),
-                }
+                save_trace(std::path::Path::new(&file), &stream)
+                    .map_err(|e| HdnhError::Io(e.to_string()))?;
+                Ok(Outcome::Text(format!("recorded {ops} ops to {file}")))
             }
-            Command::Replay(file) => match load_trace(std::path::Path::new(&file)) {
-                Ok(stream) => {
-                    let t0 = Instant::now();
-                    self.apply_stream(&stream);
-                    let secs = t0.elapsed().as_secs_f64();
-                    Outcome::Text(format!(
-                        "replayed {} ops in {:.1} ms ({:.3} Mops/s)",
-                        stream.len(),
-                        secs * 1e3,
-                        stream.len() as f64 / secs / 1e6
-                    ))
-                }
-                Err(e) => Outcome::Text(format!("error: {e}")),
-            },
-            Command::Help => Outcome::Text(HELP.to_string()),
-            Command::Quit => Outcome::Quit,
+            Command::Replay(file) => {
+                let stream = load_trace(std::path::Path::new(&file))
+                    .map_err(|e| HdnhError::Io(e.to_string()))?;
+                let table = self.table()?;
+                let t0 = Instant::now();
+                self.apply_stream(table, &stream);
+                let secs = t0.elapsed().as_secs_f64();
+                Ok(Outcome::Text(format!(
+                    "replayed {} ops in {:.1} ms ({:.3} Mops/s)",
+                    stream.len(),
+                    secs * 1e3,
+                    stream.len() as f64 / secs / 1e6
+                )))
+            }
+            Command::Help => Ok(Outcome::Text(HELP.to_string())),
+            Command::Quit => Ok(Outcome::Quit),
         }
     }
 
     /// Runs the crash-point injection matrix. Independent of the shell's
-    /// table — the explorer builds small strict tables of its own.
-    fn fault_run(mode: FaultRunMode) -> String {
+    /// table — the explorer builds small strict tables of its own. Any
+    /// failing case yields [`Outcome::Failure`] (nonzero shell exit).
+    fn fault_run(mode: FaultRunMode) -> Outcome {
         match mode {
             FaultRunMode::Sites => {
                 let mut out = String::new();
@@ -280,16 +326,20 @@ impl Engine {
                     }
                 }
                 out.pop();
-                out
+                Outcome::Text(out)
             }
             FaultRunMode::Repro(tuple) => match Self::parse_repro(&tuple) {
-                Err(e) => format!("error: {e}"),
+                Err(e) => Outcome::Failure(format!("error: {e}")),
                 Ok((mix, plan, seed, rplan)) => {
                     let r = faultexplore::run_single(&mix, &plan, seed, rplan.as_ref(), 2);
                     match (r.pass, r.detail.is_empty()) {
-                        (true, true) => format!("PASS {}", r.repro()),
-                        (true, false) => format!("PASS {} ({})", r.repro(), r.detail),
-                        (false, _) => format!("FAIL {}\n  {}", r.repro(), r.detail),
+                        (true, true) => Outcome::Text(format!("PASS {}", r.repro())),
+                        (true, false) => {
+                            Outcome::Text(format!("PASS {} ({})", r.repro(), r.detail))
+                        }
+                        (false, _) => {
+                            Outcome::Failure(format!("FAIL {}\n  {}", r.repro(), r.detail))
+                        }
                     }
                 }
             },
@@ -332,14 +382,15 @@ impl Engine {
                 let failures = report.failures();
                 if failures.is_empty() {
                     let _ = write!(out, "all cases passed");
+                    Outcome::Text(out)
                 } else {
                     let _ = writeln!(out, "{} FAILURES (repro with 'faultrun repro <tuple>'):", failures.len());
                     for f in &failures {
                         let _ = writeln!(out, "  {}\n    {}", f.repro(), f.detail);
                     }
                     out.pop();
+                    Outcome::Failure(out)
                 }
-                out
             }
         }
     }
@@ -387,45 +438,46 @@ impl Engine {
     }
 
     /// Applies a pre-generated stream to the table.
-    fn apply_stream(&self, ops: &[Op]) {
+    fn apply_stream(&self, table: &Hdnh, ops: &[Op]) {
         for op in ops {
             match op {
                 Op::Read(id) => {
-                    self.table().get(&self.ks.key(*id));
+                    table.get(&self.ks.key(*id));
                 }
                 Op::ReadAbsent(id) => {
-                    self.table().get(&self.ks.negative_key(*id));
+                    table.get(&self.ks.negative_key(*id));
                 }
                 Op::Insert(id) => {
-                    let _ = self.table().insert(&self.ks.key(*id), &self.ks.value(*id, 0));
+                    let _ = table.insert(&self.ks.key(*id), &self.ks.value(*id, 0));
                 }
                 Op::Update(id, seq) | Op::ReadModifyWrite(id, seq) => {
-                    let _ = self.table().upsert(&self.ks.key(*id), &self.ks.value(*id, *seq));
+                    let _ = table.upsert(&self.ks.key(*id), &self.ks.value(*id, *seq));
                 }
                 Op::Delete(id) => {
-                    self.table().remove(&self.ks.key(*id));
+                    table.remove(&self.ks.key(*id));
                 }
             }
         }
     }
 
-    fn run_workload(&mut self, mix: char, n_ops: usize) -> Outcome {
+    fn run_workload(&mut self, mix: char, n_ops: usize) -> Result<Outcome, HdnhError> {
         let spec = Self::spec_for(mix);
         let preloaded = self.next_fill_id.max(1);
-        if self.table().is_empty() {
-            return Outcome::Text("table is empty — run 'fill <n>' first".to_string());
+        let table = self.table()?;
+        if table.is_empty() {
+            return Ok(Outcome::Text("table is empty — run 'fill <n>' first".to_string()));
         }
         let ops = generate_ops(&spec, preloaded, self.next_fill_id, n_ops, 0xC11);
         let t0 = Instant::now();
-        self.apply_stream(&ops);
+        self.apply_stream(table, &ops);
         let secs = t0.elapsed().as_secs_f64();
-        Outcome::Text(format!(
+        Ok(Outcome::Text(format!(
             "YCSB-{}: {} ops in {:.1} ms ({:.3} Mops/s)",
             mix.to_ascii_uppercase(),
             n_ops,
             secs * 1e3,
             n_ops as f64 / secs / 1e6
-        ))
+        )))
     }
 }
 
@@ -436,7 +488,7 @@ mod tests {
 
     fn run(engine: &mut Engine, line: &str) -> String {
         match engine.execute(parse(line).unwrap().unwrap()) {
-            Outcome::Text(t) => t,
+            Outcome::Text(t) | Outcome::Failure(t) => t,
             Outcome::Quit => "<quit>".to_string(),
         }
     }
@@ -551,10 +603,35 @@ mod tests {
     }
 
     #[test]
-    fn replay_missing_file_reports_error() {
+    fn replay_missing_file_is_a_failure_outcome() {
         let mut e = Engine::new(EngineConfig::default());
-        let out = run(&mut e, "replay /nonexistent/path.trace");
-        assert!(out.starts_with("error:"), "{out}");
+        let out = e.execute(parse("replay /nonexistent/path.trace").unwrap().unwrap());
+        match out {
+            Outcome::Failure(t) => assert!(t.starts_with("error: i/o error:"), "{t}"),
+            other => panic!("expected Failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_to_unwritable_path_is_a_failure_outcome() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "fill 10");
+        let out = e.execute(parse("record /nonexistent/dir/t.trace c 10").unwrap().unwrap());
+        assert!(matches!(out, Outcome::Failure(_)), "{out:?}");
+    }
+
+    #[test]
+    fn scrub_on_clean_table_reports_clean_json() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "fill 300");
+        let out = e.execute(parse("scrub").unwrap().unwrap());
+        match out {
+            Outcome::Text(t) => {
+                assert!(t.starts_with("{\"scanned\":300"), "{t}");
+                assert!(t.contains("\"detected\":0"), "{t}");
+            }
+            other => panic!("clean scrub must not be a Failure: {other:?}"),
+        }
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //!
 //! Reads commands from stdin (one per line; `help` lists them). Suitable
 //! both interactively and piped: `printf 'fill 1000\ninfo\n' | hdnh-cli`.
+//!
+//! Exit status: 0 when every command succeeded; 1 when any command reported
+//! a failure (`verify` violation, `scrub` detection, failing `faultrun`
+//! case, i/o error) or — with `HDNH_CLI_BATCH` set — any line failed to
+//! parse; 2 for bad flags.
 
 use std::io::{BufRead, Write};
 
@@ -46,6 +51,7 @@ fn main() {
     if interactive {
         println!("hdnh-cli — type 'help' for commands");
     }
+    let mut failed = false;
     loop {
         if interactive {
             print!("> ");
@@ -57,6 +63,7 @@ fn main() {
             Ok(_) => {}
             Err(e) => {
                 eprintln!("read error: {e}");
+                failed = true;
                 break;
             }
         }
@@ -64,10 +71,24 @@ fn main() {
             Ok(None) => {}
             Ok(Some(cmd)) => match engine.execute(cmd) {
                 hdnh_cli::engine::Outcome::Text(text) => println!("{text}"),
+                hdnh_cli::engine::Outcome::Failure(text) => {
+                    println!("{text}");
+                    failed = true;
+                }
                 hdnh_cli::engine::Outcome::Quit => break,
             },
-            Err(e) => println!("parse error: {e}"),
+            Err(e) => {
+                println!("parse error: {e}");
+                // A typo at the prompt shouldn't poison the session's exit
+                // status, but a bad line in a script must fail CI.
+                if !interactive {
+                    failed = true;
+                }
+            }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,126 @@
+//! Typed error taxonomy for the HDNH stack.
+//!
+//! The public [`HashIndex`](hdnh_common::HashIndex) trait keeps its small
+//! [`IndexError`] vocabulary (duplicate key, not found, full, retry); this
+//! module adds the *system-level* failures that the media-error layer,
+//! recovery, and the CLI need to report without panicking: detected
+//! corruption (with what was done about it), simulated-I/O problems, an
+//! unrecoverable pool, and capacity exhaustion.
+
+use std::fmt;
+
+use hdnh_common::IndexError;
+
+/// What the resilience layer did with a slot whose record failed its
+/// header checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionOutcome {
+    /// The record was rewritten from the DRAM hot-table copy and its
+    /// checksum recommitted; no data was lost.
+    Repaired,
+    /// No clean copy existed; the slot's valid bit was cleared so the
+    /// damaged bytes can never be served. The record is lost.
+    Quarantined,
+}
+
+impl fmt::Display for CorruptionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionOutcome::Repaired => write!(f, "repaired"),
+            CorruptionOutcome::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// System-level errors surfaced by the HDNH stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdnhError {
+    /// A record's bytes failed their header checksum. Carries the slot's
+    /// location (`level` 0 = top, 1 = bottom) and how the slot was
+    /// handled; the damaged bytes were never returned to any caller.
+    Corruption {
+        /// Level index (0 = top, 1 = bottom).
+        level: usize,
+        /// Global bucket index within the level.
+        bucket: usize,
+        /// Slot index within the bucket.
+        slot: usize,
+        /// What was done with the damaged slot.
+        outcome: CorruptionOutcome,
+    },
+    /// An environment / simulated-I/O failure (file access, parse of an
+    /// external artifact, …).
+    Io(String),
+    /// A persistent pool could not be opened or recovered (bad magic,
+    /// geometry mismatch, torn metadata).
+    Recovery(String),
+    /// The table cannot admit more records (resize exhausted or
+    /// disabled).
+    Capacity(String),
+}
+
+impl fmt::Display for HdnhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdnhError::Corruption {
+                level,
+                bucket,
+                slot,
+                outcome,
+            } => write!(
+                f,
+                "corrupted record at level {level} bucket {bucket} slot {slot} ({outcome})"
+            ),
+            HdnhError::Io(msg) => write!(f, "i/o error: {msg}"),
+            HdnhError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
+            HdnhError::Capacity(msg) => write!(f, "capacity exhausted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HdnhError {}
+
+impl From<IndexError> for HdnhError {
+    /// Maps the per-operation vocabulary onto the system taxonomy: only
+    /// `TableFull` is a system condition (capacity); the rest describe the
+    /// caller's request and keep their message under `Io`.
+    fn from(e: IndexError) -> Self {
+        match e {
+            IndexError::TableFull => HdnhError::Capacity(e.to_string()),
+            other => HdnhError::Io(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HdnhError::Corruption {
+            level: 1,
+            bucket: 7,
+            slot: 3,
+            outcome: CorruptionOutcome::Quarantined,
+        };
+        let s = e.to_string();
+        assert!(s.contains("level 1") && s.contains("bucket 7") && s.contains("slot 3"));
+        assert!(s.contains("quarantined"));
+        assert!(HdnhError::Recovery("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn index_error_mapping() {
+        assert!(matches!(
+            HdnhError::from(IndexError::TableFull),
+            HdnhError::Capacity(_)
+        ));
+        assert!(matches!(
+            HdnhError::from(IndexError::KeyNotFound),
+            HdnhError::Io(_)
+        ));
+    }
+}

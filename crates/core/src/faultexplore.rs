@@ -553,7 +553,8 @@ pub fn explore(cfg: &ExploreConfig, mut on_case: impl FnMut(&FaultCaseResult)) -
     // Injected panics are expected by the thousand; silence the default
     // printing hook for the duration (messages are captured in results).
     // The guard restores it even if the driver itself panics.
-    struct HookGuard(Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>>);
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct HookGuard(Option<PanicHook>);
     impl Drop for HookGuard {
         fn drop(&mut self) {
             let prev = self.0.take().unwrap();

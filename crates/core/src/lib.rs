@@ -41,6 +41,7 @@
 
 
 #![warn(missing_docs)]
+pub mod error;
 pub mod faultexplore;
 pub mod hot;
 pub mod meta;
@@ -51,8 +52,9 @@ pub mod recovery;
 pub mod sync;
 pub mod table;
 
+pub use error::{CorruptionOutcome, HdnhError};
 pub use faultexplore::{ExploreConfig, ExploreReport, FaultCaseResult, OpMix};
 pub use hot::HotTable;
 pub use params::{HdnhParams, HotPolicy, SyncMode};
 pub use recovery::{PersistentPool, RecoveryTiming};
-pub use table::{Hdnh, InvariantReport};
+pub use table::{Hdnh, InvariantReport, ScrubReport};

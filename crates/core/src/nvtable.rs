@@ -15,6 +15,25 @@
 //! buckets inside each segment** — the paper's "2-cuckoo strategy" applied
 //! at both granularities, yielding four candidate buckets per level and
 //! eight across the two levels.
+//!
+//! # Integrity bytes
+//!
+//! The paper leaves the header's upper 7 bytes unused. We pack a **7-bit
+//! checksum of each slot's 31-byte record** into them — 8 × 7 = 56 bits,
+//! exactly filling bits 8..64:
+//!
+//! ```text
+//! header u64:  [ bit 0..8: validity bitmap ][ bits 8+7s .. 15+7s: ck(slot s) ]
+//! ```
+//!
+//! A slot's checksum is installed **in the same failure-atomic 8-byte
+//! header store** that sets its valid bit, so a reader that observes the
+//! valid bit always observes the matching checksum; a mismatch against the
+//! record bytes therefore indicates media damage (or a torn record write
+//! that a crash made durable), never an in-flight writer. Seven bits miss
+//! a random corruption with probability 1/128; the scrubber and the read
+//! path treat a mismatch as a detection, repair from the DRAM hot table
+//! when possible, and quarantine the slot otherwise.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -24,6 +43,91 @@ use hdnh_common::{Record, RECORD_LEN};
 use hdnh_nvm::{NvmOptions, NvmRegion};
 
 use crate::params::{BUCKET_BYTES, BUCKET_HEADER, SLOTS_PER_BUCKET};
+
+/// Mask selecting the validity bitmap in a bucket header.
+pub const HEADER_VALID_MASK: u64 = 0xFF;
+/// Width in bits of one per-slot checksum field.
+pub const CHECKSUM_BITS: u32 = 7;
+/// Mask of one checksum field (before shifting).
+pub const CHECKSUM_MASK: u64 = (1 << CHECKSUM_BITS) - 1;
+
+/// Bit position of slot `slot`'s checksum field inside the header word.
+#[inline]
+pub const fn checksum_shift(slot: usize) -> u32 {
+    8 + CHECKSUM_BITS * slot as u32
+}
+
+/// 7-bit checksum of a record's wire bytes (FNV-1a folded down to 7 bits).
+///
+/// Catches any single-byte corruption and any torn 8-byte-granularity
+/// write with probability 127/128; the residual 1/128 false-accept rate
+/// is the price of fitting integrity bytes into the header's spare bits
+/// without growing the record.
+#[inline]
+pub fn checksum7(bytes: &[u8; RECORD_LEN]) -> u8 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Fold all 64 bits into the low 7 so every input bit participates.
+    h ^= h >> 32;
+    h ^= h >> 16;
+    h ^= h >> 8;
+    (h & CHECKSUM_MASK) as u8
+}
+
+/// Validity bitmap of a header word.
+#[inline]
+pub const fn header_valid_bits(header: u64) -> u64 {
+    header & HEADER_VALID_MASK
+}
+
+/// Whether slot `slot`'s valid bit is set in `header`.
+#[inline]
+pub const fn header_slot_valid(header: u64, slot: usize) -> bool {
+    header & (1 << slot) != 0
+}
+
+/// Extracts slot `slot`'s stored checksum from a header word.
+#[inline]
+pub const fn header_checksum(header: u64, slot: usize) -> u8 {
+    ((header >> checksum_shift(slot)) & CHECKSUM_MASK) as u8
+}
+
+/// Returns `header` with slot `slot`'s checksum field replaced by `ck`.
+#[inline]
+pub const fn header_with_checksum(header: u64, slot: usize, ck: u8) -> u64 {
+    let shift = checksum_shift(slot);
+    (header & !(CHECKSUM_MASK << shift)) | (((ck as u64) & CHECKSUM_MASK) << shift)
+}
+
+/// Packs a validity bitmap and eight 7-bit checksums into a header word.
+pub fn header_pack(valid: u8, cks: [u8; SLOTS_PER_BUCKET]) -> u64 {
+    let mut h = valid as u64;
+    let mut s = 0;
+    while s < SLOTS_PER_BUCKET {
+        h = header_with_checksum(h, s, cks[s]);
+        s += 1;
+    }
+    h
+}
+
+/// Unpacks a header word into its validity bitmap and eight checksums.
+pub fn header_unpack(header: u64) -> (u8, [u8; SLOTS_PER_BUCKET]) {
+    let mut cks = [0u8; SLOTS_PER_BUCKET];
+    for (s, ck) in cks.iter_mut().enumerate() {
+        *ck = header_checksum(header, s);
+    }
+    (header_valid_bits(header) as u8, cks)
+}
+
+/// Whether a record's bytes match the checksum the header stores for its
+/// slot. Only meaningful when the slot's valid bit is set.
+#[inline]
+pub fn slot_checksum_ok(header: u64, slot: usize, rec: &Record) -> bool {
+    header_checksum(header, slot) == checksum7(&rec.to_bytes())
+}
 
 /// One level of the non-volatile table.
 #[derive(Debug, Clone)]
@@ -146,31 +250,53 @@ impl Level {
             .atomic_load_u64_cached(self.header_off(bucket), Ordering::Acquire)
     }
 
-    /// Atomically sets slot `slot`'s valid bit and persists the header —
-    /// the failure-atomic commit point of an insert (figure 9c).
-    pub fn commit_slot_valid(&self, bucket: usize, slot: usize) {
-        let off = self.header_off(bucket);
-        self.region.atomic_fetch_or_u64(off, 1 << slot, Ordering::AcqRel);
-        self.region.persist(off, 8);
-        self.region.assert_persisted(off, 8);
+    /// Atomically sets slot `slot`'s valid bit **and** installs `ck` as
+    /// its record checksum in one failure-atomic 8-byte store, then
+    /// persists — the commit point of an insert (figure 9c). A reader that
+    /// sees the valid bit is guaranteed to see the matching checksum.
+    pub fn commit_slot_valid(&self, bucket: usize, slot: usize, ck: u8) {
+        self.commit_header(bucket, |h| {
+            header_with_checksum(h | (1 << slot), slot, ck)
+        });
     }
 
-    /// Atomically clears slot `slot`'s valid bit and persists — the commit
-    /// point of a delete.
+    /// Atomically clears slot `slot`'s valid bit and zeroes its checksum
+    /// field, then persists — the commit point of a delete (and of a
+    /// corruption quarantine).
     pub fn commit_slot_invalid(&self, bucket: usize, slot: usize) {
-        let off = self.header_off(bucket);
-        self.region.atomic_fetch_and_u64(off, !(1 << slot), Ordering::AcqRel);
-        self.region.persist(off, 8);
-        self.region.assert_persisted(off, 8);
+        self.commit_header(bucket, |h| {
+            header_with_checksum(h & !(1 << slot), slot, 0)
+        });
     }
 
-    /// Atomically flips the old and new slots' valid bits **in one 8-byte
-    /// store** and persists — the paper's figure-10(c) update commit, which
-    /// is why the out-of-place slot must live in the same bucket.
-    pub fn commit_slot_swap(&self, bucket: usize, old_slot: usize, new_slot: usize) {
+    /// Atomically flips the old and new slots' valid bits and moves the
+    /// checksum (`ck` = new record's checksum) **in one 8-byte store** and
+    /// persists — the paper's figure-10(c) update commit, which is why the
+    /// out-of-place slot must live in the same bucket.
+    pub fn commit_slot_swap(&self, bucket: usize, old_slot: usize, new_slot: usize, ck: u8) {
+        self.commit_header(bucket, |h| {
+            let flipped = h ^ ((1 << old_slot) | (1 << new_slot));
+            header_with_checksum(header_with_checksum(flipped, old_slot, 0), new_slot, ck)
+        });
+    }
+
+    /// CAS loop applying `f` to the header word, then persist. Each CAS
+    /// attempt is one charged 8-byte store, so a single-threaded commit
+    /// costs exactly what the old fetch-op commit did; the pre-read rides
+    /// the cached line the caller just wrote (same 256 B block as the
+    /// record).
+    fn commit_header(&self, bucket: usize, f: impl Fn(u64) -> u64) {
         let off = self.header_off(bucket);
-        self.region
-            .atomic_fetch_xor_u64(off, (1 << old_slot) | (1 << new_slot), Ordering::AcqRel);
+        let mut cur = self.load_header_cached(bucket);
+        loop {
+            match self
+                .region
+                .atomic_cas_u64(off, cur, f(cur), Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
         self.region.persist(off, 8);
         self.region.assert_persisted(off, 8);
     }
@@ -225,10 +351,11 @@ impl Level {
     }
 
     /// Number of valid slots according to the persisted headers (recovery /
-    /// diagnostics; charged reads).
+    /// diagnostics; charged reads). Masks off the checksum bits — only the
+    /// low byte is the validity bitmap.
     pub fn count_valid(&self) -> usize {
         (0..self.n_buckets())
-            .map(|b| self.load_header(b).count_ones() as usize)
+            .map(|b| header_valid_bits(self.load_header(b)).count_ones() as usize)
             .sum()
     }
 }
@@ -292,22 +419,32 @@ mod tests {
     fn record_roundtrip_and_commit() {
         let l = level();
         let rec = Record::new(Key::from_u64(5), Value::from_u64(55));
+        let ck = checksum7(&rec.to_bytes());
         l.write_record(2, 3, &rec);
         assert_eq!(l.load_header(2), 0, "valid bit not yet set");
-        l.commit_slot_valid(2, 3);
-        assert_eq!(l.load_header(2), 1 << 3);
+        l.commit_slot_valid(2, 3, ck);
+        assert_eq!(header_valid_bits(l.load_header(2)), 1 << 3);
+        assert_eq!(header_checksum(l.load_header(2), 3), ck);
+        assert!(slot_checksum_ok(l.load_header(2), 3, &rec));
         assert_eq!(l.read_record(2, 3), rec);
         l.commit_slot_invalid(2, 3);
-        assert_eq!(l.load_header(2), 0);
+        assert_eq!(l.load_header(2), 0, "valid bit and checksum both cleared");
     }
 
     #[test]
     fn swap_flips_both_bits_atomically() {
         let l = level();
-        l.commit_slot_valid(0, 1);
+        let old = Record::new(Key::from_u64(8), Value::from_u64(80));
+        let new = Record::new(Key::from_u64(8), Value::from_u64(81));
+        l.write_record(0, 1, &old);
+        l.commit_slot_valid(0, 1, checksum7(&old.to_bytes()));
+        l.write_record(0, 4, &new);
         let before = l.stats_writes();
-        l.commit_slot_swap(0, 1, 4);
-        assert_eq!(l.load_header(0), 1 << 4);
+        l.commit_slot_swap(0, 1, 4, checksum7(&new.to_bytes()));
+        let h = l.load_header(0);
+        assert_eq!(header_valid_bits(h), 1 << 4);
+        assert_eq!(header_checksum(h, 1), 0, "old slot's checksum cleared");
+        assert!(slot_checksum_ok(h, 4, &new));
         // Exactly one data store (plus persist) for the double flip.
         assert_eq!(l.stats_writes() - before, 1);
     }
@@ -324,13 +461,14 @@ mod tests {
         for s in [0usize, 3, 7] {
             let rec = Record::new(Key::from_u64(s as u64), Value::from_u64(100 + s as u64));
             l.write_record(1, s, &rec);
-            l.commit_slot_valid(1, s);
+            l.commit_slot_valid(1, s, checksum7(&rec.to_bytes()));
         }
         let (header, recs) = l.read_bucket(1);
-        assert_eq!(header, 0b1000_1001);
+        assert_eq!(header_valid_bits(header), 0b1000_1001);
         for s in [0usize, 3, 7] {
             assert_eq!(recs[s], l.read_record(1, s));
             assert_eq!(recs[s].key.as_u64(), s as u64);
+            assert!(slot_checksum_ok(header, s, &recs[s]));
         }
     }
 
@@ -346,10 +484,54 @@ mod tests {
     #[test]
     fn count_valid_sums_headers() {
         let l = level();
-        l.commit_slot_valid(0, 0);
-        l.commit_slot_valid(0, 1);
-        l.commit_slot_valid(31, 7);
+        // Non-zero checksums must not inflate the count.
+        l.commit_slot_valid(0, 0, 0x7F);
+        l.commit_slot_valid(0, 1, 0x55);
+        l.commit_slot_valid(31, 7, 0x7F);
         assert_eq!(l.count_valid(), 3);
+    }
+
+    #[test]
+    fn header_pack_unpack_roundtrip() {
+        let cks = [0u8, 1, 0x7F, 0x2A, 0x55, 0x13, 0x40, 0x6E];
+        let h = header_pack(0b1010_0110, cks);
+        let (valid, got) = header_unpack(h);
+        assert_eq!(valid, 0b1010_0110);
+        assert_eq!(got, cks);
+        // Fields are independent: replacing one checksum leaves the rest.
+        let h2 = header_with_checksum(h, 2, 0x01);
+        let (_, got2) = header_unpack(h2);
+        assert_eq!(got2[2], 0x01);
+        for s in [0usize, 1, 3, 4, 5, 6, 7] {
+            assert_eq!(got2[s], cks[s], "slot {s} disturbed");
+        }
+        assert_eq!(header_valid_bits(h2), 0b1010_0110);
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_damage() {
+        let rec = Record::new(Key::from_u64(77), Value::from_u64(770));
+        let clean = rec.to_bytes();
+        let ck = checksum7(&clean);
+        for i in 0..RECORD_LEN {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut dam = clean;
+                dam[i] ^= mask;
+                assert_ne!(checksum7(&dam), ck, "byte {i} mask {mask:#x} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_after_in_place_corruption() {
+        let l = level();
+        let rec = Record::new(Key::from_u64(5), Value::from_u64(55));
+        l.write_record(0, 2, &rec);
+        l.commit_slot_valid(0, 2, checksum7(&rec.to_bytes()));
+        assert!(slot_checksum_ok(l.load_header(0), 2, &l.read_record(0, 2)));
+        // Flip one media bit in the record's value bytes.
+        l.region().corrupt(l.slot_off(0, 2) + 20, &[0x04]);
+        assert!(!slot_checksum_ok(l.load_header(0), 2, &l.read_record(0, 2)));
     }
 
     #[test]
@@ -367,7 +549,7 @@ mod tests {
 
         let rec2 = Record::new(Key::from_u64(9), Value::from_u64(10));
         l.write_record(0, 1, &rec2);
-        l.commit_slot_valid(0, 1);
+        l.commit_slot_valid(0, 1, checksum7(&rec2.to_bytes()));
         l.region().crash(&mut rng);
         assert_eq!(l.load_header(0) & 0b10, 0b10);
         assert_eq!(l.read_record(0, 1), rec2);

@@ -245,6 +245,47 @@ impl Ocf {
     }
 }
 
+/// Bounded exponential backoff for opmap CAS retry loops.
+///
+/// Round `k` burns `2^min(k, MAX_EXP)` [`std::hint::spin_loop`] hints; once
+/// the spin budget saturates the waiter yields the CPU instead, so a
+/// descheduled lock holder cannot starve its contenders. Every round is
+/// counted under [`obs::Counter::OpmapBackoffRound`].
+#[derive(Debug, Default)]
+pub struct Backoff {
+    round: u32,
+}
+
+impl Backoff {
+    /// Spin budget cap: at most `2^MAX_EXP` hints per round.
+    pub const MAX_EXP: u32 = 6;
+    /// Rounds after which the waiter yields instead of spinning.
+    pub const YIELD_AFTER: u32 = 10;
+
+    /// Fresh backoff state (round 0).
+    pub const fn new() -> Self {
+        Backoff { round: 0 }
+    }
+
+    /// Rounds waited so far.
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+
+    /// Wait one round: exponential spinning up to the cap, then yields.
+    pub fn wait(&mut self) {
+        obs::count(obs::Counter::OpmapBackoffRound);
+        if self.round < Self::YIELD_AFTER {
+            for _ in 0..(1u32 << self.round.min(Self::MAX_EXP)) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        self.round = self.round.saturating_add(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +489,18 @@ mod tests {
             ocf.revalidate(0, 0, e1),
             "entry layout changed: ABA window is no longer 64 commits"
         );
+    }
+
+    #[test]
+    fn backoff_rounds_accumulate_and_saturate() {
+        let mut b = Backoff::new();
+        assert_eq!(b.rounds(), 0);
+        // Drive it well past the yield threshold; must neither panic nor
+        // overflow the shift (the exponent is capped at MAX_EXP).
+        for _ in 0..(Backoff::YIELD_AFTER + 20) {
+            b.wait();
+        }
+        assert_eq!(b.rounds(), Backoff::YIELD_AFTER + 20);
     }
 
     #[test]

@@ -107,7 +107,7 @@ impl HdnhParams {
     /// Validates invariants; called by `Hdnh::new`.
     pub fn validate(&self) {
         assert!(
-            self.segment_bytes >= BUCKET_BYTES && self.segment_bytes % BUCKET_BYTES == 0,
+            self.segment_bytes >= BUCKET_BYTES && self.segment_bytes.is_multiple_of(BUCKET_BYTES),
             "segment_bytes must be a multiple of 256"
         );
         assert!(

@@ -36,7 +36,7 @@ use parking_lot::RwLock;
 
 use crate::hot::HotTable;
 use crate::meta::{Meta, ResizeState};
-use crate::nvtable::Level;
+use crate::nvtable::{slot_checksum_ok, Level};
 use crate::ocf::Ocf;
 use crate::params::{HdnhParams, SyncMode, BUCKET_BYTES, SLOTS_PER_BUCKET};
 use crate::table::{CANDIDATES_FULL, CANDIDATES_ONE_CHOICE};
@@ -127,7 +127,7 @@ impl Hdnh {
         // adopt what is there.
         let seg_bytes = bps * BUCKET_BYTES;
         assert!(
-            pool.top.len() % seg_bytes == 0 && pool.bottom.len() % seg_bytes == 0,
+            pool.top.len().is_multiple_of(seg_bytes) && pool.bottom.len().is_multiple_of(seg_bytes),
             "pool regions are not whole segments"
         );
         let mut top_region = pool.top;
@@ -191,7 +191,7 @@ impl Hdnh {
                 fault::point("recover.alloc.restarted");
                 resumed_moved =
                     Self::migrate(&bottom, &new_top, &new_ocf, 0, false, &meta, candidates(&params))
-                        as u64;
+                        .0 as u64;
                 Self::swap_levels_for_recovery(&meta, &mut top, &mut bottom, new_top);
             }
             ResizeState::Rehashing => {
@@ -427,6 +427,13 @@ fn migrate_parallel_dupcheck(
                             if header & (1 << slot) == 0 {
                                 continue;
                             }
+                            if !slot_checksum_ok(header, slot, rec) {
+                                // Damaged source record: drop it here (the
+                                // source level dies with the swap).
+                                obs::count(obs::Counter::CorruptionDetected);
+                                obs::count(obs::Counter::CorruptionQuarantined);
+                                continue;
+                            }
                             let h = KeyHashes::of(&rec.key);
                             if Hdnh::find_in_level(to, to_ocf, &rec.key, &h, cands).is_none() {
                                 Hdnh::insert_into_level(to, to_ocf, rec, &h, cands);
@@ -453,12 +460,20 @@ fn migrate_parallel_dupcheck(
 }
 
 /// Scans one level serially and installs OCF entries (used for the new top
-/// during a rehash resume).
+/// during a rehash resume). Checksum-verifies each record; damaged slots
+/// are quarantined (valid bit cleared, no OCF entry) so the dup-checked
+/// migration re-copies the clean source copy instead.
 fn rebuild_ocf_serial(level: &Level, ocf: &Ocf) {
     for b in 0..level.n_buckets() {
         let (header, recs) = level.read_bucket(b);
         for (slot, rec) in recs.iter().enumerate() {
             if header & (1 << slot) != 0 {
+                if !slot_checksum_ok(header, slot, rec) {
+                    obs::count(obs::Counter::CorruptionDetected);
+                    obs::count(obs::Counter::CorruptionQuarantined);
+                    level.commit_slot_invalid(b, slot);
+                    continue;
+                }
                 let h = KeyHashes::of(&rec.key);
                 ocf.install(b, slot, true, h.fp);
             }
@@ -491,6 +506,16 @@ fn rebuild_parallel(
                             let (header, recs) = level.read_bucket(b);
                             for (slot, rec) in recs.iter().enumerate() {
                                 if header & (1 << slot) == 0 {
+                                    continue;
+                                }
+                                if !slot_checksum_ok(header, slot, rec) {
+                                    // Media damage found by the recovery
+                                    // scan: quarantine — the damaged bytes
+                                    // never reach the OCF, the hot table,
+                                    // or the live count.
+                                    obs::count(obs::Counter::CorruptionDetected);
+                                    obs::count(obs::Counter::CorruptionQuarantined);
+                                    level.commit_slot_invalid(b, slot);
                                     continue;
                                 }
                                 let h = KeyHashes::of(&rec.key);
@@ -596,7 +621,7 @@ mod tests {
             assert_eq!(r.get(&k(i)).unwrap().as_u64(), i * 7, "key {i}");
         }
         // Hot table was warmed during recovery.
-        assert!(r.hot_table().unwrap().len() > 0);
+        assert!(!r.hot_table().unwrap().is_empty());
     }
 
     #[test]

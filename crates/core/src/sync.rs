@@ -303,7 +303,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(hot.len() > 0);
+        assert!(!hot.is_empty());
     }
 
     #[test]

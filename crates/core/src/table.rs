@@ -24,7 +24,10 @@
 //! * **Search** — hot table first; then OCF fingerprints; only a fingerprint
 //!   match touches NVM, and the seqlock version re-check detects any
 //!   concurrent writer. Completely lock-free: no NVM writes on the read
-//!   path (the flaw the paper calls out in CCEH's reader locks).
+//!   path (the flaw the paper calls out in CCEH's reader locks). Every NVM
+//!   record read is additionally verified against the 7-bit checksum packed
+//!   into the bucket header; a seqlock-stable mismatch is media damage and
+//!   is repaired or quarantined — never served (DESIGN.md §10).
 //!
 //! Resizing follows Level hashing's scheme (§3.7): a new top level with
 //! twice the segments is allocated, bottom-level items are rehashed into it,
@@ -44,10 +47,11 @@ use hdnh_nvm::StatsSnapshot;
 use hdnh_obs as obs;
 use parking_lot::RwLock;
 
+use crate::error::{CorruptionOutcome, HdnhError};
 use crate::hot::HotTable;
 use crate::meta::{Meta, ResizeState};
-use crate::nvtable::Level;
-use crate::ocf::{self, LockOutcome, Ocf};
+use crate::nvtable::{checksum7, header_slot_valid, slot_checksum_ok, Level};
+use crate::ocf::{self, Backoff, LockOutcome, Ocf};
 use crate::params::{HdnhParams, SyncMode, BUCKET_BYTES, SLOTS_PER_BUCKET};
 use crate::sync::{HotOp, SyncWriter};
 
@@ -102,6 +106,40 @@ pub struct InvariantReport {
     pub ok: bool,
     /// The first few violations, human-readable (capped).
     pub violations: Vec<String>,
+}
+
+/// Machine-readable outcome of one [`Hdnh::scrub`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Live slots whose record was checksum-verified.
+    pub scanned: usize,
+    /// Slots whose bytes failed the checksum committed with them.
+    pub detected: usize,
+    /// Detected slots rebuilt in place from a clean DRAM hot-table copy.
+    pub repaired: usize,
+    /// Detected slots with no clean copy: valid bit cleared, record lost.
+    pub quarantined: usize,
+    /// Per-slot detail for each detection (capped at [`ScrubReport::ERRORS_CAP`]).
+    pub errors: Vec<HdnhError>,
+}
+
+impl ScrubReport {
+    /// Cap on retained per-slot errors so a badly damaged pool stays
+    /// reportable.
+    pub const ERRORS_CAP: usize = 64;
+
+    /// `true` when the pass found no corruption.
+    pub fn clean(&self) -> bool {
+        self.detected == 0
+    }
+
+    /// One-line JSON summary for tooling and CI artifacts.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scanned\":{},\"detected\":{},\"repaired\":{},\"quarantined\":{}}}",
+            self.scanned, self.detected, self.repaired, self.quarantined
+        )
+    }
 }
 
 /// A record's located position in the table.
@@ -254,6 +292,8 @@ impl Hdnh {
     ///   update-fallback double-copy window must have been repaired).
     /// * `hot-consistency` — a hot-table hit for a live key returns the
     ///   authoritative NVM value.
+    /// * `checksum-match` — every bitmap-valid record's bytes match the
+    ///   7-bit checksum committed with its valid bit (media integrity).
     /// * `count-consistency` — `len()` equals the number of valid slots.
     /// * `meta-quiescent` — the metadata block is stable (no resize state,
     ///   no rehash cursor) and its geometry matches the live levels.
@@ -271,6 +311,7 @@ impl Hdnh {
         let mut fps = Vec::new();
         let mut dups = Vec::new();
         let mut hots = Vec::new();
+        let mut cks = Vec::new();
         let mut counts = Vec::new();
         let mut metas = Vec::new();
         let mut live = 0usize;
@@ -297,6 +338,12 @@ impl Hdnh {
                     }
                     if nv_valid {
                         let rec = level.read_record(bucket, slot);
+                        if !slot_checksum_ok(header, slot, &rec) {
+                            push(
+                                &mut cks,
+                                format!("checksum mismatch at L{li}/{bucket}/{slot}"),
+                            );
+                        }
                         let h = KeyHashes::of(&rec.key);
                         if self.params.enable_ocf && ocf::fp(e) != h.fp {
                             push(&mut fps, format!("fingerprint mismatch at L{li}/{bucket}/{slot}"));
@@ -361,11 +408,108 @@ impl Hdnh {
                 mk("fingerprint-match", fps),
                 mk("no-duplicate-keys", dups),
                 mk("hot-consistency", hots),
+                mk("checksum-match", cks),
                 mk("count-consistency", counts),
                 mk("meta-quiescent", metas),
             ],
             live,
         )
+    }
+
+    /// On-demand media scrub (DESIGN.md §10): walks every live slot of both
+    /// levels, re-verifies each record against the checksum committed with
+    /// its valid bit, and handles every mismatch — rebuilt in place when the
+    /// DRAM hot table still holds a clean copy (and the OCF fingerprint
+    /// vouches for the damaged record's key bytes), quarantined otherwise.
+    /// Takes the table offline (write lock) for the pass; after it returns,
+    /// [`verify_integrity_report`](Hdnh::verify_integrity_report) is clean
+    /// with respect to `checksum-match`.
+    pub fn scrub(&self) -> ScrubReport {
+        let span = obs::phase_start();
+        let inner = self.inner.write();
+        let mut report = ScrubReport::default();
+        for li in 0..2 {
+            let (level, ocf) = inner.level(li);
+            for bucket in 0..level.n_buckets() {
+                let header = level.load_header(bucket);
+                for slot in 0..SLOTS_PER_BUCKET {
+                    if !header_slot_valid(header, slot) {
+                        continue;
+                    }
+                    report.scanned += 1;
+                    let rec = level.read_record(bucket, slot);
+                    if slot_checksum_ok(header, slot, &rec) {
+                        continue;
+                    }
+                    report.detected += 1;
+                    obs::count(obs::Counter::CorruptionDetected);
+                    let h = KeyHashes::of(&rec.key);
+                    let e = ocf.load(bucket, slot);
+                    let hot_copy = inner.hot.as_ref().and_then(|hot| {
+                        (h.fp == ocf::fp(e))
+                            .then(|| hot.search(&rec.key, h.h1, h.h2, h.fp))
+                            .flatten()
+                    });
+                    // Exclusive access: install (not commit) refreshes the
+                    // OCF entry without the lock protocol.
+                    let outcome = if let Some(value) = hot_copy {
+                        let clean = Record::new(rec.key, value);
+                        level.write_record(bucket, slot, &clean);
+                        level.commit_slot_valid(bucket, slot, checksum7(&clean.to_bytes()));
+                        ocf.install(bucket, slot, true, h.fp);
+                        report.repaired += 1;
+                        obs::count(obs::Counter::CorruptionRepaired);
+                        CorruptionOutcome::Repaired
+                    } else {
+                        level.commit_slot_invalid(bucket, slot);
+                        ocf.install(bucket, slot, false, 0);
+                        self.count.fetch_sub(1, Ordering::Relaxed);
+                        report.quarantined += 1;
+                        obs::count(obs::Counter::CorruptionQuarantined);
+                        CorruptionOutcome::Quarantined
+                    };
+                    if report.errors.len() < ScrubReport::ERRORS_CAP {
+                        report.errors.push(HdnhError::Corruption {
+                            level: li,
+                            bucket,
+                            slot,
+                            outcome,
+                        });
+                    }
+                }
+            }
+        }
+        obs::phase_record(obs::Phase::Scrub, span, report.scanned as u64);
+        report
+    }
+
+    /// Fault-injection hook: XORs `mask` into byte `byte` (0-based within
+    /// the 31-byte record) of `key`'s persisted record, bypassing the write
+    /// path — simulating in-place media decay. Returns `None` when the key
+    /// has no live NVM slot, otherwise whether the damage is *detectable*
+    /// (the 7-bit checksum admits a 1/128 false-accept; deterministic tests
+    /// must check this and pick a different mask on collision).
+    ///
+    /// Test/diagnostics support only — not part of the stable API.
+    #[doc(hidden)]
+    pub fn corrupt_record_for_test(&self, key: &Key, byte: usize, mask: u8) -> Option<bool> {
+        let inner = self.inner.write();
+        for li in 0..2 {
+            let (level, _) = inner.level(li);
+            for bucket in 0..level.n_buckets() {
+                let header = level.load_header(bucket);
+                for slot in 0..SLOTS_PER_BUCKET {
+                    if header_slot_valid(header, slot)
+                        && level.read_record(bucket, slot).key == *key
+                    {
+                        level.region().corrupt(level.slot_off(bucket, slot) + byte, &[mask]);
+                        let damaged = level.read_record(bucket, slot);
+                        return Some(!slot_checksum_ok(header, slot, &damaged));
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// DRAM footprint of the OCF in bytes.
@@ -377,18 +521,6 @@ impl Hdnh {
     // =================================================================
     // Probing
     // =================================================================
-
-    /// Back off on a busy slot; writers hold locks only across one record
-    /// write + persist, so spin first and yield only when oversubscribed.
-    #[inline]
-    fn busy_backoff(spins: &mut u32) {
-        *spins += 1;
-        if *spins < 128 {
-            std::hint::spin_loop();
-        } else {
-            std::thread::yield_now();
-        }
-    }
 
     /// Candidate buckets probed per level (4, or 2 in the 1-choice
     /// ablation).
@@ -403,7 +535,7 @@ impl Hdnh {
 
     /// Searches both levels; returns the located record.
     fn find(&self, inner: &Inner, key: &Key, h: &KeyHashes) -> Option<Located> {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         for li in 0..2 {
             let (level, ocf) = inner.level(li);
             for bucket in level.candidates(h).into_iter().take(self.n_candidates()) {
@@ -416,7 +548,7 @@ impl Hdnh {
                         if ocf::is_busy(e) {
                             // A writer may be materialising this very key;
                             // wait for it to settle.
-                            Self::busy_backoff(&mut spins);
+                            backoff.wait();
                             continue;
                         }
                         // The OCF fingerprint filter (§3.2): a mismatch
@@ -428,9 +560,22 @@ impl Hdnh {
                             continue 'slot;
                         }
                         let rec = level.read_record(bucket, slot);
+                        // Header load is uncharged: the 256 B media block
+                        // fetched for the record read already holds it.
+                        let header = level.load_header_cached(bucket);
                         if !ocf.revalidate(bucket, slot, e) {
                             obs::count(obs::Counter::SeqlockReadRetry);
                             continue; // concurrent writer: retry this slot
+                        }
+                        // The version was stable across both loads, so a
+                        // checksum mismatch cannot be a racing writer — it
+                        // is media damage. Never serve the bytes (§ media
+                        // errors, DESIGN.md §10): repair or quarantine,
+                        // then treat the slot as a miss.
+                        if header_slot_valid(header, slot) && !slot_checksum_ok(header, slot, &rec)
+                        {
+                            self.handle_corruption(inner, li, bucket, slot, e);
+                            continue; // re-probe: repaired slots re-match
                         }
                         if rec.key == *key {
                             if self.params.enable_ocf {
@@ -461,7 +606,7 @@ impl Hdnh {
     /// Searches and write-locks the record's slot. `Ok(Some(..))` holds the
     /// lock; the pre-lock entry is inside.
     fn find_and_lock(&self, inner: &Inner, key: &Key, h: &KeyHashes) -> Option<Located> {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             let loc = self.find(inner, key, h)?;
             let (_, ocf) = inner.level(loc.li);
@@ -470,11 +615,72 @@ impl Hdnh {
                 // Entry changed: the record may have moved or been deleted;
                 // rescan from scratch.
                 LockOutcome::Contended | LockOutcome::Mismatch => {
-                    Self::busy_backoff(&mut spins);
+                    backoff.wait();
                     continue;
                 }
             }
         }
+    }
+
+    /// Handles a seqlock-stable checksum mismatch at `(li, bucket, slot)`:
+    /// the persisted record no longer matches the checksum committed with
+    /// it. Locks the slot, re-verifies under the lock (a transient device
+    /// read error heals itself and needs no repair), then either rewrites
+    /// the record from the clean DRAM hot-table copy (**repair**) or clears
+    /// the valid bit so the damaged bytes can never be served again
+    /// (**quarantine**). Returns what was done, or `None` when a concurrent
+    /// writer superseded the damaged bytes first.
+    ///
+    /// Repair is gated on the OCF fingerprint — a DRAM-held witness of the
+    /// true key — still matching the damaged record's key bytes: if the
+    /// damage hit the key, the fingerprint disagrees with probability
+    /// 255/256 and the slot is quarantined rather than rebuilt under a
+    /// forged key.
+    fn handle_corruption(
+        &self,
+        inner: &Inner,
+        li: usize,
+        bucket: usize,
+        slot: usize,
+        entry: u16,
+    ) -> Option<HdnhError> {
+        obs::count(obs::Counter::CorruptionDetected);
+        let (level, ocf) = inner.level(li);
+        let LockOutcome::Locked(pre) = ocf.try_lock_at(bucket, slot, entry) else {
+            return None;
+        };
+        let rec = level.read_record(bucket, slot);
+        let header = level.load_header_cached(bucket);
+        if !header_slot_valid(header, slot) || slot_checksum_ok(header, slot, &rec) {
+            ocf.abort(bucket, slot, pre);
+            return None;
+        }
+        let h = KeyHashes::of(&rec.key);
+        let hot_copy = inner.hot.as_ref().and_then(|hot| {
+            (h.fp == ocf::fp(pre))
+                .then(|| hot.search(&rec.key, h.h1, h.h2, h.fp))
+                .flatten()
+        });
+        let outcome = if let Some(value) = hot_copy {
+            let clean = Record::new(rec.key, value);
+            level.write_record(bucket, slot, &clean);
+            level.commit_slot_valid(bucket, slot, checksum7(&clean.to_bytes()));
+            ocf.commit(bucket, slot, pre, true, h.fp);
+            obs::count(obs::Counter::CorruptionRepaired);
+            CorruptionOutcome::Repaired
+        } else {
+            level.commit_slot_invalid(bucket, slot);
+            ocf.commit(bucket, slot, pre, false, 0);
+            self.count.fetch_sub(1, Ordering::Relaxed);
+            obs::count(obs::Counter::CorruptionQuarantined);
+            CorruptionOutcome::Quarantined
+        };
+        Some(HdnhError::Corruption {
+            level: li,
+            bucket,
+            slot,
+            outcome,
+        })
     }
 
     // =================================================================
@@ -559,6 +765,7 @@ impl Hdnh {
     fn insert_inner(&self, key: &Key, value: &Value) -> IndexResult<()> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
+        let ck = checksum7(&rec.to_bytes());
         loop {
             let gen = self.generation.load(Ordering::Acquire);
             {
@@ -587,8 +794,9 @@ impl Hdnh {
                                     // (b) record persisted while invisible.
                                     level.write_record(bucket, slot, &rec);
                                     fault::point("insert.record_written");
-                                    // (c) failure-atomic commit.
-                                    level.commit_slot_valid(bucket, slot);
+                                    // (c) failure-atomic commit: valid bit
+                                    // and record checksum in one store.
+                                    level.commit_slot_valid(bucket, slot, ck);
                                     fault::point("insert.bitmap_committed");
                                     // (d) publish in DRAM, release lock.
                                     ocf.commit(bucket, slot, pre, true, h.fp);
@@ -619,6 +827,7 @@ impl Hdnh {
     fn update_inner(&self, key: &Key, value: &Value) -> IndexResult<()> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
+        let ck = checksum7(&rec.to_bytes());
         loop {
             let gen = self.generation.load(Ordering::Acquire);
             {
@@ -646,7 +855,7 @@ impl Hdnh {
                     if let LockOutcome::Locked(pre_new) = ocf.try_lock_empty(old.bucket, ns) {
                         level.write_record(old.bucket, ns, &rec);
                         fault::point("update.new_written");
-                        level.commit_slot_swap(old.bucket, old.slot, ns);
+                        level.commit_slot_swap(old.bucket, old.slot, ns, ck);
                         fault::point("update.swap_committed");
                         ocf.commit(old.bucket, ns, pre_new, true, h.fp);
                         ocf.commit(old.bucket, old.slot, old.entry, false, 0);
@@ -669,7 +878,7 @@ impl Hdnh {
                             {
                                 level2.write_record(bucket2, ns, &rec);
                                 fault::point("update.fallback.new_written");
-                                level2.commit_slot_valid(bucket2, ns);
+                                level2.commit_slot_valid(bucket2, ns, ck);
                                 // The double-copy window: both the old and
                                 // the new version are bitmap-valid until the
                                 // next commit; recovery dedupes it.
@@ -795,7 +1004,7 @@ impl Hdnh {
         self.meta.set_state(ResizeState::Rehashing);
         self.meta.set_rehash_progress(Some(0));
         fault::point("resize.rehashing");
-        let moved = Self::migrate(
+        let (moved, dropped) = Self::migrate(
             &inner.bottom,
             &new_top,
             &new_ocf,
@@ -804,6 +1013,10 @@ impl Hdnh {
             &self.meta,
             self.n_candidates(),
         );
+        if dropped > 0 {
+            // Quarantined-by-omission records leave the table with the level.
+            self.count.fetch_sub(dropped, Ordering::Relaxed);
+        }
         obs::phase_record(obs::Phase::ResizeRehash, span, moved as u64);
 
         // Phase 3 — swap levels, publish geometry, return to stable.
@@ -815,7 +1028,10 @@ impl Hdnh {
     /// Moves every valid record in `from` buckets `[start..]` into `to`,
     /// updating the persisted progress cursor per bucket. With `dup_check`
     /// (recovery resume), records already present in `to` are skipped.
-    /// Returns the number of records moved.
+    /// Every record is checksum-verified before it moves: damaged slots
+    /// are dropped (the old level is discarded after the swap, so omission
+    /// quarantines them) and counted in the second return value. Returns
+    /// `(moved, dropped)`.
     pub(crate) fn migrate(
         from: &Level,
         to: &Level,
@@ -824,12 +1040,20 @@ impl Hdnh {
         dup_check: bool,
         meta: &Meta,
         candidates: usize,
-    ) -> usize {
+    ) -> (usize, usize) {
         let mut moved = 0usize;
+        let mut dropped = 0usize;
         for b in start..from.n_buckets() {
             let (header, recs) = from.read_bucket(b);
             for (slot, rec) in recs.iter().enumerate() {
                 if header & (1 << slot) == 0 {
+                    continue;
+                }
+                if !slot_checksum_ok(header, slot, rec) {
+                    // Never propagate damaged bytes into the new level.
+                    obs::count(obs::Counter::CorruptionDetected);
+                    obs::count(obs::Counter::CorruptionQuarantined);
+                    dropped += 1;
                     continue;
                 }
                 let h = KeyHashes::of(&rec.key);
@@ -845,7 +1069,7 @@ impl Hdnh {
             meta.set_rehash_progress(Some(b + 1));
             fault::point("resize.bucket_migrated");
         }
-        moved
+        (moved, dropped)
     }
 
     /// Single-threaded insert used by resize/recovery (same persistence
@@ -862,7 +1086,7 @@ impl Hdnh {
                 if let LockOutcome::Locked(pre) = ocf.try_lock_empty(bucket, slot) {
                     level.write_record(bucket, slot, rec);
                     fault::point("migrate.record_written");
-                    level.commit_slot_valid(bucket, slot);
+                    level.commit_slot_valid(bucket, slot, checksum7(&rec.to_bytes()));
                     fault::point("migrate.slot_committed");
                     ocf.commit(bucket, slot, pre, true, h.fp);
                     return;
@@ -1405,6 +1629,187 @@ mod tests {
         let per_op = d.read_blocks as f64 / probes as f64;
         // Theory: 64 entries × load × 1/256 ≈ 0.04; allow ≤ 0.5.
         assert!(per_op < 0.5, "negative search reads {per_op:.3} blocks/op — fp aliasing?");
+    }
+
+    /// Locates a key's live NVM slot by exhaustive scan (tests only).
+    fn locate(t: &Hdnh, key: &Key) -> (usize, usize, usize) {
+        let inner = t.inner.read();
+        for li in 0..2 {
+            let (level, _) = inner.level(li);
+            for b in 0..level.n_buckets() {
+                let header = level.load_header(b);
+                for s in 0..SLOTS_PER_BUCKET {
+                    if header_slot_valid(header, s) && level.read_record(b, s).key == *key {
+                        return (li, b, s);
+                    }
+                }
+            }
+        }
+        panic!("key not persisted");
+    }
+
+    /// XORs `mask` into one byte of the key's persisted record.
+    fn corrupt_record_byte(t: &Hdnh, key: &Key, byte: usize, mask: u8) {
+        let (li, b, s) = locate(t, key);
+        let inner = t.inner.read();
+        let (level, _) = inner.level(li);
+        level.region().corrupt(level.slot_off(b, s) + byte, &[mask]);
+    }
+
+    #[test]
+    fn corrupted_record_is_never_served_and_quarantined_without_hot_copy() {
+        let t = Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 2,
+            enable_hot_table: false,
+            ..Default::default()
+        });
+        for i in 0..50 {
+            t.insert(&k(i), &v(i + 100)).unwrap();
+        }
+        // Flip one bit in the value bytes of key 7's persisted record.
+        corrupt_record_byte(&t, &k(7), hdnh_common::KEY_LEN + 3, 0x10);
+        // The damaged bytes must never reach the caller: with no clean
+        // copy the slot is quarantined and the lookup misses.
+        assert_eq!(t.get(&k(7)), None);
+        assert_eq!(t.len(), 49);
+        // The table stays fully consistent and the other keys are intact.
+        assert!(t.verify_integrity().is_ok());
+        for i in 0..50 {
+            if i != 7 {
+                assert_eq!(t.get(&k(i)).unwrap().as_u64(), i + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_record_is_repaired_from_hot_copy() {
+        let t = Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 2,
+            hot_capacity_ratio: 2.0,
+            ..Default::default()
+        });
+        for i in 0..50 {
+            t.insert(&k(i), &v(i + 100)).unwrap();
+        }
+        // Damage key 9's value bytes in NVM; its clean copy is in the hot
+        // table (inserts cache through it).
+        corrupt_record_byte(&t, &k(9), hdnh_common::KEY_LEN + 1, 0x80);
+        // A write-path probe reads the NVM record even when the key is hot:
+        // the duplicate check detects the damage and repairs it in place.
+        assert_eq!(t.insert(&k(9), &v(1)), Err(IndexError::DuplicateKey));
+        let (li, b, s) = locate(&t, &k(9));
+        let inner = t.inner.read();
+        let (level, _) = inner.level(li);
+        let rec = level.read_record(b, s);
+        assert_eq!(rec.value.as_u64(), 109, "record not rebuilt from hot copy");
+        assert!(slot_checksum_ok(level.load_header(b), s, &rec));
+        drop(inner);
+        assert_eq!(t.len(), 50, "repair must not change the live count");
+        assert!(t.verify_integrity().is_ok());
+    }
+
+    #[test]
+    fn corrupted_key_bytes_are_quarantined_not_forged() {
+        // Damage to the key bytes makes the record's fingerprint disagree
+        // with the DRAM-held OCF witness: repair must refuse to rebuild
+        // under a forged key even though a hot copy of the true key exists.
+        let t = Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 2,
+            enable_hot_table: false,
+            ..Default::default()
+        });
+        for i in 0..50 {
+            t.insert(&k(i), &v(i)).unwrap();
+        }
+        let (li, b, s) = locate(&t, &k(3));
+        corrupt_record_byte(&t, &k(3), 0, 0x04);
+        {
+            // Guard against the 7-bit checksum's documented 1/128
+            // false-accept: this particular (byte, mask) pair must be
+            // detectable or the assertions below are vacuous.
+            let inner = t.inner.read();
+            let (level, _) = inner.level(li);
+            assert!(
+                !slot_checksum_ok(level.load_header(b), s, &level.read_record(b, s)),
+                "chosen corruption collides in the 7-bit checksum; pick another mask"
+            );
+        }
+        assert_eq!(t.get(&k(3)), None);
+        assert_eq!(t.len(), 49);
+        assert!(t.verify_integrity().is_ok());
+    }
+
+    #[test]
+    fn scrub_repairs_hot_backed_slots_and_quarantines_the_rest() {
+        let t = Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 2,
+            hot_capacity_ratio: 2.0,
+            ..Default::default()
+        });
+        for i in 0..80 {
+            t.insert(&k(i), &v(i + 500)).unwrap();
+        }
+        assert!(t.scrub().clean(), "fresh table must scrub clean");
+        // Three value corruptions (hot copies exist → repair) and two key
+        // corruptions (fingerprint witness disagrees → quarantine).
+        for key in [11u64, 22, 33] {
+            corrupt_record_byte(&t, &k(key), hdnh_common::KEY_LEN + 2, 0x40);
+        }
+        for key in [44u64, 55] {
+            corrupt_record_byte(&t, &k(key), 1, 0x02);
+        }
+        let report = t.scrub();
+        assert_eq!(report.detected, 5, "{report:?}");
+        assert_eq!(report.repaired, 3, "{report:?}");
+        assert_eq!(report.quarantined, 2, "{report:?}");
+        assert_eq!(report.scanned, 80);
+        assert_eq!(report.errors.len(), 5);
+        assert!(!report.clean());
+        let json = report.to_json();
+        assert!(json.contains("\"detected\":5") && json.contains("\"repaired\":3"));
+        // Post-scrub the table is consistent; repaired keys read back.
+        assert!(t.verify_integrity().is_ok());
+        assert_eq!(t.len(), 78);
+        for key in [11u64, 22, 33] {
+            assert_eq!(t.get(&k(key)).unwrap().as_u64(), key + 500);
+        }
+        // A second pass finds nothing left to do.
+        assert!(t.scrub().clean());
+    }
+
+    #[test]
+    fn contended_writers_count_backoff_rounds() {
+        obs::set_enabled(true);
+        let before = obs::snapshot().counter(obs::Counter::OpmapBackoffRound);
+        let t = Arc::new(Hdnh::new(HdnhParams {
+            segment_bytes: 1024,
+            initial_bottom_segments: 2,
+            ..Default::default()
+        }));
+        t.insert(&k(1), &v(0)).unwrap();
+        let mut handles = Vec::new();
+        for tid in 0..8u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3_000u64 {
+                    t.update(&k(1), &v(tid * 100_000 + i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rounds = obs::snapshot().counter(obs::Counter::OpmapBackoffRound) - before;
+        assert!(
+            rounds > 0,
+            "8 writers hammering one key never took a backoff round"
+        );
+        assert_eq!(t.len(), 1);
+        assert!(t.verify_integrity().is_ok());
     }
 
     #[test]

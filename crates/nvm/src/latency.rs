@@ -62,7 +62,7 @@ impl LatencyModel {
     /// An AEP profile scaled by `factor` (×100 = percent). Used by
     /// sensitivity ablations.
     pub fn aep_scaled(factor: f64) -> Self {
-        let s = |ns: u32| ((ns as f64 * factor).round() as u32).max(0);
+        let s = |ns: u32| (ns as f64 * factor).round() as u32;
         LatencyModel {
             enabled: true,
             read_block_ns: s(200),

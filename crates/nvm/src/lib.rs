@@ -42,7 +42,7 @@ pub mod region;
 pub mod stats;
 
 pub use bandwidth::{BandwidthLimiter, BandwidthModel};
-pub use fault::{FaultPlan, InjectedCrash};
+pub use fault::{CorruptionEvent, CorruptionKind, CorruptionPlan, FaultPlan, InjectedCrash};
 pub use latency::LatencyModel;
 pub use pod::Pod;
 pub use region::{NvmOptions, NvmRegion, CACHELINE, NVM_BLOCK};

@@ -215,6 +215,7 @@ impl NvmRegion {
             bw.charge_read(blocks * NVM_BLOCK);
         }
         self.copy_out(off, out);
+        fault::corrupt_point("nvm.read", out);
     }
 
     /// Reads a `Pod` value at `off` (unaligned allowed).
@@ -337,7 +338,7 @@ impl NvmRegion {
     pub fn atomic_load_u64(&self, off: usize, order: Ordering) -> u64 {
         self.stats.on_read(8, 1);
         self.latency.charge_read(1);
-        self.word_at(off).load(order)
+        fault::corrupt_word("nvm.load", self.word_at(off).load(order))
     }
 
     /// Atomic 64-bit load with **no** latency/stat charge. Models a load
@@ -464,6 +465,33 @@ impl NvmRegion {
         let mut buf = [0u8; CACHELINE];
         self.copy_out(start, &mut buf[..end - start]);
         media[start..end].copy_from_slice(&buf[..end - start]);
+    }
+
+    // ------------------------------------------------------------------
+    // Media-corruption simulation
+    // ------------------------------------------------------------------
+
+    /// XORs `mask` into the bytes at `[off, off+mask.len())`, modelling
+    /// in-place media decay (a stuck cell, radiation upset, firmware bug).
+    /// The damage lands on the *persisted* image too in strict mode, so it
+    /// survives crashes and is visible to recovery scans — unlike
+    /// [`fault::corrupt_point`] plans, which falsify a single read in
+    /// flight. Bytes whose mask is zero are untouched. Uncharged (the
+    /// decay is not an access). Test/diagnostic API.
+    pub fn corrupt(&self, off: usize, mask: &[u8]) {
+        self.check(off, mask.len());
+        let mut cur = vec![0u8; mask.len()];
+        self.copy_out(off, &mut cur);
+        for (b, m) in cur.iter_mut().zip(mask) {
+            *b ^= m;
+        }
+        self.copy_in(off, &cur);
+        if let Some(strict) = &self.strict {
+            let mut st = strict.lock();
+            for (i, m) in mask.iter().enumerate() {
+                st.media[off + i] ^= m;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -939,6 +967,65 @@ mod tests {
         r.persist(0, 8);
         r.crash_with(|_| false);
         assert_eq!(r.atomic_load_u64(0, Ordering::Acquire), 77);
+    }
+
+    // ---------------- media corruption ----------------
+
+    #[test]
+    fn corrupt_flips_exactly_masked_bits() {
+        let r = region(256);
+        r.write_bytes(10, &[0xF0; 4]);
+        r.corrupt(10, &[0x0F, 0x00, 0xFF, 0x00]);
+        let mut buf = [0u8; 4];
+        r.peek(10, &mut buf);
+        assert_eq!(buf, [0xFF, 0xF0, 0x0F, 0xF0]);
+        // Applying the same mask again undoes the damage (XOR).
+        r.corrupt(10, &[0x0F, 0x00, 0xFF, 0x00]);
+        r.peek(10, &mut buf);
+        assert_eq!(buf, [0xF0; 4]);
+    }
+
+    #[test]
+    fn corrupt_survives_crash_in_strict_mode() {
+        let r = strict_region(256);
+        r.write_bytes(0, &[0xAA; 8]);
+        r.persist(0, 8);
+        r.corrupt(0, &[0x01]);
+        r.crash_with(|_| false);
+        let mut buf = [0u8; 8];
+        r.peek(0, &mut buf);
+        assert_eq!(buf[0], 0xAB, "decay must land on the media image");
+        assert_eq!(buf[1], 0xAA);
+    }
+
+    #[test]
+    fn corrupt_is_uncharged() {
+        let r = region(256);
+        let before = r.stats().snapshot();
+        r.corrupt(0, &[0xFF; 16]);
+        let d = r.stats().snapshot().since(&before);
+        assert_eq!(d.reads + d.writes, 0);
+    }
+
+    #[test]
+    fn injected_read_corruption_falsifies_one_read_only() {
+        let _g = LINT_LOCK.lock(); // fault registry is process-global
+        let r = region(256);
+        r.write_bytes(0, &[0x55; 32]);
+        crate::fault::arm_corruption(crate::fault::CorruptionPlan {
+            site: "nvm.read".into(),
+            hit: 1,
+            kind: crate::fault::CorruptionKind::BitFlip,
+            mask: 0x80,
+            seed: 3,
+        });
+        let mut first = [0u8; 32];
+        r.read_into(0, &mut first);
+        let mut second = [0u8; 32];
+        r.read_into(0, &mut second);
+        let _ = crate::fault::disarm_corruption();
+        assert_ne!(first, [0x55; 32], "first read must come back damaged");
+        assert_eq!(second, [0x55; 32], "media itself is intact");
     }
 
     // ---------------- ack-without-persist lint ----------------

@@ -62,9 +62,8 @@ pub struct AtomicHistogram {
 impl AtomicHistogram {
     /// An empty histogram (usable in `static` initialisers).
     pub const fn new() -> Self {
-        const ZERO: AtomicU64 = AtomicU64::new(0);
         AtomicHistogram {
-            buckets: [ZERO; BUCKETS],
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),

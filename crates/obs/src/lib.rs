@@ -81,11 +81,21 @@ pub enum Counter {
     /// Synchronous-write overlap lost: the foreground thread had to spin
     /// for the background writer.
     SyncOverlapWait,
+    /// One bounded-exponential-backoff round spent waiting on a busy
+    /// opmap slot (each round is 2^k spin-loop hints, capped).
+    OpmapBackoffRound,
+    /// A record's bytes failed their header checksum on read/scan.
+    CorruptionDetected,
+    /// A corrupted slot was rewritten from the DRAM hot-table copy.
+    CorruptionRepaired,
+    /// A corrupted slot had no clean copy and was quarantined (valid bit
+    /// cleared; the record is reported lost rather than served).
+    CorruptionQuarantined,
 }
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::OcfTrueMatch,
         Counter::OcfFalsePositive,
         Counter::OcfNegativeShortCircuit,
@@ -99,6 +109,10 @@ impl Counter {
         Counter::HotPutSkip,
         Counter::SyncOverlapWin,
         Counter::SyncOverlapWait,
+        Counter::OpmapBackoffRound,
+        Counter::CorruptionDetected,
+        Counter::CorruptionRepaired,
+        Counter::CorruptionQuarantined,
     ];
 
     /// Stable snake_case name used in exposition.
@@ -117,6 +131,10 @@ impl Counter {
             Counter::HotPutSkip => "hot_put_skip",
             Counter::SyncOverlapWin => "sync_overlap_win",
             Counter::SyncOverlapWait => "sync_overlap_wait",
+            Counter::OpmapBackoffRound => "opmap_backoff_round",
+            Counter::CorruptionDetected => "corruption_detected",
+            Counter::CorruptionRepaired => "corruption_repaired",
+            Counter::CorruptionQuarantined => "corruption_quarantined",
         }
     }
 }
@@ -174,11 +192,13 @@ pub enum Phase {
     Verify,
     /// One crash-point exploration sweep (items = cases executed).
     FaultExplore,
+    /// One scrub pass over both levels (items = live slots verified).
+    Scrub,
 }
 
 impl Phase {
     /// Every phase, in exposition order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::ResizeAllocate,
         Phase::ResizeRehash,
         Phase::ResizeSwap,
@@ -187,6 +207,7 @@ impl Phase {
         Phase::RecoveryTotal,
         Phase::Verify,
         Phase::FaultExplore,
+        Phase::Scrub,
     ];
 
     /// Stable name used in exposition labels.
@@ -200,6 +221,7 @@ impl Phase {
             Phase::RecoveryTotal => "recovery_total",
             Phase::Verify => "verify",
             Phase::FaultExplore => "fault_explore",
+            Phase::Scrub => "scrub",
         }
     }
 }
@@ -209,8 +231,6 @@ const N_PHASES: usize = Phase::ALL.len();
 // ---------------------------------------------------------------------------
 // Global storage
 // ---------------------------------------------------------------------------
-
-const ZERO: AtomicU64 = AtomicU64::new(0);
 
 struct CounterShard {
     vals: [AtomicU64; N_COUNTERS],
@@ -222,18 +242,16 @@ struct CounterShard {
 impl CounterShard {
     const fn new() -> Self {
         CounterShard {
-            vals: [ZERO; N_COUNTERS],
+            vals: [const { AtomicU64::new(0) }; N_COUNTERS],
             _pad: [0; 3],
         }
     }
 }
 
-const COUNTER_SHARD: CounterShard = CounterShard::new();
-static COUNTERS: [CounterShard; SHARDS] = [COUNTER_SHARD; SHARDS];
+static COUNTERS: [CounterShard; SHARDS] = [const { CounterShard::new() }; SHARDS];
 
-const HIST: AtomicHistogram = AtomicHistogram::new();
-const HIST_ROW: [AtomicHistogram; N_OPS] = [HIST; N_OPS];
-static OP_HISTS: [[AtomicHistogram; N_OPS]; SHARDS] = [HIST_ROW; SHARDS];
+static OP_HISTS: [[AtomicHistogram; N_OPS]; SHARDS] =
+    [const { [const { AtomicHistogram::new() }; N_OPS] }; SHARDS];
 
 struct PhaseCell {
     runs: AtomicU64,
@@ -246,11 +264,11 @@ struct PhaseCell {
 impl PhaseCell {
     const fn new() -> Self {
         PhaseCell {
-            runs: ZERO,
-            total_ns: ZERO,
-            last_ns: ZERO,
-            max_ns: ZERO,
-            items: ZERO,
+            runs: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            last_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            items: AtomicU64::new(0),
         }
     }
 
@@ -273,8 +291,7 @@ impl PhaseCell {
     }
 }
 
-const PHASE_CELL: PhaseCell = PhaseCell::new();
-static PHASES: [PhaseCell; N_PHASES] = [PHASE_CELL; N_PHASES];
+static PHASES: [PhaseCell; N_PHASES] = [const { PhaseCell::new() }; N_PHASES];
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);

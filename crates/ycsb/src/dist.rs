@@ -212,7 +212,7 @@ mod tests {
     fn uniform_covers_range() {
         let mut d = Uniform::new(100);
         let mut r = rng();
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..20_000 {
             let id = d.next_id(&mut r);
             assert!(id < 100);

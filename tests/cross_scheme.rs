@@ -2,6 +2,7 @@
 //! must agree with an in-memory oracle over randomized operation
 //! sequences, through the shared `HashIndex` trait.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use hdnh::{Hdnh, HdnhParams, HotPolicy, SyncMode};
@@ -69,22 +70,28 @@ fn randomized_ops_match_oracle() {
                 0..=3 => {
                     let val = step;
                     let res = idx.insert(&key, &Value::from_u64(val));
-                    if oracle.contains_key(&id) {
-                        assert_eq!(res, Err(IndexError::DuplicateKey), "{name} step {step}");
-                    } else {
-                        res.unwrap_or_else(|e| panic!("{name} insert failed: {e} at {step}"));
-                        oracle.insert(id, val);
+                    match oracle.entry(id) {
+                        Entry::Occupied(_) => {
+                            assert_eq!(res, Err(IndexError::DuplicateKey), "{name} step {step}");
+                        }
+                        Entry::Vacant(slot) => {
+                            res.unwrap_or_else(|e| panic!("{name} insert failed: {e} at {step}"));
+                            slot.insert(val);
+                        }
                     }
                 }
                 // 20%: update
                 4..=5 => {
                     let val = step + 1_000_000_000;
                     let res = idx.update(&key, &Value::from_u64(val));
-                    if oracle.contains_key(&id) {
-                        res.unwrap_or_else(|e| panic!("{name} update failed: {e} at {step}"));
-                        oracle.insert(id, val);
-                    } else {
-                        assert_eq!(res, Err(IndexError::KeyNotFound), "{name} step {step}");
+                    match oracle.entry(id) {
+                        Entry::Occupied(mut slot) => {
+                            res.unwrap_or_else(|e| panic!("{name} update failed: {e} at {step}"));
+                            slot.insert(val);
+                        }
+                        Entry::Vacant(_) => {
+                            assert_eq!(res, Err(IndexError::KeyNotFound), "{name} step {step}");
+                        }
                     }
                 }
                 // 20%: delete

@@ -23,7 +23,7 @@ const REQUIRED_CATEGORIES: &[(&str, &str)] = &[
     ("nvm-store", "nvm.write"),
     ("nvm-flush", "nvm.flush"),
     ("nvm-fence", "nvm.fence"),
-    ("nvm-cas", "nvm.fetch_or"),
+    ("nvm-cas", "nvm.cas"),
 ];
 
 #[test]
@@ -34,7 +34,7 @@ fn crash_point_matrix() {
         n += 1;
         if !case.pass {
             eprintln!("FAIL {} :: {}", case.repro(), case.detail);
-        } else if n % 50 == 0 {
+        } else if n.is_multiple_of(50) {
             eprintln!("... {n} cases, last {}", case.repro());
         }
     });

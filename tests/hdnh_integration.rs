@@ -189,10 +189,8 @@ fn shutdown_recover_roundtrip_preserves_workload_state() {
             Op::Insert(id) => {
                 live.insert(*id);
             }
-            Op::Update(id, seq) | Op::ReadModifyWrite(id, seq) => {
-                if live.contains(id) {
-                    versions.insert(*id, *seq);
-                }
+            Op::Update(id, seq) | Op::ReadModifyWrite(id, seq) if live.contains(id) => {
+                versions.insert(*id, *seq);
             }
             Op::Delete(id) => {
                 live.remove(id);
