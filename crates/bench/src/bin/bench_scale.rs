@@ -1,0 +1,126 @@
+//! Read-path scalability sweep: YCSB A/B/C at 1..=N threads against one
+//! preloaded HDNH table, consolidated into `BENCH_scale.json`.
+//!
+//! This is the regression gate for the lock-free read path (DESIGN.md §11):
+//! with the global RwLock gone, read-mostly throughput must scale with
+//! threads instead of serializing on a shared lock word. Per (threads,
+//! workload) cell it emits aggregate throughput plus the registry's get
+//! p50/p99 and the snapshot-retry counter, so a scalability regression and
+//! its cause (retry storms vs plain slowdown) land in the same artifact.
+//!
+//! Knobs: `HDNH_SCALE`, `HDNH_THREADS` (sweep ceiling), `HDNH_BENCH_OUT`
+//! to override the output path (default `BENCH_scale.json`).
+
+use std::fmt::Write as _;
+
+use hdnh::Hdnh;
+use hdnh_bench::report::banner;
+use hdnh_bench::runner::{preload, run_workload};
+use hdnh_bench::schemes::hdnh_params;
+use hdnh_bench::{max_threads, scaled};
+use hdnh_obs as obs;
+use hdnh_ycsb::{KeySpace, WorkloadSpec};
+
+/// 1, 2, 4, ... doubling up to and always including `max`.
+fn sweep(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut t = 1;
+    while t < max {
+        out.push(t);
+        t *= 2;
+    }
+    out.push(max);
+    out
+}
+
+fn main() {
+    let preloaded = scaled(60_000) as u64;
+    let ops_per_thread = scaled(25_000);
+    let top = max_threads().max(1);
+    let threads_sweep = sweep(top);
+    let out_path = std::env::var("HDNH_BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+    banner(
+        "bench_scale",
+        "YCSB A/B/C thread-scalability sweep (machine-readable)",
+        &format!(
+            "preload {preloaded}; {ops_per_thread} ops/thread; threads {threads_sweep:?}; \
+             per-cell JSON -> {out_path}"
+        ),
+    );
+
+    obs::set_enabled(true);
+    let ks = KeySpace::default();
+    let table = Hdnh::new(hdnh_params(preloaded as usize));
+    preload(&table, &ks, preloaded, top);
+
+    let workloads: [(char, WorkloadSpec); 3] = [
+        ('a', WorkloadSpec::ycsb_a()),
+        ('b', WorkloadSpec::ycsb_b()),
+        ('c', WorkloadSpec::ycsb_c()),
+    ];
+
+    let mut sweep_json = String::new();
+    for (i, &threads) in threads_sweep.iter().enumerate() {
+        let mut wl_json = String::new();
+        for (j, (name, spec)) in workloads.iter().enumerate() {
+            let m0 = obs::snapshot();
+            let r = run_workload(
+                &table,
+                &ks,
+                spec,
+                preloaded,
+                ops_per_thread,
+                threads,
+                0x5CA1E ^ ((i as u64) << 8) ^ j as u64,
+                false,
+            );
+            let dm = obs::snapshot().since(&m0);
+            let get = dm.op(obs::OpKind::Get);
+            let retries = dm.counter(obs::Counter::SnapshotRetry);
+            println!(
+                "YCSB-{} x{:>2} threads: {} ops in {:.3} s ({:.3} Mops/s); \
+                 get p50 {} ns p99 {} ns; snapshot retries {}",
+                name.to_ascii_uppercase(),
+                threads,
+                r.ops,
+                r.secs,
+                r.mops(),
+                get.quantile(0.5),
+                get.quantile(0.99),
+                retries,
+            );
+            let _ = write!(
+                wl_json,
+                "{}\"{}\":{{\"ops\":{},\"secs\":{:.6},\"mops\":{:.4},\
+                 \"get_p50_ns\":{},\"get_p99_ns\":{},\"snapshot_retries\":{}}}",
+                if j == 0 { "" } else { "," },
+                name,
+                r.ops,
+                r.secs,
+                r.mops(),
+                get.quantile(0.5),
+                get.quantile(0.99),
+                retries,
+            );
+        }
+        let _ = write!(
+            sweep_json,
+            "{}{{\"threads\":{},\"workloads\":{{{}}}}}",
+            if i == 0 { "" } else { "," },
+            threads,
+            wl_json,
+        );
+    }
+
+    let doc = format!(
+        "{{\"bench\":\"scale\",\"max_threads\":{top},\"preload\":{preloaded},\
+         \"ops_per_thread\":{ops_per_thread},\"sweep\":[{sweep_json}]}}\n"
+    );
+    match std::fs::write(&out_path, &doc) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error writing {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

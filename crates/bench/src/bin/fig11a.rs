@@ -13,13 +13,13 @@ use hdnh_bench::scaled;
 use hdnh_ycsb::{KeySpace, Mix, WorkloadSpec};
 
 fn params(segment_bytes: usize) -> HdnhParams {
-    HdnhParams {
-        segment_bytes,
-        initial_bottom_segments: 1,
-        sync_mode: SyncMode::Background,
-        nvm: bench_nvm(),
-        ..Default::default()
-    }
+    HdnhParams::builder()
+        .segment_bytes(segment_bytes)
+        .initial_bottom_segments(1)
+        .sync_mode(SyncMode::Background)
+        .nvm(bench_nvm())
+        .build()
+        .unwrap()
 }
 
 fn main() {

@@ -162,11 +162,11 @@ mod tests {
 
     #[test]
     fn preload_then_read_workload() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 4096,
-            initial_bottom_segments: 4,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(4096)
+        .initial_bottom_segments(4)
+        .build()
+        .unwrap());
         let ks = KeySpace::default();
         preload(&t, &ks, 2_000, 2);
         assert_eq!(t.len(), 2_000);
@@ -187,11 +187,11 @@ mod tests {
 
     #[test]
     fn insert_workload_grows_table() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 4096,
-            initial_bottom_segments: 4,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(4096)
+        .initial_bottom_segments(4)
+        .build()
+        .unwrap());
         let ks = KeySpace::default();
         let r = run_workload(&t, &ks, &WorkloadSpec::insert_only(), 0, 500, 4, 3, false);
         assert_eq!(r.ops, 2_000);

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use hdnh::faultexplore::{self, ExploreConfig, OpMix};
 use hdnh::{Hdnh, HdnhError, HdnhParams};
-use hdnh_common::{HashIndex, IndexError, Key, Value};
+use hdnh_common::{HashIndex, Key, Value};
 use hdnh_nvm::{FaultPlan, NvmOptions, StatsSnapshot};
 use hdnh_obs as obs;
 use hdnh_ycsb::trace::{load_trace, save_trace};
@@ -63,14 +63,18 @@ pub enum Outcome {
 impl Engine {
     /// Builds an engine with a fresh table.
     pub fn new(config: EngineConfig) -> Self {
-        let mut params = HdnhParams::for_capacity(config.capacity);
-        params.nvm = if config.strict {
+        let nvm = if config.strict {
             NvmOptions::strict()
         } else if config.latency {
             NvmOptions::bench()
         } else {
             NvmOptions::fast()
         };
+        let params = HdnhParams::builder()
+            .capacity(config.capacity)
+            .nvm(nvm)
+            .build()
+            .expect("engine defaults are valid");
         // The shell is an observability surface: the registry is always on
         // here (library users opt in via `hdnh_obs::set_enabled`).
         obs::set_enabled(true);
@@ -111,7 +115,7 @@ impl Engine {
                     Err(e) => format!("error: {e}"),
                 },
             )),
-            Command::Get(k) => Ok(Outcome::Text(match self.table()?.get(&Key::from_u64(k)) {
+            Command::Get(k) => Ok(Outcome::Text(match self.table()?.get(&Key::from_u64(k))? {
                 Some(v) => v.as_u64().to_string(),
                 None => "(not found)".to_string(),
             })),
@@ -122,7 +126,7 @@ impl Engine {
                 },
             )),
             Command::Delete(k) => Ok(Outcome::Text(
-                if self.table()?.remove(&Key::from_u64(k)) {
+                if self.table()?.remove(&Key::from_u64(k))? {
                     "ok".to_string()
                 } else {
                     "(not found)".to_string()
@@ -137,7 +141,7 @@ impl Engine {
                     let id = start_id + i;
                     match table.insert(&self.ks.key(id), &self.ks.value(id, 0)) {
                         Ok(()) => inserted += 1,
-                        Err(IndexError::DuplicateKey) => {}
+                        Err(HdnhError::DuplicateKey) => {}
                         Err(e) => return Ok(Outcome::Text(format!("error at id {id}: {e}"))),
                     }
                 }
@@ -442,10 +446,10 @@ impl Engine {
         for op in ops {
             match op {
                 Op::Read(id) => {
-                    table.get(&self.ks.key(*id));
+                    let _ = table.get(&self.ks.key(*id));
                 }
                 Op::ReadAbsent(id) => {
-                    table.get(&self.ks.negative_key(*id));
+                    let _ = table.get(&self.ks.negative_key(*id));
                 }
                 Op::Insert(id) => {
                     let _ = table.insert(&self.ks.key(*id), &self.ks.value(*id, 0));
@@ -454,7 +458,7 @@ impl Engine {
                     let _ = table.upsert(&self.ks.key(*id), &self.ks.value(*id, *seq));
                 }
                 Op::Delete(id) => {
-                    table.remove(&self.ks.key(*id));
+                    let _ = table.remove(&self.ks.key(*id));
                 }
             }
         }

@@ -1,0 +1,193 @@
+//! Per-thread epoch pinning for the lock-free read path.
+//!
+//! The table publishes its swappable state ([`crate::table::Inner`]) behind
+//! a single `AtomicPtr`. Readers and writers *pin* the epoch — one
+//! `fetch_add` on a thread-private, cache-line-padded counter — load the
+//! pointer, and operate on that snapshot without any shared lock. The rare
+//! maintenance paths (resize, verify) that need to know every in-flight
+//! operation has finished call [`drain`], which waits until every
+//! registered slot has been observed quiescent once.
+//!
+//! # Why observing zero once is enough
+//!
+//! All pin/unpin counter updates, the drained thread's pointer/generation
+//! loads, and the maintainer's pointer swap + generation stores are
+//! `SeqCst`, so they have a single total order. If the maintainer performs
+//! *store S* (e.g. "generation is now odd", or "the pointer now points at
+//! the new `Inner`") and then observes a slot at depth 0, then any
+//! operation on that thread either (a) incremented the slot before the
+//! observation and also decremented it before the observation — it
+//! completed entirely before the drain returned — or (b) incremented it
+//! after the observation, in which case its subsequent pointer/generation
+//! loads are ordered after S in the total order and must see S's value.
+//! Either way, once `drain` returns, no thread can still act on
+//! pre-S state.
+//!
+//! Slots are never deallocated: a thread's slot is leaked into a global
+//! registry on first use and recycled through a free list when the thread
+//! exits, so `drain` can hold plain `'static` references.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// One thread's pin counter. Padded to its own cache line pair so pinning
+/// never contends with another thread's traffic.
+#[repr(align(128))]
+pub(crate) struct Slot {
+    /// Pin depth: 0 = quiescent, >0 = that many nested pins.
+    depth: AtomicU64,
+}
+
+/// Every slot ever created. Slots are leaked (`Box::leak`) so references
+/// stay valid for the process lifetime; dead threads' slots sit at depth 0
+/// until [`FREE`] hands them to a new thread.
+static REGISTRY: Mutex<Vec<&'static Slot>> = Mutex::new(Vec::new());
+
+/// Slots whose owning thread has exited, available for reuse.
+static FREE: Mutex<Vec<&'static Slot>> = Mutex::new(Vec::new());
+
+/// Thread-local handle that returns the slot to the free list on thread
+/// exit (its depth is necessarily 0 by then: pins are scoped guards).
+struct Registration {
+    slot: &'static Slot,
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        FREE.lock().push(self.slot);
+    }
+}
+
+thread_local! {
+    static SLOT: Registration = Registration { slot: acquire_slot() };
+}
+
+fn acquire_slot() -> &'static Slot {
+    if let Some(slot) = FREE.lock().pop() {
+        return slot;
+    }
+    let slot: &'static Slot = Box::leak(Box::new(Slot {
+        depth: AtomicU64::new(0),
+    }));
+    REGISTRY.lock().push(slot);
+    slot
+}
+
+/// An active pin. While this guard lives, [`drain`] callers wait for this
+/// thread, so any pointer loaded after pinning stays valid.
+pub(crate) struct Pin {
+    slot: &'static Slot,
+}
+
+/// Pins the calling thread: one uncontended `fetch_add` on its own line.
+#[inline]
+pub(crate) fn pin() -> Pin {
+    let slot = SLOT.with(|r| r.slot);
+    slot.depth.fetch_add(1, Ordering::SeqCst);
+    Pin { slot }
+}
+
+impl Drop for Pin {
+    #[inline]
+    fn drop(&mut self) {
+        self.slot.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Waits until every registered slot has been seen at depth 0 once.
+///
+/// Must not be called while the calling thread itself holds a [`Pin`]
+/// (it would wait on itself forever); maintenance paths drop their pins
+/// before coordinating.
+pub(crate) fn drain() {
+    debug_assert_eq!(
+        SLOT.with(|r| r.slot.depth.load(Ordering::SeqCst)),
+        0,
+        "epoch::drain called while the calling thread holds a pin"
+    );
+    // Threads that register after this snapshot necessarily pin for the
+    // first time after the caller's store, so they see post-store state.
+    let slots: Vec<&'static Slot> = REGISTRY.lock().clone();
+    for slot in slots {
+        let mut spins = 0u32;
+        while slot.depth.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                // Pins are a few hundred instructions long at most, but the
+                // owning thread may be descheduled (single-core hosts).
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_unpin_restores_quiescence() {
+        {
+            let _p = pin();
+            assert_eq!(SLOT.with(|r| r.slot.depth.load(Ordering::SeqCst)), 1);
+            let _q = pin(); // nesting
+            assert_eq!(SLOT.with(|r| r.slot.depth.load(Ordering::SeqCst)), 2);
+        }
+        assert_eq!(SLOT.with(|r| r.slot.depth.load(Ordering::SeqCst)), 0);
+        drain(); // must not hang with everything quiescent
+    }
+
+    #[test]
+    fn drain_waits_for_other_threads() {
+        let hold = Arc::new(AtomicBool::new(true));
+        let pinned = Arc::new(AtomicBool::new(false));
+        let t = {
+            let hold = Arc::clone(&hold);
+            let pinned = Arc::clone(&pinned);
+            std::thread::spawn(move || {
+                let _p = pin();
+                pinned.store(true, Ordering::SeqCst);
+                while hold.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        while !pinned.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        // Release the pin shortly after; drain must return only once the
+        // other thread unpinned.
+        let releaser = {
+            let hold = Arc::clone(&hold);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                hold.store(false, Ordering::SeqCst);
+            })
+        };
+        drain();
+        assert!(!hold.load(Ordering::SeqCst), "drain returned while a pin was held");
+        t.join().unwrap();
+        releaser.join().unwrap();
+    }
+
+    #[test]
+    fn slots_are_recycled_across_threads() {
+        let before = REGISTRY.lock().len();
+        for _ in 0..8 {
+            std::thread::spawn(|| {
+                let _p = pin();
+            })
+            .join()
+            .unwrap();
+        }
+        let after = REGISTRY.lock().len();
+        // Sequential short-lived threads reuse freed slots instead of
+        // growing the registry by one each.
+        assert!(after <= before + 2, "registry grew {before} -> {after}");
+    }
+}

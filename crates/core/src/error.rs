@@ -33,6 +33,12 @@ impl fmt::Display for CorruptionOutcome {
 }
 
 /// System-level errors surfaced by the HDNH stack.
+///
+/// Since the API unification this is the error type of every public table
+/// operation: `insert` reports [`HdnhError::DuplicateKey`], `update`
+/// reports [`HdnhError::KeyNotFound`], `verify_integrity` reports
+/// [`HdnhError::Integrity`], and configuration problems surface as
+/// [`HdnhError::Config`] from the params builder.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HdnhError {
     /// A record's bytes failed their header checksum. Carries the slot's
@@ -48,6 +54,22 @@ pub enum HdnhError {
         /// What was done with the damaged slot.
         outcome: CorruptionOutcome,
     },
+    /// An insert found the key already present.
+    DuplicateKey,
+    /// An update addressed a key that is not in the table.
+    KeyNotFound,
+    /// An integrity audit found a violated invariant. Carries the first
+    /// failing invariant's stable name and its (capped) violation list;
+    /// the full per-invariant breakdown is available from
+    /// [`verify_integrity_report`](crate::Hdnh::verify_integrity_report).
+    Integrity {
+        /// Stable identifier of the first failing invariant.
+        invariant: &'static str,
+        /// Human-readable violations under that invariant (capped).
+        violations: Vec<String>,
+    },
+    /// An invalid configuration was rejected by the params builder.
+    Config(String),
     /// An environment / simulated-I/O failure (file access, parse of an
     /// external artifact, …).
     Io(String),
@@ -71,6 +93,19 @@ impl fmt::Display for HdnhError {
                 f,
                 "corrupted record at level {level} bucket {bucket} slot {slot} ({outcome})"
             ),
+            // Keep the per-operation wordings identical to the narrow
+            // `IndexError` vocabulary the CLI grew up on.
+            HdnhError::DuplicateKey => write!(f, "key already present"),
+            HdnhError::KeyNotFound => write!(f, "key not found"),
+            HdnhError::Integrity {
+                invariant,
+                violations,
+            } => write!(
+                f,
+                "integrity violation [{invariant}]: {}",
+                violations.join("; ")
+            ),
+            HdnhError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             HdnhError::Io(msg) => write!(f, "i/o error: {msg}"),
             HdnhError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
             HdnhError::Capacity(msg) => write!(f, "capacity exhausted: {msg}"),
@@ -81,13 +116,30 @@ impl fmt::Display for HdnhError {
 impl std::error::Error for HdnhError {}
 
 impl From<IndexError> for HdnhError {
-    /// Maps the per-operation vocabulary onto the system taxonomy: only
-    /// `TableFull` is a system condition (capacity); the rest describe the
-    /// caller's request and keep their message under `Io`.
+    /// Maps the per-operation vocabulary onto the system taxonomy.
     fn from(e: IndexError) -> Self {
         match e {
+            IndexError::DuplicateKey => HdnhError::DuplicateKey,
+            IndexError::KeyNotFound => HdnhError::KeyNotFound,
             IndexError::TableFull => HdnhError::Capacity(e.to_string()),
-            other => HdnhError::Io(other.to_string()),
+            IndexError::RetryResize => HdnhError::Io(e.to_string()),
+        }
+    }
+}
+
+impl From<HdnhError> for IndexError {
+    /// Narrows the system taxonomy back to the trait vocabulary, for the
+    /// [`HashIndex`](hdnh_common::HashIndex) adapter: the per-operation
+    /// conditions map one-to-one; capacity exhaustion is `TableFull`;
+    /// anything else (corruption, I/O, recovery) has no slot in the narrow
+    /// enum and is reported as `RetryResize` — the trait's only
+    /// "system interfered, not your request" variant.
+    fn from(e: HdnhError) -> Self {
+        match e {
+            HdnhError::DuplicateKey => IndexError::DuplicateKey,
+            HdnhError::KeyNotFound => IndexError::KeyNotFound,
+            HdnhError::Capacity(_) => IndexError::TableFull,
+            _ => IndexError::RetryResize,
         }
     }
 }
@@ -118,9 +170,40 @@ mod tests {
             HdnhError::from(IndexError::TableFull),
             HdnhError::Capacity(_)
         ));
-        assert!(matches!(
+        assert_eq!(
             HdnhError::from(IndexError::KeyNotFound),
-            HdnhError::Io(_)
-        ));
+            HdnhError::KeyNotFound
+        );
+        assert_eq!(
+            HdnhError::from(IndexError::DuplicateKey),
+            HdnhError::DuplicateKey
+        );
+    }
+
+    #[test]
+    fn round_trip_to_index_error() {
+        assert_eq!(IndexError::from(HdnhError::DuplicateKey), IndexError::DuplicateKey);
+        assert_eq!(IndexError::from(HdnhError::KeyNotFound), IndexError::KeyNotFound);
+        assert_eq!(
+            IndexError::from(HdnhError::Capacity("full".into())),
+            IndexError::TableFull
+        );
+        assert_eq!(
+            IndexError::from(HdnhError::Io("x".into())),
+            IndexError::RetryResize
+        );
+    }
+
+    #[test]
+    fn operation_wordings_match_the_trait_vocabulary() {
+        // The CLI prints these; they must not drift from IndexError's.
+        assert_eq!(HdnhError::DuplicateKey.to_string(), IndexError::DuplicateKey.to_string());
+        assert_eq!(HdnhError::KeyNotFound.to_string(), IndexError::KeyNotFound.to_string());
+        let e = HdnhError::Integrity {
+            invariant: "no-duplicate-keys",
+            violations: vec!["duplicate key at L0/1/2".into()],
+        };
+        assert!(e.to_string().contains("no-duplicate-keys"));
+        assert!(HdnhError::Config("bad ratio".into()).to_string().contains("bad ratio"));
     }
 }

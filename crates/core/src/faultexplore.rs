@@ -246,7 +246,10 @@ fn run_mix(table: &Hdnh, ops: &[Op], applied: &AtomicUsize) {
                 .update(&Key::from_u64(*k), &Value::from_u64(*v))
                 .expect("scripted update"),
             Op::Remove(k) => {
-                assert!(table.remove(&Key::from_u64(*k)), "scripted remove");
+                assert!(
+                    table.remove(&Key::from_u64(*k)).expect("scripted remove"),
+                    "scripted remove hit a missing key"
+                );
             }
         }
         applied.fetch_add(1, Ordering::Relaxed);
@@ -264,11 +267,12 @@ fn table_matches(table: &Hdnh, model: &BTreeMap<u64, u64>) -> Result<(), String>
     }
     for (k, v) in model {
         match table.get(&Key::from_u64(*k)) {
-            Some(got) if got.as_u64() == *v => {}
-            Some(got) => {
+            Ok(Some(got)) if got.as_u64() == *v => {}
+            Ok(Some(got)) => {
                 return Err(format!("key {k}: value {} != expected {v}", got.as_u64()))
             }
-            None => return Err(format!("key {k} lost (expected {v})")),
+            Ok(None) => return Err(format!("key {k} lost (expected {v})")),
+            Err(e) => return Err(format!("key {k}: read error {e}")),
         }
     }
     Ok(())

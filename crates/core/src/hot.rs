@@ -374,26 +374,38 @@ impl HotTable {
     /// the key is cached, otherwise insert, evicting per RAFL/LRU when the
     /// candidate bucket is full.
     pub fn put(&self, rec: &Record, h1: u64, h2: u64, fp: u8, rng: &mut XorShift64Star) {
-        // Phase 1: in-place update if present.
+        // Phase 1: in-place update if present. A slot whose fingerprint
+        // matches must be settled, not skipped: walking past the key's
+        // live copy (because a search's hot-bit RMW broke our CAS, or an
+        // eviction holds the slot) and inserting a second copy below would
+        // leave a stale duplicate that search could serve forever.
         for level in 0..2 {
             let lv = &self.levels[level];
             let bucket = self.bucket_of(level, h1, h2);
             for slot in 0..lv.slots {
                 let idx = lv.slot_idx(bucket, slot);
-                let m = lv.meta[idx].load(Ordering::Acquire);
-                if !m_valid(m) || m_busy(m) || m_fp(m) != fp {
-                    continue;
-                }
-                if let Some(locked) = self.try_lock(level, idx, m) {
-                    if lv.read_data(idx).key == rec.key {
-                        lv.write_data(idx, rec);
-                        self.commit(level, idx, locked, true, fp, m_hot(locked));
-                        if self.policy == HotPolicy::Lru {
-                            self.lru_touch(level, idx);
-                        }
-                        return;
+                loop {
+                    let m = lv.meta[idx].load(Ordering::Acquire);
+                    if !m_valid(m) || m_fp(m) != fp {
+                        break; // cannot be this key's copy — next slot
                     }
-                    self.unlock_restore(level, idx, locked);
+                    if m_busy(m) {
+                        std::hint::spin_loop();
+                        continue; // short DRAM critical section; wait it out
+                    }
+                    if let Some(locked) = self.try_lock(level, idx, m) {
+                        if lv.read_data(idx).key == rec.key {
+                            lv.write_data(idx, rec);
+                            self.commit(level, idx, locked, true, fp, m_hot(locked));
+                            if self.policy == HotPolicy::Lru {
+                                self.lru_touch(level, idx);
+                            }
+                            return;
+                        }
+                        self.unlock_restore(level, idx, locked);
+                        break; // fingerprint collision with another key
+                    }
+                    // CAS lost to a toucher or writer: reload and retry.
                 }
             }
         }
@@ -498,26 +510,35 @@ impl HotTable {
         }
     }
 
-    /// Removes `key` from the cache if present.
+    /// Removes `key` from the cache if present. Like `put`'s phase 1, a
+    /// fingerprint-matching slot is settled rather than skipped: leaving
+    /// the copy behind on CAS contention would resurrect a removed key.
     pub fn delete(&self, key: &Key, h1: u64, h2: u64, fp: u8) {
         for level in 0..2 {
             let lv = &self.levels[level];
             let bucket = self.bucket_of(level, h1, h2);
             for slot in 0..lv.slots {
                 let idx = lv.slot_idx(bucket, slot);
-                let m = lv.meta[idx].load(Ordering::Acquire);
-                if !m_valid(m) || m_busy(m) || m_fp(m) != fp {
-                    continue;
-                }
-                if let Some(locked) = self.try_lock(level, idx, m) {
-                    if lv.read_data(idx).key == *key {
-                        self.commit(level, idx, locked, false, 0, false);
-                        if self.policy == HotPolicy::Lru {
-                            self.lru_remove(level, idx);
-                        }
-                        return;
+                loop {
+                    let m = lv.meta[idx].load(Ordering::Acquire);
+                    if !m_valid(m) || m_fp(m) != fp {
+                        break;
                     }
-                    self.unlock_restore(level, idx, locked);
+                    if m_busy(m) {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    if let Some(locked) = self.try_lock(level, idx, m) {
+                        if lv.read_data(idx).key == *key {
+                            self.commit(level, idx, locked, false, 0, false);
+                            if self.policy == HotPolicy::Lru {
+                                self.lru_remove(level, idx);
+                            }
+                            return;
+                        }
+                        self.unlock_restore(level, idx, locked);
+                        break;
+                    }
                 }
             }
         }

@@ -21,14 +21,15 @@
 //!
 //! ```
 //! use hdnh::{Hdnh, HdnhParams};
-//! use hdnh_common::{HashIndex, Key, Value};
+//! use hdnh_common::{Key, Value};
 //!
-//! let table = Hdnh::new(HdnhParams::default());
+//! let params = HdnhParams::builder().capacity(10_000).build().unwrap();
+//! let table = Hdnh::new(params);
 //! let (k, v) = (Key::from_u64(1), Value::from_u64(42));
 //! table.insert(&k, &v).unwrap();
-//! assert_eq!(table.get(&k).unwrap().as_u64(), 42);
+//! assert_eq!(table.get(&k).unwrap().unwrap().as_u64(), 42);
 //! table.update(&k, &Value::from_u64(43)).unwrap();
-//! assert!(table.remove(&k));
+//! assert!(table.remove(&k).unwrap());
 //! ```
 //!
 //! # Persistence
@@ -41,6 +42,8 @@
 
 
 #![warn(missing_docs)]
+mod epoch;
+
 pub mod error;
 pub mod faultexplore;
 pub mod hot;
@@ -55,6 +58,6 @@ pub mod table;
 pub use error::{CorruptionOutcome, HdnhError};
 pub use faultexplore::{ExploreConfig, ExploreReport, FaultCaseResult, OpMix};
 pub use hot::HotTable;
-pub use params::{HdnhParams, HotPolicy, SyncMode};
+pub use params::{HdnhParams, HdnhParamsBuilder, HotPolicy, SyncMode};
 pub use recovery::{PersistentPool, RecoveryTiming};
 pub use table::{Hdnh, InvariantReport, ScrubReport};

@@ -79,6 +79,19 @@ pub struct HdnhParams {
 }
 
 impl HdnhParams {
+    /// Starts a validating builder over the paper's default configuration.
+    ///
+    /// Unlike struct-literal construction (which defers every check to the
+    /// panicking [`validate`](Self::validate) inside `Hdnh::new`), the
+    /// builder reports bad configurations as typed
+    /// [`HdnhError::Config`](crate::HdnhError::Config) values at build time.
+    pub fn builder() -> HdnhParamsBuilder {
+        HdnhParamsBuilder {
+            params: HdnhParams::default(),
+            capacity: None,
+        }
+    }
+
     /// The paper's configuration at small test scale (capacity ≈ 3 k
     /// records before the first resize).
     pub fn small() -> Self {
@@ -124,6 +137,136 @@ impl HdnhParams {
         );
         assert!(self.hot_capacity_ratio > 0.0);
         assert!(self.background_writers >= 1);
+    }
+}
+
+/// Validating builder for [`HdnhParams`]; see [`HdnhParams::builder`].
+#[derive(Clone, Debug)]
+pub struct HdnhParamsBuilder {
+    params: HdnhParams,
+    capacity: Option<usize>,
+}
+
+impl HdnhParamsBuilder {
+    /// Segment size in bytes (power-of-two multiple of 256).
+    pub fn segment_bytes(mut self, bytes: usize) -> Self {
+        self.params.segment_bytes = bytes;
+        self
+    }
+
+    /// Initial bottom-level segment count (power of two). Overridden by
+    /// [`capacity`](Self::capacity) if both are given.
+    pub fn initial_bottom_segments(mut self, segments: usize) -> Self {
+        self.params.initial_bottom_segments = segments;
+        self
+    }
+
+    /// Sizes the table so `records` items fit at ≈80 % load without a
+    /// resize (the [`HdnhParams::for_capacity`] computation).
+    pub fn capacity(mut self, records: usize) -> Self {
+        self.capacity = Some(records);
+        self
+    }
+
+    /// Slots per hot-table bucket (1..=8).
+    pub fn hot_slots_per_bucket(mut self, slots: usize) -> Self {
+        self.params.hot_slots_per_bucket = slots;
+        self
+    }
+
+    /// Hot-table capacity as a fraction of non-volatile slots.
+    pub fn hot_capacity_ratio(mut self, ratio: f64) -> Self {
+        self.params.hot_capacity_ratio = ratio;
+        self
+    }
+
+    /// Enables or disables the Optimistic Compression Filter.
+    pub fn enable_ocf(mut self, on: bool) -> Self {
+        self.params.enable_ocf = on;
+        self
+    }
+
+    /// Enables or disables the two-segment-choice probe strategy.
+    pub fn two_choice_segments(mut self, on: bool) -> Self {
+        self.params.two_choice_segments = on;
+        self
+    }
+
+    /// Enables or disables the DRAM hot table.
+    pub fn enable_hot_table(mut self, on: bool) -> Self {
+        self.params.enable_hot_table = on;
+        self
+    }
+
+    /// Hot-table replacement policy.
+    pub fn hot_policy(mut self, policy: HotPolicy) -> Self {
+        self.params.hot_policy = policy;
+        self
+    }
+
+    /// Synchronous-write mechanism mode.
+    pub fn sync_mode(mut self, mode: SyncMode) -> Self {
+        self.params.sync_mode = mode;
+        self
+    }
+
+    /// Background writer threads for [`SyncMode::Background`].
+    pub fn background_writers(mut self, n: usize) -> Self {
+        self.params.background_writers = n;
+        self
+    }
+
+    /// NVM simulation options for the table's regions.
+    pub fn nvm(mut self, nvm: NvmOptions) -> Self {
+        self.params.nvm = nvm;
+        self
+    }
+
+    /// Validates and produces the final configuration.
+    pub fn build(self) -> Result<HdnhParams, crate::HdnhError> {
+        let err = |msg: String| Err(crate::HdnhError::Config(msg));
+        let mut p = self.params;
+        if p.segment_bytes < BUCKET_BYTES || !p.segment_bytes.is_multiple_of(BUCKET_BYTES) {
+            return err(format!(
+                "segment_bytes must be a multiple of {BUCKET_BYTES}, got {}",
+                p.segment_bytes
+            ));
+        }
+        if !(p.segment_bytes / BUCKET_BYTES).is_power_of_two() {
+            return err(format!(
+                "segment_bytes must hold a power-of-two number of buckets, got {}",
+                p.segment_bytes
+            ));
+        }
+        if let Some(records) = self.capacity {
+            let slots_needed = (records as f64 / 0.8).ceil() as usize;
+            let slots_per_segment = (p.segment_bytes / BUCKET_BYTES) * SLOTS_PER_BUCKET;
+            let m = slots_needed.div_ceil(3 * slots_per_segment).max(1);
+            p.initial_bottom_segments = m.next_power_of_two();
+        }
+        if !p.initial_bottom_segments.is_power_of_two() {
+            return err(format!(
+                "initial_bottom_segments must be a power of two, got {}",
+                p.initial_bottom_segments
+            ));
+        }
+        if !(1..=SLOTS_PER_BUCKET).contains(&p.hot_slots_per_bucket) {
+            return err(format!(
+                "hot_slots_per_bucket must be 1..={SLOTS_PER_BUCKET}, got {}",
+                p.hot_slots_per_bucket
+            ));
+        }
+        if !p.hot_capacity_ratio.is_finite() || p.hot_capacity_ratio <= 0.0 || p.hot_capacity_ratio > 16.0
+        {
+            return err(format!(
+                "hot_capacity_ratio must be in (0, 16], got {}",
+                p.hot_capacity_ratio
+            ));
+        }
+        if p.background_writers < 1 {
+            return err("background_writers must be at least 1".to_string());
+        }
+        Ok(p)
     }
 }
 
@@ -193,6 +336,50 @@ mod tests {
             ..Default::default()
         };
         p.validate();
+    }
+
+    #[test]
+    fn builder_defaults_match_struct_defaults() {
+        let built = HdnhParams::builder().build().unwrap();
+        let dflt = HdnhParams::default();
+        assert_eq!(built.segment_bytes, dflt.segment_bytes);
+        assert_eq!(built.initial_bottom_segments, dflt.initial_bottom_segments);
+        assert_eq!(built.hot_policy, dflt.hot_policy);
+    }
+
+    #[test]
+    fn builder_applies_setters_and_capacity() {
+        let p = HdnhParams::builder()
+            .segment_bytes(1024)
+            .capacity(10_000)
+            .enable_hot_table(false)
+            .sync_mode(SyncMode::Background)
+            .build()
+            .unwrap();
+        assert_eq!(p.segment_bytes, 1024);
+        assert!(!p.enable_hot_table);
+        assert_eq!(p.sync_mode, SyncMode::Background);
+        assert!(p.initial_bottom_segments.is_power_of_two());
+        assert!(p.initial_slots() as f64 * 0.8 >= 10_000.0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        use crate::HdnhError;
+        let bad = [
+            HdnhParams::builder().segment_bytes(100).build(),
+            HdnhParams::builder().segment_bytes(3 * 256).build(),
+            HdnhParams::builder().initial_bottom_segments(3).build(),
+            HdnhParams::builder().hot_slots_per_bucket(0).build(),
+            HdnhParams::builder().hot_slots_per_bucket(9).build(),
+            HdnhParams::builder().hot_capacity_ratio(0.0).build(),
+            HdnhParams::builder().hot_capacity_ratio(f64::NAN).build(),
+            HdnhParams::builder().hot_capacity_ratio(100.0).build(),
+            HdnhParams::builder().background_writers(0).build(),
+        ];
+        for (i, r) in bad.into_iter().enumerate() {
+            assert!(matches!(r, Err(HdnhError::Config(_))), "case {i} accepted");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! bit is cleared.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,7 +33,6 @@ use hdnh_common::rng::XorShift64Star;
 use hdnh_common::Key;
 use hdnh_nvm::{fault, NvmRegion};
 use hdnh_obs as obs;
-use parking_lot::RwLock;
 
 use crate::hot::HotTable;
 use crate::meta::{Meta, ResizeState};
@@ -87,15 +87,15 @@ impl Hdnh {
     /// pool. (The DRAM structures die with the process either way; this
     /// models unmapping the pool files.)
     pub fn into_pool(self) -> PersistentPool {
-        let inner = self.inner.into_inner();
+        // Detach the published snapshot (Drop then sees null and skips it).
+        let inner =
+            unsafe { Box::from_raw(self.current.swap(std::ptr::null_mut(), Ordering::SeqCst)) };
+        let pending = self.pending_new_top.lock().take();
         PersistentPool {
             meta: Arc::clone(self.meta.region()),
             top: Arc::clone(inner.top.region()),
             bottom: Arc::clone(inner.bottom.region()),
-            new_top: inner
-                .pending_new_top
-                .as_ref()
-                .map(|(l, _)| Arc::clone(l.region())),
+            new_top: pending.as_ref().map(|(l, _)| Arc::clone(l.region())),
         }
     }
 
@@ -291,12 +291,12 @@ impl Hdnh {
             params,
             meta,
             Inner {
+                generation: 0,
                 top,
                 bottom,
-                ocf_top,
-                ocf_bottom,
+                ocf_top: Arc::new(ocf_top),
+                ocf_bottom: Arc::new(ocf_bottom),
                 hot,
-                pending_new_top: None,
             },
             sync,
         );
@@ -328,7 +328,8 @@ impl Hdnh {
     /// during rehashing would leave it. Crash-consistency tests only.
     #[doc(hidden)]
     pub fn into_crashed_mid_resize(self, stop_after_buckets: usize) -> PersistentPool {
-        let mut inner = self.inner.write();
+        let _m = self.maintenance_lock();
+        let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
         let bps = self.params().segment_bytes / BUCKET_BYTES;
         let new_top_segments = inner.top.n_segments() * 2;
         self.meta.set_new_top_segments(new_top_segments);
@@ -354,8 +355,7 @@ impl Hdnh {
             bottom: Arc::clone(inner.bottom.region()),
             new_top: Some(Arc::clone(new_top.region())),
         };
-        inner.pending_new_top = Some((new_top, new_ocf));
-        drop(inner);
+        *self.pending_new_top.lock() = Some((new_top, new_ocf));
         pool
     }
 
@@ -363,7 +363,8 @@ impl Hdnh {
     /// (the paper's level-number-2 scenario). Crash-consistency tests only.
     #[doc(hidden)]
     pub fn into_crashed_while_allocating(self) -> PersistentPool {
-        let inner = self.inner.write();
+        let _m = self.maintenance_lock();
+        let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
         self.meta.set_new_top_segments(inner.top.n_segments() * 2);
         self.meta.set_state(ResizeState::Allocating);
         PersistentPool {
@@ -380,7 +381,7 @@ impl Hdnh {
         inner: Inner,
         sync: Option<SyncWriter>,
     ) -> Hdnh {
-        Hdnh::assemble(params, meta, RwLock::new(inner), sync)
+        Hdnh::assemble(params, meta, inner, sync)
     }
 }
 
@@ -593,12 +594,12 @@ mod tests {
     use hdnh_nvm::NvmOptions;
 
     fn strict_params() -> HdnhParams {
-        HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            nvm: NvmOptions::strict(),
-            ..Default::default()
-        }
+        HdnhParams::builder()
+            .segment_bytes(1024)
+            .initial_bottom_segments(2)
+            .nvm(NvmOptions::strict())
+            .build()
+            .unwrap()
     }
 
     fn k(id: u64) -> Key {
@@ -618,7 +619,7 @@ mod tests {
         let r = Hdnh::recover(strict_params(), pool, 4);
         assert_eq!(r.len(), 300);
         for i in 0..300 {
-            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i * 7, "key {i}");
+            assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i * 7, "key {i}");
         }
         // Hot table was warmed during recovery.
         assert!(!r.hot_table().unwrap().is_empty());
@@ -636,7 +637,7 @@ mod tests {
             let r = Hdnh::recover(strict_params(), pool, 2);
             assert_eq!(r.len(), 200, "seed {seed}");
             for i in 0..200 {
-                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i, "seed {seed} key {i}");
+                assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i, "seed {seed} key {i}");
             }
         }
     }
@@ -652,20 +653,20 @@ mod tests {
                 t.update(&k(i), &v(i + 10_000)).unwrap();
             }
             for i in 150..200 {
-                assert!(t.remove(&k(i)));
+                t.remove(&k(i)).unwrap();
             }
             let pool = t.into_pool();
             pool.crash(1000 + seed);
             let r = Hdnh::recover(strict_params(), pool, 2);
             assert_eq!(r.len(), 150, "seed {seed}");
             for i in 0..100 {
-                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i + 10_000, "seed {seed} key {i}");
+                assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i + 10_000, "seed {seed} key {i}");
             }
             for i in 100..150 {
-                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+                assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i);
             }
             for i in 150..200 {
-                assert_eq!(r.get(&k(i)), None, "deleted key {i} resurrected");
+                assert_eq!(r.get(&k(i)).unwrap(), None, "deleted key {i} resurrected");
             }
         }
     }
@@ -687,7 +688,7 @@ mod tests {
             // Exactly the 50 acknowledged records, none torn.
             assert_eq!(r.len(), 50);
             for i in 0..50 {
-                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+                assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i);
             }
         }
     }
@@ -699,7 +700,7 @@ mod tests {
         for i in 0..400 {
             t.insert(&k(i), &v(i + 1)).unwrap();
         }
-        let n_bottom_buckets = { t.inner.read().bottom.n_buckets() };
+        let n_bottom_buckets = t.meta_bottom_buckets();
         for stop in [0, 1, n_bottom_buckets / 2, n_bottom_buckets] {
             let t = Hdnh::new(params.clone());
             for i in 0..400 {
@@ -711,7 +712,7 @@ mod tests {
             let r = Hdnh::recover(params.clone(), pool, 2);
             assert_eq!(r.len(), before_len, "stop={stop}");
             for i in 0..400 {
-                assert_eq!(r.get(&k(i)).unwrap().as_u64(), i + 1, "stop={stop} key={i}");
+                assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i + 1, "stop={stop} key={i}");
             }
             // Table is back in stable state with consistent geometry.
             assert_eq!(r.meta.state(), ResizeState::Stable);
@@ -730,7 +731,7 @@ mod tests {
         let r = Hdnh::recover(params.clone(), pool, 2);
         assert_eq!(r.len(), 300);
         for i in 0..300 {
-            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+            assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i);
         }
         // The interrupted resize completed during recovery: geometry grew.
         assert_eq!(r.meta.state(), ResizeState::Stable);
@@ -751,7 +752,7 @@ mod tests {
         }
         assert!(r.resize_count() > 0 || r.len() == 1500);
         for i in 0..1500 {
-            assert_eq!(r.get(&k(i)).unwrap().as_u64(), i);
+            assert_eq!(r.get(&k(i)).unwrap().unwrap().as_u64(), i);
         }
     }
 

@@ -34,9 +34,23 @@
 //! the old top becomes the new bottom. The `level number` state machine and
 //! a per-bucket progress cursor are persisted so a crash at any point is
 //! recoverable ([`crate::recovery`]).
+//!
+//! # Concurrency model (DESIGN.md §11)
+//!
+//! There is no table-wide lock on any operation path. The swappable state
+//! ([`Inner`]: levels + OCFs + hot table) is published behind one
+//! `AtomicPtr`; every operation pins the epoch ([`crate::epoch`]), loads the
+//! pointer, and works on that snapshot. Readers validate the `generation`
+//! counter after the probe and retry only across a concurrent resize;
+//! writers additionally validate it *before* operating (an even, matching
+//! generation) so a resize can exclude them by publishing an odd value and
+//! draining the epoch. Only the maintenance paths — resize, scrub,
+//! integrity audits, and the crash-simulation hooks — serialize on a rare
+//! `maintenance` mutex, which the hot paths never touch (enforced by a
+//! debug assertion).
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hdnh_common::hash::KeyHashes;
@@ -45,8 +59,9 @@ use hdnh_common::{HashIndex, IndexError, IndexResult, Key, Record, Value};
 use hdnh_nvm::fault;
 use hdnh_nvm::StatsSnapshot;
 use hdnh_obs as obs;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, MutexGuard};
 
+use crate::epoch;
 use crate::error::{CorruptionOutcome, HdnhError};
 use crate::hot::HotTable;
 use crate::meta::{Meta, ResizeState};
@@ -71,22 +86,25 @@ pub(crate) const CANDIDATES_ONE_CHOICE: usize = 2;
 
 /// Table state that is swapped wholesale by a resize.
 pub(crate) struct Inner {
+    /// The (even) table generation this snapshot belongs to.
+    pub(crate) generation: u64,
     pub(crate) top: Level,
     pub(crate) bottom: Level,
-    pub(crate) ocf_top: Ocf,
-    pub(crate) ocf_bottom: Ocf,
+    /// OCFs are `Arc`-shared across snapshots: after a resize the old top's
+    /// OCF *is* the new bottom's, so a reader still probing the pre-swap
+    /// snapshot observes the same per-slot seqlock words new writers commit.
+    pub(crate) ocf_top: Arc<Ocf>,
+    pub(crate) ocf_bottom: Arc<Ocf>,
     pub(crate) hot: Option<Arc<HotTable>>,
-    /// Mid-resize state kept only by the crash-test hooks.
-    pub(crate) pending_new_top: Option<(Level, Ocf)>,
 }
 
 impl Inner {
     #[inline]
     pub(crate) fn level(&self, li: usize) -> (&Level, &Ocf) {
         if li == 0 {
-            (&self.top, &self.ocf_top)
+            (&self.top, &*self.ocf_top)
         } else {
-            (&self.bottom, &self.ocf_bottom)
+            (&self.bottom, &*self.ocf_bottom)
         }
     }
 
@@ -156,14 +174,129 @@ struct Located {
 pub struct Hdnh {
     params: HdnhParams,
     pub(crate) meta: Meta,
-    pub(crate) inner: RwLock<Inner>,
+    /// The live snapshot, swapped wholesale by a resize. Hot paths pin the
+    /// epoch and load this pointer; they never take a lock.
+    pub(crate) current: AtomicPtr<Inner>,
+    /// Serializes the maintainers (resize, scrub, integrity audits, crash
+    /// hooks). Never touched by `get`/`insert`/`update`/`remove`.
+    maintenance: Mutex<()>,
+    /// In-flight resize level, surfaced to `into_pool` after a mid-resize
+    /// crash (an unwind out of `perform_resize`).
+    pub(crate) pending_new_top: Mutex<Option<(Level, Ocf)>>,
     count: AtomicUsize,
+    /// Even = stable; odd = a maintainer is excluding writers. Advances by
+    /// 2 per completed resize and always matches `current`'s snapshot
+    /// generation when even.
     generation: AtomicU64,
+    /// Bumped by every out-of-place update *between* committing the new
+    /// copy and clearing the old one. A reader that misses can only have
+    /// raced such a move if this changed during its probe (the proof in
+    /// `get_inner`); an unchanged counter makes the miss authoritative.
+    relocations: AtomicU64,
     resizes: AtomicUsize,
     sync: Option<SyncWriter>,
 }
 
+impl Drop for Hdnh {
+    fn drop(&mut self) {
+        let p = *self.current.get_mut();
+        if !p.is_null() {
+            // Safety: `current` exclusively owns the snapshot; `into_pool`
+            // nulls the pointer after taking ownership.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+/// A pinned snapshot: the epoch pin (taken *before* the pointer load) keeps
+/// a concurrent resize from freeing the `Inner` this borrows.
+struct PinnedInner<'a> {
+    _pin: epoch::Pin,
+    inner: &'a Inner,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Set while `get` runs. [`Hdnh::maintenance_lock`] asserts against it,
+    /// proving the read path never serializes on the maintainers' mutex.
+    static ON_READ_PATH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+#[cfg(debug_assertions)]
+struct ReadPathGuard;
+
+#[cfg(debug_assertions)]
+impl ReadPathGuard {
+    fn enter() -> Self {
+        ON_READ_PATH.with(|f| f.set(true));
+        ReadPathGuard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for ReadPathGuard {
+    fn drop(&mut self) {
+        ON_READ_PATH.with(|f| f.set(false));
+    }
+}
+
+/// Restores the generation word on unwind. Arms the writer-exclusion phase
+/// of a maintainer: if the maintainer panics (fault-injection crashes), the
+/// even pre-maintenance generation is restored so subsequent operations on
+/// the untouched old snapshot don't spin on a forever-odd value.
+struct GenRestore<'a> {
+    gen: &'a AtomicU64,
+    value: u64,
+    armed: bool,
+}
+
+impl Drop for GenRestore<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.gen.store(self.value, Ordering::SeqCst);
+        }
+    }
+}
+
 impl Hdnh {
+    /// Pins the epoch and loads the live snapshot: the entire read-side
+    /// synchronization cost — one uncontended `fetch_add` and one load.
+    #[inline]
+    fn pinned(&self) -> PinnedInner<'_> {
+        let pin = epoch::pin();
+        // Safety: the pointer is never null while `&self` is reachable, and
+        // the pin taken before the load keeps resize's reclamation drain
+        // from freeing the target until this guard drops.
+        let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
+        PinnedInner { _pin: pin, inner }
+    }
+
+    /// Pins and validates for a writer: the snapshot must carry the current
+    /// *even* generation. A maintainer excludes new writers by publishing an
+    /// odd value; in-flight validated writers finish under their pin before
+    /// the maintainer's `drain` returns.
+    #[inline]
+    fn pin_for_write(&self) -> (PinnedInner<'_>, u64) {
+        loop {
+            let snap = self.pinned();
+            let gen = self.generation.load(Ordering::SeqCst);
+            if gen & 1 == 0 && gen == snap.inner.generation {
+                return (snap, gen);
+            }
+            drop(snap);
+            std::thread::yield_now();
+        }
+    }
+
+    /// Takes the maintainers' mutex (resize, scrub, audits, crash hooks).
+    pub(crate) fn maintenance_lock(&self) -> MutexGuard<'_, ()> {
+        #[cfg(debug_assertions)]
+        ON_READ_PATH.with(|f| {
+            debug_assert!(!f.get(), "maintenance lock taken on the read path")
+        });
+        obs::count(obs::Counter::MaintenanceLock);
+        self.maintenance.lock()
+    }
     /// Creates an empty table.
     pub fn new(params: HdnhParams) -> Self {
         params.validate();
@@ -180,37 +313,38 @@ impl Hdnh {
             .then(|| Arc::new(Self::make_hot(&params, top.n_slots() + bottom.n_slots())));
         let sync = (params.sync_mode == SyncMode::Background && params.enable_hot_table)
             .then(|| SyncWriter::new(params.background_writers));
-        Hdnh {
+        Self::assemble(
             params,
             meta,
-            inner: RwLock::new(Inner {
+            Inner {
+                generation: 0,
                 top,
                 bottom,
-                ocf_top,
-                ocf_bottom,
+                ocf_top: Arc::new(ocf_top),
+                ocf_bottom: Arc::new(ocf_bottom),
                 hot,
-                pending_new_top: None,
-            }),
-            count: AtomicUsize::new(0),
-            generation: AtomicU64::new(0),
-            resizes: AtomicUsize::new(0),
+            },
             sync,
-        }
+        )
     }
 
     /// Assembles a table from recovered parts (see [`crate::recovery`]).
     pub(crate) fn assemble(
         params: HdnhParams,
         meta: Meta,
-        inner: RwLock<Inner>,
+        inner: Inner,
         sync: Option<SyncWriter>,
     ) -> Self {
+        let generation = inner.generation;
         Hdnh {
             params,
             meta,
-            inner,
+            current: AtomicPtr::new(Box::into_raw(Box::new(inner))),
+            maintenance: Mutex::new(()),
+            pending_new_top: Mutex::new(None),
             count: AtomicUsize::new(0),
-            generation: AtomicU64::new(0),
+            generation: AtomicU64::new(generation),
+            relocations: AtomicU64::new(0),
             resizes: AtomicUsize::new(0),
             sync,
         }
@@ -234,7 +368,8 @@ impl Hdnh {
 
     /// Aggregated media counters across the table's NVM regions.
     pub fn nvm_stats(&self) -> StatsSnapshot {
-        let inner = self.inner.read();
+        let snap = self.pinned();
+        let inner = snap.inner;
         let mut acc = StatsSnapshot::default();
         for snap in [
             self.meta.region().stats().snapshot(),
@@ -255,25 +390,30 @@ impl Hdnh {
 
     /// Handle to the hot table (None when disabled).
     pub fn hot_table(&self) -> Option<Arc<HotTable>> {
-        self.inner.read().hot.clone()
+        self.pinned().inner.hot.clone()
     }
 
     /// Number of bottom-level buckets (the rehash cursor range; exposed for
     /// crash-point enumeration in tests and tools).
     pub fn meta_bottom_buckets(&self) -> usize {
-        self.inner.read().bottom.n_buckets()
+        self.pinned().inner.bottom.n_buckets()
     }
 
     /// Full-table audit of invariant I2: for every slot, the OCF entry's
     /// valid bit must equal the persisted bitmap bit, and a valid entry's
     /// fingerprint must match the stored key's. Also verifies that `len()`
     /// equals the number of valid slots and that no key appears twice.
-    /// Takes the table offline (write lock) for the scan; intended for
-    /// tests and tooling. Returns the number of live records on success.
-    pub fn verify_integrity(&self) -> Result<usize, String> {
+    /// Pauses writers (odd generation + epoch drain) for the scan; readers
+    /// keep running. Intended for tests and tooling. Returns the number of
+    /// live records on success, or the first failing invariant as a typed
+    /// [`HdnhError::Integrity`].
+    pub fn verify_integrity(&self) -> Result<usize, HdnhError> {
         let (reports, live) = self.verify_integrity_report();
-        match reports.iter().find(|r| !r.ok) {
-            Some(r) => Err(format!("{}: {}", r.name, r.violations.join("; "))),
+        match reports.into_iter().find(|r| !r.ok) {
+            Some(r) => Err(HdnhError::Integrity {
+                invariant: r.name,
+                violations: r.violations,
+            }),
             None => Ok(live),
         }
     }
@@ -305,7 +445,21 @@ impl Hdnh {
                 v.push(msg);
             }
         }
-        let inner = self.inner.write();
+        let _m = self.maintenance_lock();
+        // Writer pause: publish an odd generation and drain the epoch so no
+        // writer is mid-operation during the scan. Readers keep running —
+        // the scan is read-only and reader-side corruption repairs defer
+        // themselves while the generation is odd.
+        let gen = self.generation.load(Ordering::SeqCst);
+        self.generation.store(gen + 1, Ordering::SeqCst);
+        let _pause = GenRestore {
+            gen: &self.generation,
+            value: gen,
+            armed: true,
+        };
+        epoch::drain();
+        // Safety: the maintenance lock is held — the pointer cannot swap.
+        let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
         let mut locks = Vec::new();
         let mut agree = Vec::new();
         let mut fps = Vec::new();
@@ -393,7 +547,7 @@ impl Hdnh {
                 ),
             );
         }
-        if inner.pending_new_top.is_some() {
+        if self.pending_new_top.lock().is_some() {
             push(&mut metas, "in-flight resize level leaked past quiescence".into());
         }
         let mk = |name: &'static str, violations: Vec<String>| InvariantReport {
@@ -421,18 +575,22 @@ impl Hdnh {
     /// its valid bit, and handles every mismatch — rebuilt in place when the
     /// DRAM hot table still holds a clean copy (and the OCF fingerprint
     /// vouches for the damaged record's key bytes), quarantined otherwise.
-    /// Takes the table offline (write lock) for the pass; after it returns,
+    /// Holds only the maintenance mutex: readers *and writers* keep running,
+    /// because every repair goes through the per-slot lock protocol
+    /// ([`handle_corruption`](Self::handle_corruption)). After it returns,
     /// [`verify_integrity_report`](Hdnh::verify_integrity_report) is clean
     /// with respect to `checksum-match`.
     pub fn scrub(&self) -> ScrubReport {
         let span = obs::phase_start();
-        let inner = self.inner.write();
+        let _m = self.maintenance_lock();
+        // Safety: the maintenance lock is held — the pointer cannot swap.
+        let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
         let mut report = ScrubReport::default();
         for li in 0..2 {
             let (level, ocf) = inner.level(li);
             for bucket in 0..level.n_buckets() {
-                let header = level.load_header(bucket);
                 for slot in 0..SLOTS_PER_BUCKET {
+                    let header = level.load_header(bucket);
                     if !header_slot_valid(header, slot) {
                         continue;
                     }
@@ -441,40 +599,22 @@ impl Hdnh {
                     if slot_checksum_ok(header, slot, &rec) {
                         continue;
                     }
-                    report.detected += 1;
-                    obs::count(obs::Counter::CorruptionDetected);
-                    let h = KeyHashes::of(&rec.key);
-                    let e = ocf.load(bucket, slot);
-                    let hot_copy = inner.hot.as_ref().and_then(|hot| {
-                        (h.fp == ocf::fp(e))
-                            .then(|| hot.search(&rec.key, h.h1, h.h2, h.fp))
-                            .flatten()
-                    });
-                    // Exclusive access: install (not commit) refreshes the
-                    // OCF entry without the lock protocol.
-                    let outcome = if let Some(value) = hot_copy {
-                        let clean = Record::new(rec.key, value);
-                        level.write_record(bucket, slot, &clean);
-                        level.commit_slot_valid(bucket, slot, checksum7(&clean.to_bytes()));
-                        ocf.install(bucket, slot, true, h.fp);
-                        report.repaired += 1;
-                        obs::count(obs::Counter::CorruptionRepaired);
-                        CorruptionOutcome::Repaired
-                    } else {
-                        level.commit_slot_invalid(bucket, slot);
-                        ocf.install(bucket, slot, false, 0);
-                        self.count.fetch_sub(1, Ordering::Relaxed);
-                        report.quarantined += 1;
-                        obs::count(obs::Counter::CorruptionQuarantined);
-                        CorruptionOutcome::Quarantined
-                    };
-                    if report.errors.len() < ScrubReport::ERRORS_CAP {
-                        report.errors.push(HdnhError::Corruption {
-                            level: li,
-                            bucket,
-                            slot,
-                            outcome,
-                        });
+                    let entry = ocf.load(bucket, slot);
+                    // A mismatch seen while a writer holds the slot resolves
+                    // under the slot lock: `handle_corruption` re-verifies
+                    // and reports `None` (transient or superseded — media is
+                    // fine) when the writer superseded it.
+                    if let Some(err) = self.handle_corruption(inner, li, bucket, slot, entry) {
+                        report.detected += 1;
+                        if let HdnhError::Corruption { outcome, .. } = &err {
+                            match outcome {
+                                CorruptionOutcome::Repaired => report.repaired += 1,
+                                CorruptionOutcome::Quarantined => report.quarantined += 1,
+                            }
+                        }
+                        if report.errors.len() < ScrubReport::ERRORS_CAP {
+                            report.errors.push(err);
+                        }
                     }
                 }
             }
@@ -493,7 +633,9 @@ impl Hdnh {
     /// Test/diagnostics support only — not part of the stable API.
     #[doc(hidden)]
     pub fn corrupt_record_for_test(&self, key: &Key, byte: usize, mask: u8) -> Option<bool> {
-        let inner = self.inner.write();
+        let _m = self.maintenance_lock();
+        // Safety: the maintenance lock is held — the pointer cannot swap.
+        let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
         for li in 0..2 {
             let (level, _) = inner.level(li);
             for bucket in 0..level.n_buckets() {
@@ -514,8 +656,8 @@ impl Hdnh {
 
     /// DRAM footprint of the OCF in bytes.
     pub fn ocf_footprint_bytes(&self) -> usize {
-        let inner = self.inner.read();
-        inner.ocf_top.footprint_bytes() + inner.ocf_bottom.footprint_bytes()
+        let snap = self.pinned();
+        snap.inner.ocf_top.footprint_bytes() + snap.inner.ocf_bottom.footprint_bytes()
     }
 
     // =================================================================
@@ -533,8 +675,9 @@ impl Hdnh {
         }
     }
 
-    /// Searches both levels; returns the located record.
-    fn find(&self, inner: &Inner, key: &Key, h: &KeyHashes) -> Option<Located> {
+    /// Searches both levels; returns the located record. `writer` marks a
+    /// generation-validated writer probe (see the corruption gate below).
+    fn find(&self, inner: &Inner, key: &Key, h: &KeyHashes, writer: bool) -> Option<Located> {
         let mut backoff = Backoff::new();
         for li in 0..2 {
             let (level, ocf) = inner.level(li);
@@ -574,6 +717,20 @@ impl Hdnh {
                         // then treat the slot as a miss.
                         if header_slot_valid(header, slot) && !slot_checksum_ok(header, slot, &rec)
                         {
+                            // Repair gate: a reader on a snapshot whose
+                            // generation no longer matches may be racing a
+                            // resize migration or an integrity pause —
+                            // mutating the old levels then could lose the
+                            // repaired record or corrupt the audit. Defer
+                            // (miss this slot); a later probe on the fresh
+                            // snapshot repairs it. Validated writers are
+                            // always pre-drain (the maintainer waits on
+                            // their pin), so they repair unconditionally.
+                            if !writer
+                                && self.generation.load(Ordering::SeqCst) != inner.generation
+                            {
+                                continue 'slot;
+                            }
                             self.handle_corruption(inner, li, bucket, slot, e);
                             continue; // re-probe: repaired slots re-match
                         }
@@ -608,7 +765,7 @@ impl Hdnh {
     fn find_and_lock(&self, inner: &Inner, key: &Key, h: &KeyHashes) -> Option<Located> {
         let mut backoff = Backoff::new();
         loop {
-            let loc = self.find(inner, key, h)?;
+            let loc = self.find(inner, key, h, true)?;
             let (_, ocf) = inner.level(loc.li);
             match ocf.try_lock_at(loc.bucket, loc.slot, loc.entry) {
                 LockOutcome::Locked(_) => return Some(loc),
@@ -722,56 +879,101 @@ impl Hdnh {
     // =================================================================
 
     /// Point lookup (§3.5, figure 8): hot table → OCF fingerprints → NVM.
-    pub fn get(&self, key: &Key) -> Option<Value> {
+    /// Lock-free: one epoch pin and a generation validation; retries only
+    /// across a concurrent resize. The error channel is reserved for future
+    /// system-level failures — today's miss is `Ok(None)`.
+    pub fn get(&self, key: &Key) -> Result<Option<Value>, HdnhError> {
         let t = obs::op_start();
+        #[cfg(debug_assertions)]
+        let _read_path = ReadPathGuard::enter();
         let out = self.get_inner(key);
         obs::op_record(obs::OpKind::Get, t);
-        out
+        Ok(out)
     }
 
     fn get_inner(&self, key: &Key) -> Option<Value> {
         let h = KeyHashes::of(key);
-        let inner = self.inner.read();
-        if let Some(hot) = &inner.hot {
-            if let Some(v) = hot.search(key, h.h1, h.h2, h.fp) {
-                return Some(v);
+        loop {
+            let snap = self.pinned();
+            let inner = snap.inner;
+            if let Some(hot) = &inner.hot {
+                if let Some(v) = hot.search(key, h.h1, h.h2, h.fp) {
+                    return Some(v);
+                }
             }
+            let reloc0 = self.relocations.load(Ordering::SeqCst);
+            let found = self.find(inner, key, &h, false);
+            // Validate after the probe: an unchanged generation (or the
+            // odd writer-exclusion value, under which nothing can commit)
+            // proves the snapshot answered consistently. Otherwise a
+            // resize swapped the levels mid-probe — retry on the fresh
+            // snapshot.
+            let now = self.generation.load(Ordering::SeqCst);
+            if now != inner.generation && now != inner.generation + 1 {
+                obs::count(obs::Counter::SnapshotRetry);
+                continue;
+            }
+            let Some(loc) = found else {
+                // A miss is only authoritative if no out-of-place update
+                // moved a record mid-probe. Missing both copies requires
+                // the new-slot read to precede the new commit and the
+                // old-slot read to follow the old clear; the writer bumps
+                // `relocations` strictly between those two stores, so this
+                // re-load is guaranteed to observe it (the old-slot load
+                // acquires the clearing release-store, which the bump is
+                // sequenced before).
+                if self.relocations.load(Ordering::SeqCst) != reloc0 {
+                    obs::count(obs::Counter::SnapshotRetry);
+                    continue;
+                }
+                return None;
+            };
+            // Cache-miss promotion: "the items can be inserted to the hot
+            // table again when these items are searched next time" (§3.3).
+            // Done under the slot's busy bit so it serializes with any
+            // writer of this key: writers update the hot copy while holding
+            // the same lock, so a promotion can never overwrite a newer hot
+            // value with the stale one we just read. A failed lock means a
+            // writer superseded the slot — its own hot write covers us.
+            if let Some(hot) = &inner.hot {
+                let (_, ocf) = inner.level(loc.li);
+                if let LockOutcome::Locked(pre) = ocf.try_lock_at(loc.bucket, loc.slot, loc.entry)
+                {
+                    RAFL_RNG.with(|r| {
+                        hot.put(
+                            &Record::new(*key, loc.value),
+                            h.h1,
+                            h.h2,
+                            h.fp,
+                            &mut r.borrow_mut(),
+                        )
+                    });
+                    ocf.abort(loc.bucket, loc.slot, pre);
+                }
+            }
+            return Some(loc.value);
         }
-        let loc = self.find(&inner, key, &h)?;
-        // Cache-miss promotion: "the items can be inserted to the hot table
-        // again when these items are searched next time" (§3.3).
-        if let Some(hot) = &inner.hot {
-            RAFL_RNG.with(|r| {
-                hot.put(
-                    &Record::new(*key, loc.value),
-                    h.h1,
-                    h.h2,
-                    h.fp,
-                    &mut r.borrow_mut(),
-                )
-            });
-        }
-        Some(loc.value)
     }
 
-    /// Inserts a new record (figure 9).
-    pub fn insert(&self, key: &Key, value: &Value) -> IndexResult<()> {
+    /// Inserts a new record (figure 9). Reports
+    /// [`HdnhError::DuplicateKey`] when the key is already present.
+    pub fn insert(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
         let t = obs::op_start();
         let out = self.insert_inner(key, value);
         obs::op_record(obs::OpKind::Insert, t);
         out
     }
 
-    fn insert_inner(&self, key: &Key, value: &Value) -> IndexResult<()> {
+    fn insert_inner(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
         let ck = checksum7(&rec.to_bytes());
         loop {
-            let gen = self.generation.load(Ordering::Acquire);
-            {
-                let inner = self.inner.read();
-                if self.find(&inner, key, &h).is_some() {
-                    return Err(IndexError::DuplicateKey);
+            let gen = {
+                let (snap, gen) = self.pin_for_write();
+                let inner = snap.inner;
+                if self.find(inner, key, &h, true).is_some() {
+                    return Err(HdnhError::DuplicateKey);
                 }
                 for li in 0..2 {
                     let (level, ocf) = inner.level(li);
@@ -783,7 +985,7 @@ impl Hdnh {
                                     // (a) slot locked — overlap the hot-table
                                     // write with the NVM write.
                                     let hot = self.begin_hot_write(
-                                        &inner,
+                                        inner,
                                         HotOp::Put {
                                             rec,
                                             h1: h.h1,
@@ -798,10 +1000,16 @@ impl Hdnh {
                                     // and record checksum in one store.
                                     level.commit_slot_valid(bucket, slot, ck);
                                     fault::point("insert.bitmap_committed");
+                                    // The hot write must complete BEFORE the
+                                    // OCF publish: the moment the slot is
+                                    // visible, another writer can claim the
+                                    // key and write its own hot copy — a hot
+                                    // write finishing after publication could
+                                    // overwrite that newer copy with ours.
+                                    Self::finish_hot_write(hot);
                                     // (d) publish in DRAM, release lock.
                                     ocf.commit(bucket, slot, pre, true, h.fp);
                                     fault::point("insert.published");
-                                    Self::finish_hot_write(hot);
                                     self.count.fetch_add(1, Ordering::Relaxed);
                                     return Ok(());
                                 }
@@ -810,42 +1018,49 @@ impl Hdnh {
                         }
                     }
                 }
-            }
+                gen
+            }; // pin dropped here: the resize drain must not wait on us
             // All eight candidate buckets full in both levels: grow.
             self.resize(gen)?;
         }
     }
 
-    /// Replaces the value of an existing key (figure 10).
-    pub fn update(&self, key: &Key, value: &Value) -> IndexResult<()> {
+    /// Replaces the value of an existing key (figure 10). Reports
+    /// [`HdnhError::KeyNotFound`] when the key is absent.
+    pub fn update(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
         let t = obs::op_start();
         let out = self.update_inner(key, value);
         obs::op_record(obs::OpKind::Update, t);
         out
     }
 
-    fn update_inner(&self, key: &Key, value: &Value) -> IndexResult<()> {
+    fn update_inner(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
         let ck = checksum7(&rec.to_bytes());
         loop {
-            let gen = self.generation.load(Ordering::Acquire);
-            {
-                let inner = self.inner.read();
-                let Some(old) = self.find_and_lock(&inner, key, &h) else {
-                    return Err(IndexError::KeyNotFound);
+            let gen = {
+                let (snap, gen) = self.pin_for_write();
+                let inner = snap.inner;
+                let Some(old) = self.find_and_lock(inner, key, &h) else {
+                    return Err(HdnhError::KeyNotFound);
                 };
                 fault::point("update.old_locked");
                 let (level, ocf) = inner.level(old.li);
-                let hot = self.begin_hot_write(
-                    &inner,
+                // Option-wrapped so exactly one arm below consumes the hot
+                // write — and always BEFORE its OCF publish: once the new
+                // slot is visible, another writer can claim the key, and a
+                // hot write completing after that publication could clobber
+                // the newer writer's hot copy with this (now stale) one.
+                let mut hot = Some(self.begin_hot_write(
+                    inner,
                     HotOp::Put {
                         rec,
                         h1: h.h1,
                         h2: h.h2,
                         fp: h.fp,
                     },
-                );
+                ));
                 // Preferred path: out-of-place within the same bucket, both
                 // bitmap bits flipped in ONE atomic store (figure 10c).
                 for ns in 0..SLOTS_PER_BUCKET {
@@ -855,12 +1070,17 @@ impl Hdnh {
                     if let LockOutcome::Locked(pre_new) = ocf.try_lock_empty(old.bucket, ns) {
                         level.write_record(old.bucket, ns, &rec);
                         fault::point("update.new_written");
+                        Self::finish_hot_write(hot.take().expect("hot write consumed once"));
                         level.commit_slot_swap(old.bucket, old.slot, ns, ck);
                         fault::point("update.swap_committed");
                         ocf.commit(old.bucket, ns, pre_new, true, h.fp);
+                        // Ordered between the two commits: a reader that
+                        // missed the new slot (read before the line above)
+                        // and the old slot (read after the line below)
+                        // observes the bump and retries.
+                        self.relocations.fetch_add(1, Ordering::SeqCst);
                         ocf.commit(old.bucket, old.slot, old.entry, false, 0);
                         fault::point("update.published");
-                        Self::finish_hot_write(hot);
                         return Ok(());
                     }
                 }
@@ -878,17 +1098,23 @@ impl Hdnh {
                             {
                                 level2.write_record(bucket2, ns, &rec);
                                 fault::point("update.fallback.new_written");
+                                Self::finish_hot_write(
+                                    hot.take().expect("hot write consumed once"),
+                                );
                                 level2.commit_slot_valid(bucket2, ns, ck);
                                 // The double-copy window: both the old and
                                 // the new version are bitmap-valid until the
                                 // next commit; recovery dedupes it.
                                 fault::point("update.fallback.new_committed");
                                 ocf2.commit(bucket2, ns, pre_new, true, h.fp);
+                                // Same ordering argument as the preferred
+                                // path: bump strictly between publishing the
+                                // new copy and retiring the old one.
+                                self.relocations.fetch_add(1, Ordering::SeqCst);
                                 level.commit_slot_invalid(old.bucket, old.slot);
                                 fault::point("update.fallback.old_cleared");
                                 ocf.commit(old.bucket, old.slot, old.entry, false, 0);
                                 fault::point("update.fallback.published");
-                                Self::finish_hot_write(hot);
                                 return Ok(());
                             }
                         }
@@ -896,7 +1122,8 @@ impl Hdnh {
                 }
                 // Nowhere to put the new version: undo and grow.
                 ocf.abort(old.bucket, old.slot, old.entry);
-                Self::finish_hot_write(hot); // hot value == new value; NV still old.
+                // hot value == new value; NV still old.
+                Self::finish_hot_write(hot.take().expect("hot write consumed once"));
                 // The hot table now holds the new value while NVM holds the
                 // old one — repair by deleting the cache entry before
                 // resizing (the authoritative copy is re-promoted on the
@@ -904,29 +1131,31 @@ impl Hdnh {
                 if let Some(hot) = &inner.hot {
                     hot.delete(key, h.h1, h.h2, h.fp);
                 }
-            }
+                gen
+            }; // pin dropped here: the resize drain must not wait on us
             self.resize(gen)?;
         }
     }
 
-    /// Removes a key. Returns `true` if it was present.
-    pub fn remove(&self, key: &Key) -> bool {
+    /// Removes a key. Returns `Ok(true)` if it was present.
+    pub fn remove(&self, key: &Key) -> Result<bool, HdnhError> {
         let t = obs::op_start();
         let out = self.remove_inner(key);
         obs::op_record(obs::OpKind::Remove, t);
         out
     }
 
-    fn remove_inner(&self, key: &Key) -> bool {
+    fn remove_inner(&self, key: &Key) -> Result<bool, HdnhError> {
         let h = KeyHashes::of(key);
-        let inner = self.inner.read();
-        let Some(old) = self.find_and_lock(&inner, key, &h) else {
-            return false;
+        let (snap, _gen) = self.pin_for_write();
+        let inner = snap.inner;
+        let Some(old) = self.find_and_lock(inner, key, &h) else {
+            return Ok(false);
         };
         fault::point("remove.old_locked");
         let (level, ocf) = inner.level(old.li);
         let hot = self.begin_hot_write(
-            &inner,
+            inner,
             HotOp::Delete {
                 key: *key,
                 h1: h.h1,
@@ -940,7 +1169,7 @@ impl Hdnh {
         fault::point("remove.published");
         Self::finish_hot_write(hot);
         self.count.fetch_sub(1, Ordering::Relaxed);
-        true
+        Ok(true)
     }
 
     /// Live record count.
@@ -955,8 +1184,8 @@ impl Hdnh {
 
     /// Occupied fraction of all NVM slots.
     pub fn load_factor(&self) -> f64 {
-        let inner = self.inner.read();
-        self.len() as f64 / inner.total_slots() as f64
+        let total = self.pinned().inner.total_slots();
+        self.len() as f64 / total as f64
     }
 
     pub(crate) fn set_count(&self, n: usize) {
@@ -967,21 +1196,49 @@ impl Hdnh {
     // Resizing (§3.7)
     // =================================================================
 
-    fn resize(&self, observed_gen: u64) -> IndexResult<()> {
-        let mut inner = self.inner.write();
-        if self.generation.load(Ordering::Acquire) != observed_gen {
+    fn resize(&self, observed_gen: u64) -> Result<(), HdnhError> {
+        let _m = self.maintenance_lock();
+        if self.generation.load(Ordering::SeqCst) != observed_gen {
             return Ok(()); // someone else already grew the table
         }
-        self.perform_resize(&mut inner);
-        self.generation.fetch_add(1, Ordering::Release);
+        // Writer-exclusion phase: publish the odd generation, then drain
+        // the epoch. New writers spin in `pin_for_write`; in-flight pinned
+        // operations finish before `drain` returns, so migration reads a
+        // quiescent pair of levels. (Readers pinned during migration keep
+        // running — the old levels are only ever *copied from*.)
+        self.generation.store(observed_gen + 1, Ordering::SeqCst);
+        let mut unwind = GenRestore {
+            gen: &self.generation,
+            value: observed_gen,
+            armed: true,
+        };
+        epoch::drain();
+        // Safety: the maintenance lock is held — no other thread swaps or
+        // frees the pointer.
+        let old: &Inner = unsafe { &*self.current.load(Ordering::SeqCst) };
+        let next = self.perform_resize(old, observed_gen + 2);
+        let old_ptr = self
+            .current
+            .swap(Box::into_raw(Box::new(next)), Ordering::SeqCst);
+        unwind.armed = false;
+        self.generation.store(observed_gen + 2, Ordering::SeqCst);
         self.resizes.fetch_add(1, Ordering::Relaxed);
+        // The migrated level is now reachable from `current`; stop
+        // surfacing it to `into_pool` separately.
+        *self.pending_new_top.lock() = None;
+        // Wait out readers still probing the old snapshot, then free it.
+        epoch::drain();
+        // Safety: the pointer was unpublished above and every pin that
+        // could have loaded it has since been observed quiescent.
+        drop(unsafe { Box::from_raw(old_ptr) });
         Ok(())
     }
 
-    /// Full resize under exclusive access.
-    fn perform_resize(&self, inner: &mut Inner) {
+    /// Full resize under the maintenance lock: builds and returns the
+    /// successor snapshot (the caller publishes it).
+    fn perform_resize(&self, old: &Inner, new_generation: u64) -> Inner {
         let bps = self.params.segment_bytes / BUCKET_BYTES;
-        let new_top_segments = inner.top.n_segments() * 2;
+        let new_top_segments = old.top.n_segments() * 2;
 
         // Phase 1 — "apply for a new level" (level number 2). The planned
         // size is persisted first so recovery can always re-allocate.
@@ -993,9 +1250,10 @@ impl Hdnh {
         let new_top = Level::new(new_top_segments, bps, &self.params.nvm);
         let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
         // Keep the new level reachable from the table while migration runs:
-        // a crash (unwind) mid-migration must surface its region to
-        // `into_pool`, exactly as a real NVM allocation would survive.
-        inner.pending_new_top = Some((new_top.clone(), Ocf::new(0, SLOTS_PER_BUCKET)));
+        // a crash (unwind) anywhere before the pointer swap must surface
+        // its region to `into_pool`, exactly as a real NVM allocation would
+        // survive. `resize` clears this after publishing the snapshot.
+        *self.pending_new_top.lock() = Some((new_top.clone(), Ocf::new(0, SLOTS_PER_BUCKET)));
         fault::point("resize.allocated");
         obs::phase_record(obs::Phase::ResizeAllocate, span, new_top.n_slots() as u64);
 
@@ -1005,7 +1263,7 @@ impl Hdnh {
         self.meta.set_rehash_progress(Some(0));
         fault::point("resize.rehashing");
         let (moved, dropped) = Self::migrate(
-            &inner.bottom,
+            &old.bottom,
             &new_top,
             &new_ocf,
             0,
@@ -1021,8 +1279,9 @@ impl Hdnh {
 
         // Phase 3 — swap levels, publish geometry, return to stable.
         let span = obs::phase_start();
-        self.finalize_swap(inner, new_top, new_ocf);
+        let next = self.finalize_swap(old, new_top, new_ocf, new_generation);
         obs::phase_record(obs::Phase::ResizeSwap, span, 0);
+        next
     }
 
     /// Moves every valid record in `from` buckets `[start..]` into `to`,
@@ -1127,14 +1386,20 @@ impl Hdnh {
     /// detected either by `top_segments == new_top_segments` (geometry
     /// already published — only this code writes that combination) or by
     /// the pool's region sizes matching the post-swap arrangement.
-    pub(crate) fn finalize_swap(&self, inner: &mut Inner, new_top: Level, new_ocf: Ocf) {
-        let old_top_segments = inner.top.n_segments();
+    fn finalize_swap(&self, old: &Inner, new_top: Level, new_ocf: Ocf, generation: u64) -> Inner {
+        let old_top_segments = old.top.n_segments();
         let new_top_segments = new_top.n_segments();
-        let old_top = std::mem::replace(&mut inner.top, new_top);
-        let old_ocf_top = std::mem::replace(&mut inner.ocf_top, new_ocf);
-        inner.bottom = old_top;
-        inner.ocf_bottom = old_ocf_top;
-        inner.pending_new_top = None;
+        // The demoted level keeps its *existing* OCF (`Arc::clone`): readers
+        // still probing the previous snapshot observe post-swap writers'
+        // seqlock commits on those buckets instead of a stale copy.
+        let mut next = Inner {
+            generation,
+            top: new_top,
+            ocf_top: Arc::new(new_ocf),
+            bottom: old.top.clone(),
+            ocf_bottom: Arc::clone(&old.ocf_top),
+            hot: old.hot.clone(),
+        };
         fault::point("resize.swapped");
         self.meta.set_geometry(new_top_segments, old_top_segments);
         fault::point("resize.geometry_published");
@@ -1145,8 +1410,9 @@ impl Hdnh {
         // The hot table scales with the table (§3.3 "dynamically adjusted"):
         // re-allocate at the new capacity; heat re-accumulates on reads.
         if self.params.enable_hot_table {
-            inner.hot = Some(Arc::new(Self::make_hot(&self.params, inner.total_slots())));
+            next.hot = Some(Arc::new(Self::make_hot(&self.params, next.total_slots())));
         }
+        next
     }
 }
 
@@ -1156,21 +1422,25 @@ enum HotWrite {
     None,
 }
 
+// Thin adapter from the unified `Result<_, HdnhError>` surface back to the
+// narrow trait vocabulary the baselines and bench harness compile against.
 impl HashIndex for Hdnh {
     fn insert(&self, key: &Key, value: &Value) -> IndexResult<()> {
-        Hdnh::insert(self, key, value)
+        Hdnh::insert(self, key, value).map_err(IndexError::from)
     }
 
     fn get(&self, key: &Key) -> Option<Value> {
-        Hdnh::get(self, key)
+        // `get` only errors on unreadable media; the trait has no channel
+        // for that, so it degrades to "absent" exactly as quarantine does.
+        Hdnh::get(self, key).unwrap_or(None)
     }
 
     fn update(&self, key: &Key, value: &Value) -> IndexResult<()> {
-        Hdnh::update(self, key, value)
+        Hdnh::update(self, key, value).map_err(IndexError::from)
     }
 
     fn remove(&self, key: &Key) -> bool {
-        Hdnh::remove(self, key)
+        Hdnh::remove(self, key).unwrap_or(false)
     }
 
     fn len(&self) -> usize {
@@ -1203,11 +1473,11 @@ mod tests {
     fn table() -> Hdnh {
         // Small: 1024-byte segments (4 buckets), bottom 2 segs → 24 buckets
         // total, 192 slots. Forces early resizes.
-        Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            ..Default::default()
-        })
+        Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .build()
+        .unwrap())
     }
 
     fn k(id: u64) -> Key {
@@ -1224,9 +1494,9 @@ mod tests {
             t.insert(&k(i), &v(i * 2)).unwrap();
         }
         for i in 0..100 {
-            assert_eq!(t.get(&k(i)).unwrap().as_u64(), i * 2, "key {i}");
+            assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i * 2, "key {i}");
         }
-        assert_eq!(t.get(&k(1000)), None);
+        assert_eq!(t.get(&k(1000)).unwrap(), None);
         assert_eq!(t.len(), 100);
     }
 
@@ -1234,8 +1504,8 @@ mod tests {
     fn duplicate_insert_rejected() {
         let t = table();
         t.insert(&k(1), &v(1)).unwrap();
-        assert_eq!(t.insert(&k(1), &v(2)), Err(IndexError::DuplicateKey));
-        assert_eq!(t.get(&k(1)).unwrap().as_u64(), 1);
+        assert_eq!(t.insert(&k(1), &v(2)), Err(HdnhError::DuplicateKey));
+        assert_eq!(t.get(&k(1)).unwrap().unwrap().as_u64(), 1);
     }
 
     #[test]
@@ -1243,9 +1513,9 @@ mod tests {
         let t = table();
         t.insert(&k(7), &v(70)).unwrap();
         t.update(&k(7), &v(71)).unwrap();
-        assert_eq!(t.get(&k(7)).unwrap().as_u64(), 71);
+        assert_eq!(t.get(&k(7)).unwrap().unwrap().as_u64(), 71);
         assert_eq!(t.len(), 1);
-        assert_eq!(t.update(&k(8), &v(1)), Err(IndexError::KeyNotFound));
+        assert_eq!(t.update(&k(8), &v(1)), Err(HdnhError::KeyNotFound));
     }
 
     #[test]
@@ -1254,11 +1524,12 @@ mod tests {
         t.insert(&k(3), &v(0)).unwrap();
         for i in 1..200 {
             t.update(&k(3), &v(i)).unwrap();
-            assert_eq!(t.get(&k(3)).unwrap().as_u64(), i);
+            assert_eq!(t.get(&k(3)).unwrap().unwrap().as_u64(), i);
         }
         assert_eq!(t.len(), 1);
         // Only one valid NVM slot for the key.
-        let inner = t.inner.read();
+        let snap = t.pinned();
+        let inner = snap.inner;
         let total_valid: usize = inner.top.count_valid() + inner.bottom.count_valid();
         assert_eq!(total_valid, 1);
     }
@@ -1270,9 +1541,9 @@ mod tests {
             t.insert(&k(i), &v(i)).unwrap();
         }
         for i in 0..50 {
-            assert!(t.remove(&k(i)), "remove {i}");
-            assert_eq!(t.get(&k(i)), None);
-            assert!(!t.remove(&k(i)));
+            assert!(t.remove(&k(i)).unwrap(), "remove {i}");
+            assert_eq!(t.get(&k(i)).unwrap(), None);
+            assert!(!t.remove(&k(i)).unwrap());
         }
         assert_eq!(t.len(), 0);
     }
@@ -1286,7 +1557,7 @@ mod tests {
         }
         assert!(t.resize_count() > 0, "expected at least one resize");
         for i in 0..n {
-            assert_eq!(t.get(&k(i)).unwrap().as_u64(), i + 1, "key {i} after resize");
+            assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i + 1, "key {i} after resize");
         }
         assert_eq!(t.len(), n as usize);
         assert!(t.load_factor() <= 1.0);
@@ -1298,7 +1569,8 @@ mod tests {
         for i in 0..2_000u64 {
             t.insert(&k(i), &v(i)).unwrap();
         }
-        let inner = t.inner.read();
+        let snap = t.pinned();
+        let inner = snap.inner;
         assert_eq!(t.meta.top_segments(), inner.top.n_segments());
         assert_eq!(t.meta.bottom_segments(), inner.bottom.n_segments());
         assert_eq!(t.meta.state(), ResizeState::Stable);
@@ -1333,7 +1605,7 @@ mod tests {
         }
         let before = t.nvm_stats();
         for i in 0..200 {
-            assert!(t.get(&k(1_000_000 + i)).is_none());
+            assert!(t.get(&k(1_000_000 + i)).unwrap().is_none());
         }
         let delta = t.nvm_stats().since(&before);
         // Each negative search scans ≤64 OCF entries; at a 1/256 per-entry
@@ -1351,12 +1623,12 @@ mod tests {
     fn hot_table_absorbs_repeated_reads() {
         // Oversized hot table (§3.5 "hot table has not been overflowed"):
         // once warm, repeated reads must be NVM-free.
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            hot_capacity_ratio: 2.0,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .hot_capacity_ratio(2.0)
+        .build()
+        .unwrap());
         for i in 0..30 {
             t.insert(&k(i), &v(i)).unwrap();
         }
@@ -1367,7 +1639,7 @@ mod tests {
         let before = t.nvm_stats();
         for _ in 0..10 {
             for i in 0..30 {
-                assert_eq!(t.get(&k(i)).unwrap().as_u64(), i);
+                assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i);
             }
         }
         let delta = t.nvm_stats().since(&before);
@@ -1376,59 +1648,59 @@ mod tests {
 
     #[test]
     fn works_without_hot_table() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            enable_hot_table: false,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .enable_hot_table(false)
+        .build()
+        .unwrap());
         for i in 0..500 {
             t.insert(&k(i), &v(i)).unwrap();
         }
         for i in 0..500 {
-            assert_eq!(t.get(&k(i)).unwrap().as_u64(), i);
+            assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i);
         }
         assert!(t.hot_table().is_none());
     }
 
     #[test]
     fn works_without_ocf_filtering() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            enable_ocf: false,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .enable_ocf(false)
+        .build()
+        .unwrap());
         for i in 0..500 {
             t.insert(&k(i), &v(i)).unwrap();
         }
         for i in 0..500 {
-            assert_eq!(t.get(&k(i)).unwrap().as_u64(), i);
+            assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i);
         }
-        assert_eq!(t.get(&k(9999)), None);
+        assert_eq!(t.get(&k(9999)).unwrap(), None);
     }
 
     #[test]
     fn background_sync_mode_correctness() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            sync_mode: SyncMode::Background,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .sync_mode(SyncMode::Background)
+        .build()
+        .unwrap());
         for i in 0..1000 {
             t.insert(&k(i), &v(i * 3)).unwrap();
         }
         for i in 0..1000 {
-            assert_eq!(t.get(&k(i)).unwrap().as_u64(), i * 3);
+            assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i * 3);
         }
         for i in 0..1000 {
             t.update(&k(i), &v(i * 5)).unwrap();
-            assert_eq!(t.get(&k(i)).unwrap().as_u64(), i * 5, "hot table stale after update");
+            assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i * 5, "hot table stale after update");
         }
         for i in (0..1000).step_by(2) {
-            assert!(t.remove(&k(i)));
-            assert_eq!(t.get(&k(i)), None, "hot table resurrects deleted key");
+            assert!(t.remove(&k(i)).unwrap());
+            assert_eq!(t.get(&k(i)).unwrap(), None, "hot table resurrects deleted key");
         }
     }
 
@@ -1444,12 +1716,12 @@ mod tests {
 
     #[test]
     fn concurrent_disjoint_inserts() {
-        let t = Arc::new(Hdnh::new(HdnhParams {
-            segment_bytes: 4096,
-            initial_bottom_segments: 4,
-            sync_mode: SyncMode::Background,
-            ..Default::default()
-        }));
+        let t = Arc::new(Hdnh::new(HdnhParams::builder()
+        .segment_bytes(4096)
+        .initial_bottom_segments(4)
+        .sync_mode(SyncMode::Background)
+        .build()
+        .unwrap()));
         let mut handles = Vec::new();
         for tid in 0..8u64 {
             let t = Arc::clone(&t);
@@ -1467,7 +1739,7 @@ mod tests {
         for tid in 0..8u64 {
             for i in (0..2_000u64).step_by(97) {
                 let id = tid * 1_000_000 + i;
-                assert_eq!(t.get(&k(id)).unwrap().as_u64(), id ^ 0xABCD);
+                assert_eq!(t.get(&k(id)).unwrap().unwrap().as_u64(), id ^ 0xABCD);
             }
         }
     }
@@ -1476,11 +1748,11 @@ mod tests {
     fn concurrent_readers_and_writers_see_consistent_values() {
         // Writers update keys with values derived from the key; readers
         // must never observe a torn/foreign value (invariant I3).
-        let t = Arc::new(Hdnh::new(HdnhParams {
-            segment_bytes: 4096,
-            initial_bottom_segments: 8,
-            ..Default::default()
-        }));
+        let t = Arc::new(Hdnh::new(HdnhParams::builder()
+        .segment_bytes(4096)
+        .initial_bottom_segments(8)
+        .build()
+        .unwrap()));
         const KEYS: u64 = 256;
         for i in 0..KEYS {
             t.insert(&k(i), &v(i << 32)).unwrap();
@@ -1508,7 +1780,7 @@ mod tests {
                 let mut n = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let id = n % KEYS;
-                    if let Some(val) = t.get(&k(id)) {
+                    if let Some(val) = t.get(&k(id)).unwrap() {
                         assert_eq!(
                             val.as_u64() >> 32,
                             id,
@@ -1529,11 +1801,11 @@ mod tests {
 
     #[test]
     fn concurrent_inserts_during_resize() {
-        let t = Arc::new(Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 1,
-            ..Default::default()
-        }));
+        let t = Arc::new(Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(1)
+        .build()
+        .unwrap()));
         let mut handles = Vec::new();
         for tid in 0..4u64 {
             let t = Arc::clone(&t);
@@ -1550,32 +1822,32 @@ mod tests {
         assert!(t.resize_count() >= 1);
         for tid in 0..4u64 {
             for i in (0..3_000u64).step_by(131) {
-                assert_eq!(t.get(&k(tid * 1_000_000 + i)).unwrap().as_u64(), i);
+                assert_eq!(t.get(&k(tid * 1_000_000 + i)).unwrap().unwrap().as_u64(), i);
             }
         }
     }
 
     #[test]
     fn one_choice_ablation_works_and_resizes_earlier() {
-        let two = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            two_choice_segments: true,
-            ..Default::default()
-        });
-        let one = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            two_choice_segments: false,
-            ..Default::default()
-        });
+        let two = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .two_choice_segments(true)
+        .build()
+        .unwrap());
+        let one = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .two_choice_segments(false)
+        .build()
+        .unwrap());
         for i in 0..3_000u64 {
             two.insert(&k(i), &v(i)).unwrap();
             one.insert(&k(i), &v(i)).unwrap();
         }
         for i in (0..3_000u64).step_by(11) {
-            assert_eq!(one.get(&k(i)).unwrap().as_u64(), i);
-            assert_eq!(two.get(&k(i)).unwrap().as_u64(), i);
+            assert_eq!(one.get(&k(i)).unwrap().unwrap().as_u64(), i);
+            assert_eq!(two.get(&k(i)).unwrap().unwrap().as_u64(), i);
         }
         // Fewer candidates -> earlier overflow -> at least as many resizes.
         assert!(
@@ -1597,7 +1869,7 @@ mod tests {
             t.update(&k(i), &v(i + 9_000)).unwrap();
         }
         for i in 600..800u64 {
-            assert!(t.remove(&k(i)));
+            assert!(t.remove(&k(i)).unwrap());
         }
         assert_eq!(t.verify_integrity().unwrap(), 600);
     }
@@ -1609,12 +1881,12 @@ mod tests {
         // search key's fingerprint, silently disabling the OCF at scale.
         // Pin the false-positive rate to the 1/256 theory at a geometry
         // with 512 top-level segments.
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 16 * 1024,
-            initial_bottom_segments: 256,
-            enable_hot_table: false,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(16 * 1024)
+        .initial_bottom_segments(256)
+        .enable_hot_table(false)
+        .build()
+        .unwrap());
         let n = 60_000u64;
         for i in 0..n {
             t.insert(&k(i), &v(i)).unwrap();
@@ -1623,7 +1895,7 @@ mod tests {
         let before = t.nvm_stats();
         let probes = 20_000u64;
         for i in 0..probes {
-            assert!(t.get(&k(10_000_000 + i)).is_none());
+            assert!(t.get(&k(10_000_000 + i)).unwrap().is_none());
         }
         let d = t.nvm_stats().since(&before);
         let per_op = d.read_blocks as f64 / probes as f64;
@@ -1633,7 +1905,8 @@ mod tests {
 
     /// Locates a key's live NVM slot by exhaustive scan (tests only).
     fn locate(t: &Hdnh, key: &Key) -> (usize, usize, usize) {
-        let inner = t.inner.read();
+        let snap = t.pinned();
+        let inner = snap.inner;
         for li in 0..2 {
             let (level, _) = inner.level(li);
             for b in 0..level.n_buckets() {
@@ -1651,19 +1924,20 @@ mod tests {
     /// XORs `mask` into one byte of the key's persisted record.
     fn corrupt_record_byte(t: &Hdnh, key: &Key, byte: usize, mask: u8) {
         let (li, b, s) = locate(t, key);
-        let inner = t.inner.read();
+        let snap = t.pinned();
+        let inner = snap.inner;
         let (level, _) = inner.level(li);
         level.region().corrupt(level.slot_off(b, s) + byte, &[mask]);
     }
 
     #[test]
     fn corrupted_record_is_never_served_and_quarantined_without_hot_copy() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            enable_hot_table: false,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .enable_hot_table(false)
+        .build()
+        .unwrap());
         for i in 0..50 {
             t.insert(&k(i), &v(i + 100)).unwrap();
         }
@@ -1671,25 +1945,25 @@ mod tests {
         corrupt_record_byte(&t, &k(7), hdnh_common::KEY_LEN + 3, 0x10);
         // The damaged bytes must never reach the caller: with no clean
         // copy the slot is quarantined and the lookup misses.
-        assert_eq!(t.get(&k(7)), None);
+        assert_eq!(t.get(&k(7)).unwrap(), None);
         assert_eq!(t.len(), 49);
         // The table stays fully consistent and the other keys are intact.
         assert!(t.verify_integrity().is_ok());
         for i in 0..50 {
             if i != 7 {
-                assert_eq!(t.get(&k(i)).unwrap().as_u64(), i + 100);
+                assert_eq!(t.get(&k(i)).unwrap().unwrap().as_u64(), i + 100);
             }
         }
     }
 
     #[test]
     fn corrupted_record_is_repaired_from_hot_copy() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            hot_capacity_ratio: 2.0,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .hot_capacity_ratio(2.0)
+        .build()
+        .unwrap());
         for i in 0..50 {
             t.insert(&k(i), &v(i + 100)).unwrap();
         }
@@ -1698,14 +1972,15 @@ mod tests {
         corrupt_record_byte(&t, &k(9), hdnh_common::KEY_LEN + 1, 0x80);
         // A write-path probe reads the NVM record even when the key is hot:
         // the duplicate check detects the damage and repairs it in place.
-        assert_eq!(t.insert(&k(9), &v(1)), Err(IndexError::DuplicateKey));
+        assert_eq!(t.insert(&k(9), &v(1)), Err(HdnhError::DuplicateKey));
         let (li, b, s) = locate(&t, &k(9));
-        let inner = t.inner.read();
+        let snap = t.pinned();
+        let inner = snap.inner;
         let (level, _) = inner.level(li);
         let rec = level.read_record(b, s);
         assert_eq!(rec.value.as_u64(), 109, "record not rebuilt from hot copy");
         assert!(slot_checksum_ok(level.load_header(b), s, &rec));
-        drop(inner);
+        drop(snap);
         assert_eq!(t.len(), 50, "repair must not change the live count");
         assert!(t.verify_integrity().is_ok());
     }
@@ -1715,12 +1990,12 @@ mod tests {
         // Damage to the key bytes makes the record's fingerprint disagree
         // with the DRAM-held OCF witness: repair must refuse to rebuild
         // under a forged key even though a hot copy of the true key exists.
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            enable_hot_table: false,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .enable_hot_table(false)
+        .build()
+        .unwrap());
         for i in 0..50 {
             t.insert(&k(i), &v(i)).unwrap();
         }
@@ -1730,26 +2005,27 @@ mod tests {
             // Guard against the 7-bit checksum's documented 1/128
             // false-accept: this particular (byte, mask) pair must be
             // detectable or the assertions below are vacuous.
-            let inner = t.inner.read();
+            let snap = t.pinned();
+            let inner = snap.inner;
             let (level, _) = inner.level(li);
             assert!(
                 !slot_checksum_ok(level.load_header(b), s, &level.read_record(b, s)),
                 "chosen corruption collides in the 7-bit checksum; pick another mask"
             );
         }
-        assert_eq!(t.get(&k(3)), None);
+        assert_eq!(t.get(&k(3)).unwrap(), None);
         assert_eq!(t.len(), 49);
         assert!(t.verify_integrity().is_ok());
     }
 
     #[test]
     fn scrub_repairs_hot_backed_slots_and_quarantines_the_rest() {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            hot_capacity_ratio: 2.0,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .hot_capacity_ratio(2.0)
+        .build()
+        .unwrap());
         for i in 0..80 {
             t.insert(&k(i), &v(i + 500)).unwrap();
         }
@@ -1775,7 +2051,7 @@ mod tests {
         assert!(t.verify_integrity().is_ok());
         assert_eq!(t.len(), 78);
         for key in [11u64, 22, 33] {
-            assert_eq!(t.get(&k(key)).unwrap().as_u64(), key + 500);
+            assert_eq!(t.get(&k(key)).unwrap().unwrap().as_u64(), key + 500);
         }
         // A second pass finds nothing left to do.
         assert!(t.scrub().clean());
@@ -1785,11 +2061,11 @@ mod tests {
     fn contended_writers_count_backoff_rounds() {
         obs::set_enabled(true);
         let before = obs::snapshot().counter(obs::Counter::OpmapBackoffRound);
-        let t = Arc::new(Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            ..Default::default()
-        }));
+        let t = Arc::new(Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .build()
+        .unwrap()));
         t.insert(&k(1), &v(0)).unwrap();
         let mut handles = Vec::new();
         for tid in 0..8u64 {
@@ -1815,10 +2091,56 @@ mod tests {
     #[test]
     fn ocf_footprint_is_two_bytes_per_slot() {
         let t = table();
-        let inner_slots = {
-            let inner = t.inner.read();
-            inner.total_slots()
-        };
+        let inner_slots = t.pinned().inner.total_slots();
         assert_eq!(t.ocf_footprint_bytes(), inner_slots * 2);
+    }
+
+    #[test]
+    fn readers_race_resizes_without_missing_keys() {
+        // Readers hammer a stable key set while writers force repeated
+        // snapshot swaps; every read must succeed (retrying across the
+        // generation bump, never observing a half-migrated table).
+        obs::set_enabled(true);
+        let t = Arc::new(
+            Hdnh::new(
+                HdnhParams::builder()
+                    .segment_bytes(1024)
+                    .initial_bottom_segments(1)
+                    .build()
+                    .unwrap(),
+            ),
+        );
+        const STABLE: u64 = 128;
+        for i in 0..STABLE {
+            t.insert(&k(i), &v(i + 7)).unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = n % STABLE;
+                    assert_eq!(
+                        t.get(&k(id)).unwrap().expect("stable key vanished").as_u64(),
+                        id + 7
+                    );
+                    n += 1;
+                }
+            }));
+        }
+        let base_resizes = t.resize_count();
+        // Filler inserts drive load past the threshold repeatedly.
+        for i in 0..20_000u64 {
+            t.insert(&k(1_000_000 + i), &v(i)).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(t.resize_count() > base_resizes, "no resize was exercised");
+        assert!(t.verify_integrity().is_ok());
     }
 }

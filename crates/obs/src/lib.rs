@@ -91,11 +91,19 @@ pub enum Counter {
     /// A corrupted slot had no clean copy and was quarantined (valid bit
     /// cleared; the record is reported lost rather than served).
     CorruptionQuarantined,
+    /// A lock-free read validated its epoch snapshot after the probe,
+    /// found a resize had superseded it, and retried on the new snapshot.
+    SnapshotRetry,
+    /// The table's maintenance mutex was acquired (resize, scrub,
+    /// integrity verification, crash hooks). The lock-free read and write
+    /// paths never touch it — a read/write-heavy run showing this at zero
+    /// is the "no global lock on the hot path" acceptance signal.
+    MaintenanceLock,
 }
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::OcfTrueMatch,
         Counter::OcfFalsePositive,
         Counter::OcfNegativeShortCircuit,
@@ -113,6 +121,8 @@ impl Counter {
         Counter::CorruptionDetected,
         Counter::CorruptionRepaired,
         Counter::CorruptionQuarantined,
+        Counter::SnapshotRetry,
+        Counter::MaintenanceLock,
     ];
 
     /// Stable snake_case name used in exposition.
@@ -135,6 +145,8 @@ impl Counter {
             Counter::CorruptionDetected => "corruption_detected",
             Counter::CorruptionRepaired => "corruption_repaired",
             Counter::CorruptionQuarantined => "corruption_quarantined",
+            Counter::SnapshotRetry => "snapshot_retry",
+            Counter::MaintenanceLock => "maintenance_lock",
         }
     }
 }

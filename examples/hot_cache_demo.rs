@@ -24,7 +24,7 @@ fn main() {
         hot.is_hot(&k, h.h1, h.h2, h.fp).is_some(),
         hot.is_hot(&k, h.h1, h.h2, h.fp)
     );
-    t.get(&k);
+    t.get(&k).unwrap();
     println!(
         "after one search: hot bit={:?}  (RAFL flips the hotmap bit on a hit)",
         hot.is_hot(&k, h.h1, h.h2, h.fp)

@@ -14,21 +14,21 @@ fn schemes() -> Vec<(&'static str, Box<dyn HashIndex>)> {
     vec![
         (
             "HDNH",
-            Box::new(Hdnh::new(HdnhParams {
-                segment_bytes: 1024,
-                initial_bottom_segments: 2,
-                ..Default::default()
-            })) as Box<dyn HashIndex>,
+            Box::new(Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .build()
+        .unwrap())) as Box<dyn HashIndex>,
         ),
         (
             "HDNH-bg-lru",
-            Box::new(Hdnh::new(HdnhParams {
-                segment_bytes: 1024,
-                initial_bottom_segments: 2,
-                sync_mode: SyncMode::Background,
-                hot_policy: HotPolicy::Lru,
-                ..Default::default()
-            })),
+            Box::new(Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .sync_mode(SyncMode::Background)
+        .hot_policy(HotPolicy::Lru)
+        .build()
+        .unwrap())),
         ),
         (
             "LEVEL",

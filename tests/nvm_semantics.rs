@@ -12,12 +12,12 @@ use std::sync::Arc;
 fn every_acknowledged_insert_leaves_no_at_risk_lines() {
     // Invariant: when an operation returns, everything it needed durable
     // has been flushed AND fenced — nothing is left to luck.
-    let t = Hdnh::new(HdnhParams {
-        segment_bytes: 1024,
-        initial_bottom_segments: 2,
-        nvm: NvmOptions::strict(),
-        ..Default::default()
-    });
+    let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(2)
+        .nvm(NvmOptions::strict())
+        .build()
+        .unwrap());
     for i in 0..500u64 {
         t.insert(&Key::from_u64(i), &Value::from_u64(i)).unwrap();
     }
@@ -25,7 +25,7 @@ fn every_acknowledged_insert_leaves_no_at_risk_lines() {
         t.update(&Key::from_u64(i), &Value::from_u64(i + 1)).unwrap();
     }
     for i in 400..500u64 {
-        assert!(t.remove(&Key::from_u64(i)));
+        assert!(t.remove(&Key::from_u64(i)).unwrap());
     }
     let pool = t.into_pool();
     // A crash that loses EVERY unflushed line must still preserve all
@@ -34,28 +34,28 @@ fn every_acknowledged_insert_leaves_no_at_risk_lines() {
     pool.top.crash_with(|_| false);
     pool.bottom.crash_with(|_| false);
     let r = Hdnh::recover(
-        HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 2,
-            nvm: NvmOptions::strict(),
-            ..Default::default()
-        },
+        HdnhParams::builder()
+                .segment_bytes(1024)
+                .initial_bottom_segments(2)
+                .nvm(NvmOptions::strict())
+                .build()
+                .unwrap(),
         pool,
         2,
     );
     assert_eq!(r.len(), 400);
     for i in 0..200u64 {
-        assert_eq!(r.get(&Key::from_u64(i)).unwrap().as_u64(), i + 1);
+        assert_eq!(r.get(&Key::from_u64(i)).unwrap().unwrap().as_u64(), i + 1);
     }
 }
 
 #[test]
 fn stats_attribute_writes_to_write_path_only() {
-    let t = Hdnh::new(HdnhParams {
-        segment_bytes: 2048,
-        initial_bottom_segments: 2,
-        ..Default::default()
-    });
+    let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(2048)
+        .initial_bottom_segments(2)
+        .build()
+        .unwrap());
     for i in 0..1_000u64 {
         t.insert(&Key::from_u64(i), &Value::from_u64(i)).unwrap();
     }
@@ -87,7 +87,7 @@ fn latency_model_slows_throughput_measurably() {
         }
         let start = std::time::Instant::now();
         for i in 0..20_000u64 {
-            assert!(t.get(&Key::from_u64(i)).is_some());
+            assert!(t.get(&Key::from_u64(i)).unwrap().is_some());
         }
         start.elapsed()
     };
@@ -129,11 +129,11 @@ fn shared_bandwidth_limiter_spans_regions() {
 fn region_checks_bounds_from_table_layer() {
     // Indirect: a table sized for N records never trips region bounds even
     // at full load + resize (would panic).
-    let t = Hdnh::new(HdnhParams {
-        segment_bytes: 512,
-        initial_bottom_segments: 1,
-        ..Default::default()
-    });
+    let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(512)
+        .initial_bottom_segments(1)
+        .build()
+        .unwrap());
     for i in 0..5_000u64 {
         t.insert(&Key::from_u64(i), &Value::from_u64(i)).unwrap();
     }

@@ -75,23 +75,23 @@ proptest! {
 
     #[test]
     fn hdnh_matches_oracle(ops in proptest::collection::vec(mop_strategy(), 1..400)) {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 1, // provoke resizes under the sequence
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(1)
+        .build()
+        .unwrap());
         check_against_oracle(&t, &ops);
     }
 
     #[test]
     fn hdnh_lru_matches_oracle(ops in proptest::collection::vec(mop_strategy(), 1..300)) {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 1,
-            hot_policy: HotPolicy::Lru,
-            hot_capacity_ratio: 0.05,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(1)
+        .hot_policy(HotPolicy::Lru)
+        .hot_capacity_ratio(0.05)
+        .build()
+        .unwrap());
         check_against_oracle(&t, &ops);
     }
 
@@ -131,12 +131,12 @@ proptest! {
         ops in proptest::collection::vec(mop_strategy(), 1..200),
         crash_seed in any::<u64>(),
     ) {
-        let params = HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 1,
-            nvm: NvmOptions::strict(),
-            ..Default::default()
-        };
+        let params = HdnhParams::builder()
+         .segment_bytes(1024)
+         .initial_bottom_segments(1)
+         .nvm(NvmOptions::strict())
+         .build()
+         .unwrap();
         let t = Hdnh::new(params.clone());
         let mut oracle: HashMap<u16, u32> = HashMap::new();
         for op in &ops {
@@ -152,7 +152,7 @@ proptest! {
                     }
                 }
                 MOp::Remove(id) => {
-                    if t.remove(&Key::from_u64(*id as u64)) {
+                    if t.remove(&Key::from_u64(*id as u64)).unwrap() {
                         oracle.remove(id);
                     }
                 }
@@ -165,7 +165,7 @@ proptest! {
         prop_assert_eq!(r.len(), oracle.len());
         for (&id, &val) in &oracle {
             prop_assert_eq!(
-                r.get(&Key::from_u64(id as u64)).map(|v| v.as_u64()),
+                r.get(&Key::from_u64(id as u64)).unwrap().map(|v| v.as_u64()),
                 Some(val as u64)
             );
         }
@@ -292,16 +292,16 @@ proptest! {
     /// Load factor stays within [0, 1] under arbitrary sequences.
     #[test]
     fn load_factor_bounded(ops in proptest::collection::vec(mop_strategy(), 1..200)) {
-        let t = Hdnh::new(HdnhParams {
-            segment_bytes: 1024,
-            initial_bottom_segments: 1,
-            ..Default::default()
-        });
+        let t = Hdnh::new(HdnhParams::builder()
+        .segment_bytes(1024)
+        .initial_bottom_segments(1)
+        .build()
+        .unwrap());
         for op in &ops {
             match op {
                 MOp::Insert(id, val) => { let _ = t.insert(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64)); }
                 MOp::Update(id, val) => { let _ = t.update(&Key::from_u64(*id as u64), &Value::from_u64(*val as u64)); }
-                MOp::Remove(id) => { let _ = t.remove(&Key::from_u64(*id as u64)); }
+                MOp::Remove(id) => { let _ = t.remove(&Key::from_u64(*id as u64)).unwrap(); }
                 MOp::Get(id) => { let _ = t.get(&Key::from_u64(*id as u64)); }
             }
             let lf = t.load_factor();
