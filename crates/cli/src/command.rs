@@ -9,6 +9,10 @@ pub enum Command {
     Insert(u64, u64),
     /// `get <key>` — point lookup.
     Get(u64),
+    /// `exists <key>` — membership probe (no value printed).
+    Exists(u64),
+    /// `mget <key> <key> ...` — batched point lookups in argument order.
+    MGet(Vec<u64>),
     /// `update <key> <value>` — replace an existing record's value.
     Update(u64, u64),
     /// `delete <key>` — remove a record.
@@ -113,6 +117,20 @@ fn int(tok: Option<&str>, what: &str) -> Result<u64, ParseError> {
         .map_err(|_| ParseError(format!("{what} must be an unsigned integer")))
 }
 
+/// Parses a workload letter token into its canonical lowercase char.
+fn mix_letter(tok: Option<&str>) -> Result<char, ParseError> {
+    let mix = tok
+        .ok_or_else(|| ParseError("missing workload letter (a/b/c/f)".into()))?
+        .to_ascii_lowercase();
+    match mix.as_str() {
+        "a" => Ok('a'),
+        "b" => Ok('b'),
+        "c" => Ok('c'),
+        "f" => Ok('f'),
+        other => Err(ParseError(format!("unknown workload '{other}'"))),
+    }
+}
+
 /// Parses one line. Empty/comment lines return `Ok(None)`.
 pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
     let line = line.trim();
@@ -120,22 +138,29 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
         return Ok(None);
     }
     let mut toks = line.split_whitespace();
-    let cmd = toks.next().unwrap().to_ascii_lowercase();
+    let cmd = toks
+        .next()
+        .ok_or_else(|| ParseError("empty command".into()))?
+        .to_ascii_lowercase();
     let parsed = match cmd.as_str() {
         "insert" | "put" => Command::Insert(int(toks.next(), "key")?, int(toks.next(), "value")?),
         "get" | "read" => Command::Get(int(toks.next(), "key")?),
+        "exists" => Command::Exists(int(toks.next(), "key")?),
+        "mget" => {
+            let mut keys = Vec::new();
+            for tok in toks.by_ref() {
+                keys.push(int(Some(tok), "key")?);
+            }
+            if keys.is_empty() {
+                return Err(ParseError("mget needs at least one key".into()));
+            }
+            Command::MGet(keys)
+        }
         "update" | "set" => Command::Update(int(toks.next(), "key")?, int(toks.next(), "value")?),
         "delete" | "del" | "remove" => Command::Delete(int(toks.next(), "key")?),
         "fill" | "load" => Command::Fill(int(toks.next(), "count")?),
         "workload" | "ycsb" => {
-            let mix = toks
-                .next()
-                .ok_or_else(|| ParseError("missing workload letter (a/b/c/f)".into()))?
-                .to_ascii_lowercase();
-            let mix = match mix.as_str() {
-                "a" | "b" | "c" | "f" => mix.chars().next().unwrap(),
-                other => return Err(ParseError(format!("unknown workload '{other}'"))),
-            };
+            let mix = mix_letter(toks.next())?;
             Command::Workload(mix, int(toks.next(), "op count")? as usize)
         }
         "stats" => {
@@ -208,14 +233,7 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
                 .next()
                 .ok_or_else(|| ParseError("missing trace file path".into()))?
                 .to_string();
-            let mix = toks
-                .next()
-                .ok_or_else(|| ParseError("missing workload letter (a/b/c/f)".into()))?
-                .to_ascii_lowercase();
-            let mix = match mix.as_str() {
-                "a" | "b" | "c" | "f" => mix.chars().next().unwrap(),
-                other => return Err(ParseError(format!("unknown workload '{other}'"))),
-            };
+            let mix = mix_letter(toks.next())?;
             Command::Record(file, mix, int(toks.next(), "op count")? as usize)
         }
         "replay" => Command::Replay(
@@ -238,6 +256,8 @@ pub const HELP: &str = "\
 commands:
   insert <key> <value>    insert a new record (u64 key/value)
   get <key>               point lookup
+  exists <key>            membership probe (prints 1 or 0)
+  mget <key> <key> ...    batched point lookups in argument order
   update <key> <value>    replace an existing record's value
   delete <key>            remove a record
   fill <n>                bulk-insert ids 0..n
@@ -269,6 +289,29 @@ mod tests {
         assert_eq!(parse("get 7").unwrap(), Some(Command::Get(7)));
         assert_eq!(parse("UPDATE 3 4").unwrap(), Some(Command::Update(3, 4)));
         assert_eq!(parse("del 9").unwrap(), Some(Command::Delete(9)));
+    }
+
+    #[test]
+    fn parses_exists_and_mget() {
+        assert_eq!(parse("exists 5").unwrap(), Some(Command::Exists(5)));
+        assert_eq!(parse("EXISTS 0").unwrap(), Some(Command::Exists(0)));
+        assert!(parse("exists").is_err());
+        assert!(parse("exists 1 2").is_err());
+        assert!(parse("exists x").is_err());
+        assert_eq!(parse("mget 1").unwrap(), Some(Command::MGet(vec![1])));
+        assert_eq!(
+            parse("mget 3 1 4 1 5").unwrap(),
+            Some(Command::MGet(vec![3, 1, 4, 1, 5]))
+        );
+        assert!(parse("mget").is_err());
+        assert!(parse("mget 1 two 3").is_err());
+    }
+
+    #[test]
+    fn rejects_nothing_silently() {
+        // The first-token path is a typed error, never a panic, even for
+        // exotic whitespace-only inputs the trim above normally absorbs.
+        assert_eq!(parse("\t \u{a0}#c").unwrap_or(None), None);
     }
 
     #[test]

@@ -119,6 +119,30 @@ impl Engine {
                 Some(v) => v.as_u64().to_string(),
                 None => "(not found)".to_string(),
             })),
+            Command::Exists(k) => Ok(Outcome::Text(
+                match self.table()?.get(&Key::from_u64(k))? {
+                    Some(_) => "1".to_string(),
+                    None => "0".to_string(),
+                },
+            )),
+            Command::MGet(keys) => {
+                let table = self.table()?;
+                let mut out = String::new();
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        out.push('\n');
+                    }
+                    match table.get(&Key::from_u64(*k))? {
+                        Some(v) => {
+                            let _ = write!(out, "{k} {}", v.as_u64());
+                        }
+                        None => {
+                            let _ = write!(out, "{k} (not found)");
+                        }
+                    }
+                }
+                Ok(Outcome::Text(out))
+            }
             Command::Update(k, v) => Ok(Outcome::Text(
                 match self.table()?.update(&Key::from_u64(k), &Value::from_u64(v)) {
                     Ok(()) => "ok".to_string(),
@@ -509,6 +533,17 @@ mod tests {
         assert_eq!(run(&mut e, "get 1"), "(not found)");
         assert_eq!(run(&mut e, "delete 1"), "(not found)");
         assert_eq!(run(&mut e, "update 1 9"), "error: key not found");
+    }
+
+    #[test]
+    fn exists_and_mget() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "insert 10 100");
+        run(&mut e, "insert 20 200");
+        assert_eq!(run(&mut e, "exists 10"), "1");
+        assert_eq!(run(&mut e, "exists 11"), "0");
+        assert_eq!(run(&mut e, "mget 10 11 20"), "10 100\n11 (not found)\n20 200");
+        assert_eq!(run(&mut e, "mget 20"), "20 200");
     }
 
     #[test]

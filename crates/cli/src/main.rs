@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! hdnh-cli [--strict] [--latency] [--capacity N]
+//! hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]
 //! ```
 //!
-//! Reads commands from stdin (one per line; `help` lists them). Suitable
-//! both interactively and piped: `printf 'fill 1000\ninfo\n' | hdnh-cli`.
+//! Without a subcommand, reads shell commands from stdin (one per line;
+//! `help` lists them). Suitable both interactively and piped:
+//! `printf 'fill 1000\ninfo\n' | hdnh-cli`.
+//!
+//! `serve` runs the RESP network front-end from `hdnh-server` over a fresh
+//! table until `SHUTDOWN` or SIGTERM/SIGINT, then drains and exits 0.
 //!
 //! Exit status: 0 when every command succeeded; 1 when any command reported
 //! a failure (`verify` violation, `scrub` detection, failing `faultrun`
@@ -18,7 +23,11 @@ use hdnh_cli::{parse, Engine, EngineConfig};
 
 fn main() {
     let mut config = EngineConfig::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        serve_main(args);
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--strict" => config.strict = true,
@@ -34,6 +43,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("hdnh-cli [--strict] [--latency] [--capacity N]");
+                println!("hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]");
                 println!("{}", hdnh_cli::command::HELP);
                 return;
             }
@@ -98,4 +108,65 @@ fn main() {
 /// variable is unset.)
 fn atty_stdin() -> bool {
     std::env::var("HDNH_CLI_BATCH").is_err()
+}
+
+/// `serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]` —
+/// RESP front-end over a fresh table; blocks until drain, then exits 0.
+fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
+    let Some(addr) = args.next().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]");
+        std::process::exit(2);
+    };
+    let mut cfg = hdnh_server::ServerConfig::default();
+    let mut capacity = 100_000usize;
+    let mut fill = 0u64;
+    while let Some(flag) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{what} needs an integer");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--threads" => cfg.threads = val(&mut args, "--threads").max(1) as usize,
+            "--max-conns" => cfg.max_conns = val(&mut args, "--max-conns").max(1) as usize,
+            "--capacity" => capacity = val(&mut args, "--capacity").max(1) as usize,
+            "--fill" => fill = val(&mut args, "--fill"),
+            other => {
+                eprintln!("unknown serve flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let params = hdnh::HdnhParams::builder()
+        .capacity(capacity)
+        .nvm(hdnh_nvm::NvmOptions::fast())
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("bad table configuration: {e}");
+            std::process::exit(2);
+        });
+    hdnh_obs::set_enabled(true);
+    let table = std::sync::Arc::new(hdnh::Hdnh::new(params));
+    for id in 0..fill {
+        use hdnh_common::{Key, Value};
+        if let Err(e) = table.insert(&Key::from_u64(id), &Value::from_u64(id)) {
+            eprintln!("prefill failed at id {id}: {e}");
+            std::process::exit(1);
+        }
+    }
+    match hdnh_server::start(std::sync::Arc::clone(&table), addr.as_str(), cfg) {
+        Ok(handle) => {
+            // The bench/CI side greps for this line to learn the bound port.
+            println!("hdnh-server listening on {}", handle.local_addr());
+            let _ = std::io::stdout().flush();
+            hdnh_server::serve_until_signal(handle);
+            println!("hdnh-server drained, exiting");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

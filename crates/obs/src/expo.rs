@@ -7,7 +7,7 @@
 
 use std::fmt::Write;
 
-use crate::{Counter, MetricsSnapshot, OpKind, Phase};
+use crate::{Counter, MetricsSnapshot, NetCmd, OpKind, Phase};
 
 const QUANTILES: [(f64, &str); 4] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
 
@@ -45,6 +45,28 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
             op.name(),
             s.op(op).max()
         );
+    }
+
+    out.push_str("# TYPE hdnh_net_cmds_total counter\n");
+    for &cmd in &NetCmd::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_net_cmds_total{{cmd=\"{}\"}} {}",
+            cmd.name(),
+            s.net(cmd).count()
+        );
+    }
+    out.push_str("# TYPE hdnh_net_cmd_latency_ns gauge\n");
+    for &cmd in &NetCmd::ALL {
+        let h = s.net(cmd);
+        for &(q, label) in &QUANTILES {
+            let _ = writeln!(
+                out,
+                "hdnh_net_cmd_latency_ns{{cmd=\"{}\",quantile=\"{label}\"}} {}",
+                cmd.name(),
+                h.quantile(q)
+            );
+        }
     }
 
     out.push_str("# TYPE hdnh_events_total counter\n");
@@ -125,6 +147,25 @@ pub(crate) fn json(s: &MetricsSnapshot) -> String {
             h.min(),
         );
     }
+    out.push_str("},\"net\":{");
+    for (i, &cmd) in NetCmd::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let h = s.net(cmd);
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+            cmd.name(),
+            h.count(),
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.quantile(0.999),
+            h.max(),
+        );
+    }
     out.push_str("},\"events\":{");
     for (i, &c) in Counter::ALL.iter().enumerate() {
         if i > 0 {
@@ -174,6 +215,9 @@ mod tests {
             "hdnh_op_latency_ns_max{op=\"remove\"}",
             "hdnh_events_total{event=\"ocf_false_positive\"}",
             "hdnh_events_total{event=\"seqlock_read_retry\"}",
+            "hdnh_events_total{event=\"net_frame_decoded\"}",
+            "hdnh_net_cmds_total{cmd=\"mget\"}",
+            "hdnh_net_cmd_latency_ns{cmd=\"set\",quantile=\"0.999\"}",
             "hdnh_ocf_false_positive_rate",
             "hdnh_hot_hit_rate",
             "hdnh_phase_runs_total{phase=\"resize_rehash\"}",
@@ -194,7 +238,7 @@ mod tests {
             j.matches('}').count(),
             "unbalanced braces: {j}"
         );
-        for key in ["\"get\"", "\"events\"", "\"derived\"", "\"total_ops\"", "\"phases\"", "\"resize_allocate\""] {
+        for key in ["\"get\"", "\"net\"", "\"mset\"", "\"events\"", "\"derived\"", "\"total_ops\"", "\"phases\"", "\"resize_allocate\""] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
     }

@@ -99,11 +99,27 @@ pub enum Counter {
     /// paths never touch it — a read/write-heavy run showing this at zero
     /// is the "no global lock on the hot path" acceptance signal.
     MaintenanceLock,
+    /// One complete RESP request frame was decoded off a connection.
+    NetFrameDecoded,
+    /// A connection's byte stream violated the RESP framing grammar (bad
+    /// type byte, bad length, oversized frame); the connection is closed.
+    NetProtocolError,
+    /// Bytes read from client sockets.
+    NetBytesIn,
+    /// Bytes written to client sockets.
+    NetBytesOut,
+    /// Connections accepted and served.
+    NetConnAccepted,
+    /// Connections rejected because the connection budget was exhausted.
+    NetConnRejected,
+    /// Well-framed requests naming a command the server does not speak
+    /// (answered with an error reply; the connection stays open).
+    NetUnknownCmd,
 }
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 26] = [
         Counter::OcfTrueMatch,
         Counter::OcfFalsePositive,
         Counter::OcfNegativeShortCircuit,
@@ -123,6 +139,13 @@ impl Counter {
         Counter::CorruptionQuarantined,
         Counter::SnapshotRetry,
         Counter::MaintenanceLock,
+        Counter::NetFrameDecoded,
+        Counter::NetProtocolError,
+        Counter::NetBytesIn,
+        Counter::NetBytesOut,
+        Counter::NetConnAccepted,
+        Counter::NetConnRejected,
+        Counter::NetUnknownCmd,
     ];
 
     /// Stable snake_case name used in exposition.
@@ -147,6 +170,13 @@ impl Counter {
             Counter::CorruptionQuarantined => "corruption_quarantined",
             Counter::SnapshotRetry => "snapshot_retry",
             Counter::MaintenanceLock => "maintenance_lock",
+            Counter::NetFrameDecoded => "net_frame_decoded",
+            Counter::NetProtocolError => "net_protocol_error",
+            Counter::NetBytesIn => "net_bytes_in",
+            Counter::NetBytesOut => "net_bytes_out",
+            Counter::NetConnAccepted => "net_conn_accepted",
+            Counter::NetConnRejected => "net_conn_rejected",
+            Counter::NetUnknownCmd => "net_unknown_cmd",
         }
     }
 }
@@ -183,6 +213,72 @@ impl OpKind {
 }
 
 const N_OPS: usize = OpKind::ALL.len();
+
+/// The wire-protocol commands served by `hdnh-server`, each with its own
+/// service-latency histogram (decode-to-encode, excluding socket time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum NetCmd {
+    /// `PING [msg]` liveness probe.
+    Ping = 0,
+    /// `GET key` point lookup.
+    Get,
+    /// `SET key value` upsert.
+    Set,
+    /// `DEL key [key ...]` removal.
+    Del,
+    /// `EXISTS key [key ...]` membership probe.
+    Exists,
+    /// `MGET key [key ...]` batched lookup.
+    MGet,
+    /// `MSET key value [key value ...]` batched upsert.
+    MSet,
+    /// `INFO` table geometry and server state.
+    Info,
+    /// `SCRUB` on-demand checksum scrub.
+    Scrub,
+    /// `METRICS [JSON|PROM]` registry exposition.
+    Metrics,
+    /// `SHUTDOWN` graceful drain.
+    Shutdown,
+}
+
+impl NetCmd {
+    /// Every wire command, in exposition order.
+    pub const ALL: [NetCmd; 11] = [
+        NetCmd::Ping,
+        NetCmd::Get,
+        NetCmd::Set,
+        NetCmd::Del,
+        NetCmd::Exists,
+        NetCmd::MGet,
+        NetCmd::MSet,
+        NetCmd::Info,
+        NetCmd::Scrub,
+        NetCmd::Metrics,
+        NetCmd::Shutdown,
+    ];
+
+    /// Stable name used in exposition labels (matches the wire spelling,
+    /// lowercased).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetCmd::Ping => "ping",
+            NetCmd::Get => "get",
+            NetCmd::Set => "set",
+            NetCmd::Del => "del",
+            NetCmd::Exists => "exists",
+            NetCmd::MGet => "mget",
+            NetCmd::MSet => "mset",
+            NetCmd::Info => "info",
+            NetCmd::Scrub => "scrub",
+            NetCmd::Metrics => "metrics",
+            NetCmd::Shutdown => "shutdown",
+        }
+    }
+}
+
+const N_NET: usize = NetCmd::ALL.len();
 
 /// Rare long-running phases measured as spans (duration + items).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -264,6 +360,9 @@ static COUNTERS: [CounterShard; SHARDS] = [const { CounterShard::new() }; SHARDS
 
 static OP_HISTS: [[AtomicHistogram; N_OPS]; SHARDS] =
     [const { [const { AtomicHistogram::new() }; N_OPS] }; SHARDS];
+
+static NET_HISTS: [[AtomicHistogram; N_NET]; SHARDS] =
+    [const { [const { AtomicHistogram::new() }; N_NET] }; SHARDS];
 
 struct PhaseCell {
     runs: AtomicU64,
@@ -389,6 +488,30 @@ fn op_record_slow(op: OpKind, ns: u64) {
     OP_HISTS[shard()][op as usize].record(ns);
 }
 
+/// Completes a wire-command service-latency measurement started with
+/// [`op_start`] (the same clock gate applies).
+#[inline]
+pub fn net_record(cmd: NetCmd, started: Option<Instant>) {
+    if let Some(t) = started {
+        net_record_slow(cmd, t.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Records a pre-measured wire-command service latency in nanoseconds
+/// (no-op while disabled).
+#[inline]
+pub fn net_record_ns(cmd: NetCmd, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    net_record_slow(cmd, ns);
+}
+
+#[cold]
+fn net_record_slow(cmd: NetCmd, ns: u64) {
+    NET_HISTS[shard()][cmd as usize].record(ns);
+}
+
 /// Starts a phase span; `None` while disabled.
 #[inline]
 pub fn phase_start() -> Option<Instant> {
@@ -433,6 +556,11 @@ pub fn reset() {
         }
     }
     for row in &OP_HISTS {
+        for h in row {
+            h.reset();
+        }
+    }
+    for row in &NET_HISTS {
         for h in row {
             h.reset();
         }
@@ -491,6 +619,7 @@ impl PhaseSnapshot {
 pub struct MetricsSnapshot {
     counters: Vec<u64>,
     ops: Vec<HistSnapshot>,
+    net: Vec<HistSnapshot>,
     phases: Vec<PhaseSnapshot>,
 }
 
@@ -500,6 +629,7 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             counters: vec![0; N_COUNTERS],
             ops: (0..N_OPS).map(|_| HistSnapshot::empty()).collect(),
+            net: (0..N_NET).map(|_| HistSnapshot::empty()).collect(),
             phases: vec![PhaseSnapshot::default(); N_PHASES],
         }
     }
@@ -512,6 +642,19 @@ impl MetricsSnapshot {
     /// Latency histogram of one op kind.
     pub fn op(&self, op: OpKind) -> &HistSnapshot {
         &self.ops[op as usize]
+    }
+
+    /// Service-latency histogram of one wire command.
+    pub fn net(&self, cmd: NetCmd) -> &HistSnapshot {
+        &self.net[cmd as usize]
+    }
+
+    /// Total wire commands served across all command histograms — by
+    /// construction the number of decoded frames dispatched to a known
+    /// command (unknown commands are counted by
+    /// [`Counter::NetUnknownCmd`] instead).
+    pub fn total_net_cmds(&self) -> u64 {
+        self.net.iter().map(|h| h.count()).sum()
     }
 
     /// Span cell of one phase.
@@ -569,6 +712,12 @@ impl MetricsSnapshot {
                 .zip(&earlier.ops)
                 .map(|(a, b)| a.since(b))
                 .collect(),
+            net: self
+                .net
+                .iter()
+                .zip(&earlier.net)
+                .map(|(a, b)| a.since(b))
+                .collect(),
             phases: self
                 .phases
                 .iter()
@@ -614,10 +763,20 @@ pub fn snapshot() -> MetricsSnapshot {
             merged
         })
         .collect();
+    let net = (0..N_NET)
+        .map(|i| {
+            let mut merged = HistSnapshot::empty();
+            for row in &NET_HISTS {
+                merged.merge(&row[i].snapshot());
+            }
+            merged
+        })
+        .collect();
     let phases = PHASES.iter().map(PhaseCell::snapshot).collect();
     MetricsSnapshot {
         counters,
         ops,
+        net,
         phases,
     }
 }
@@ -795,5 +954,39 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), count, "duplicate metric name");
+        // NetCmd labels live in their own metric families (they may reuse
+        // op names like "get") but must be unique among themselves.
+        let mut net: Vec<&str> = NetCmd::ALL.iter().map(|c| c.name()).collect();
+        let n = net.len();
+        net.sort_unstable();
+        net.dedup();
+        assert_eq!(net.len(), n, "duplicate net command name");
+    }
+
+    #[test]
+    fn net_histograms_roundtrip_and_diff() {
+        let _g = exclusive();
+        reset();
+        set_enabled(false);
+        net_record_ns(NetCmd::Get, 100);
+        assert_eq!(snapshot().total_net_cmds(), 0, "disabled registry records nothing");
+        set_enabled(true);
+        net_record_ns(NetCmd::Get, 100);
+        net_record_ns(NetCmd::Get, 300);
+        net_record_ns(NetCmd::MSet, 900);
+        let base = snapshot();
+        net_record_ns(NetCmd::Set, 50);
+        let s = snapshot();
+        set_enabled(false);
+        assert_eq!(s.net(NetCmd::Get).count(), 2);
+        assert_eq!(s.net(NetCmd::Get).sum(), 400);
+        assert_eq!(s.net(NetCmd::MSet).count(), 1);
+        assert_eq!(s.total_net_cmds(), 4);
+        let delta = s.since(&base);
+        assert_eq!(delta.net(NetCmd::Set).count(), 1);
+        assert_eq!(delta.net(NetCmd::Get).count(), 0);
+        assert_eq!(delta.total_net_cmds(), 1);
+        reset();
+        assert_eq!(snapshot().total_net_cmds(), 0);
     }
 }

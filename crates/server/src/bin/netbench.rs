@@ -1,0 +1,330 @@
+//! Pipelined multi-connection load generator for `hdnh-server`.
+//!
+//! Drives YCSB A/B/C (from `hdnh-ycsb`) over the RESP wire: each
+//! connection runs its own deterministic op stream, sending `--pipeline`
+//! requests per burst and timing every reply against the burst's send
+//! instant (so the numbers include queueing inside the pipeline, which is
+//! what a pipelining client actually experiences). Results land in
+//! `BENCH_net.json`.
+//!
+//! ```text
+//! netbench 127.0.0.1:6399 --conns 4 --pipeline 64 --ops 20000 \
+//!     --preload 10000 --mixes a,b,c --out BENCH_net.json --shutdown
+//! ```
+
+use std::io::Write as _;
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hdnh_obs::hist::{AtomicHistogram, HistSnapshot};
+use hdnh_server::client::{Reply, RespClient};
+use hdnh_ycsb::{generate_ops, Op, WorkloadSpec};
+
+const OP_KINDS: [&str; 6] = ["read", "read_absent", "insert", "update", "rmw", "delete"];
+
+fn kind_idx(kind: &str) -> usize {
+    OP_KINDS.iter().position(|k| *k == kind).expect("known op kind")
+}
+
+struct Config {
+    addr: String,
+    conns: usize,
+    pipeline: usize,
+    ops: usize,
+    preload: u64,
+    mixes: Vec<String>,
+    out: String,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netbench <addr> [--conns N] [--pipeline N] [--ops N] [--preload N] \
+         [--mixes a,b,c] [--out PATH] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else { usage() };
+    if addr.starts_with("--") {
+        usage();
+    }
+    let mut cfg = Config {
+        addr,
+        conns: 4,
+        pipeline: 64,
+        ops: 20_000,
+        preload: 10_000,
+        mixes: vec!["a".into(), "b".into(), "c".into()],
+        out: "BENCH_net.json".into(),
+        shutdown: false,
+    };
+    while let Some(flag) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--conns" => cfg.conns = num(&mut args).max(1) as usize,
+            "--pipeline" => cfg.pipeline = num(&mut args).max(1) as usize,
+            "--ops" => cfg.ops = num(&mut args).max(1) as usize,
+            "--preload" => cfg.preload = num(&mut args).max(1),
+            "--mixes" => {
+                cfg.mixes = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--out" => cfg.out = args.next().unwrap_or_else(|| usage()),
+            "--shutdown" => cfg.shutdown = true,
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+fn spec_for(mix: &str) -> WorkloadSpec {
+    match mix {
+        "a" => WorkloadSpec::ycsb_a(),
+        "b" => WorkloadSpec::ycsb_b(),
+        "c" => WorkloadSpec::ycsb_c(),
+        "f" => WorkloadSpec::ycsb_f(),
+        other => {
+            eprintln!("netbench: unknown mix '{other}' (expected a|b|c|f)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Connects with retry — the server may still be binding when CI launches
+/// the bench.
+fn connect_retry(addr: &str) -> RespClient {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match RespClient::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("netbench: cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Preloads ids `0..n` (value = id) through one pipelined connection.
+fn preload(addr: &str, n: u64, pipeline: usize) {
+    let mut c = connect_retry(addr);
+    c.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
+    let mut id = 0u64;
+    while id < n {
+        let burst = pipeline.min((n - id) as usize);
+        for _ in 0..burst {
+            c.cmd(&[b"SET", id.to_string().as_bytes(), id.to_string().as_bytes()]);
+            id += 1;
+        }
+        c.flush().expect("preload flush");
+        for _ in 0..burst {
+            let r = c.read_reply().expect("preload reply");
+            assert!(r.is_ok(), "preload SET failed: {r:?}");
+        }
+    }
+}
+
+/// Turns one YCSB op into a queued RESP request, returning its kind index.
+fn enqueue(c: &mut RespClient, op: &Op) -> usize {
+    match *op {
+        Op::Read(id) => c.cmd(&[b"GET", id.to_string().as_bytes()]),
+        // Negative reads probe far beyond any inserted id.
+        Op::ReadAbsent(id) => c.cmd(&[b"GET", (u64::MAX / 2 + id).to_string().as_bytes()]),
+        Op::Insert(id) => c.cmd(&[b"SET", id.to_string().as_bytes(), id.to_string().as_bytes()]),
+        Op::Update(id, seq) => {
+            c.cmd(&[b"SET", id.to_string().as_bytes(), (u64::from(seq) + 1).to_string().as_bytes()])
+        }
+        Op::ReadModifyWrite(id, seq) => {
+            // The read half happens server-side via GET pipelined just ahead.
+            c.cmd(&[b"GET", id.to_string().as_bytes()]);
+            c.cmd(&[b"SET", id.to_string().as_bytes(), (u64::from(seq) + 1).to_string().as_bytes()]);
+            return kind_idx("rmw");
+        }
+        Op::Delete(id) => c.cmd(&[b"DEL", id.to_string().as_bytes()]),
+    }
+    kind_idx(op.kind())
+}
+
+/// How many replies one op produces (RMW pipelines GET+SET).
+fn replies_for(op: &Op) -> usize {
+    match op {
+        Op::ReadModifyWrite(..) => 2,
+        _ => 1,
+    }
+}
+
+struct MixStats {
+    hists: [AtomicHistogram; 6],
+    errors: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+fn run_conn(addr: &str, ops: &[Op], pipeline: usize, stats: &MixStats) {
+    let mut c = connect_retry(addr);
+    c.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
+    let mut i = 0usize;
+    while i < ops.len() {
+        let burst = &ops[i..(i + pipeline).min(ops.len())];
+        let mut kinds = Vec::with_capacity(burst.len());
+        for op in burst {
+            kinds.push((enqueue(&mut c, op), replies_for(op)));
+        }
+        if let Err(e) = c.flush() {
+            eprintln!("netbench: flush failed ({e}); reconnecting");
+            stats.reconnects.fetch_add(1, Ordering::Relaxed);
+            c = connect_retry(addr);
+            continue; // replay the burst on the fresh connection
+        }
+        let sent = Instant::now();
+        let mut failed = false;
+        'burst: for &(kind, n_replies) in &kinds {
+            for _ in 0..n_replies {
+                match c.read_reply() {
+                    Ok(Reply::Error(_)) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("netbench: read failed ({e}); reconnecting");
+                        stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                        c = connect_retry(addr);
+                        failed = true;
+                        break 'burst;
+                    }
+                }
+            }
+            stats.hists[kind].record(sent.elapsed().as_nanos() as u64);
+        }
+        if failed {
+            continue; // replay the burst
+        }
+        i += burst.len();
+    }
+}
+
+fn json_hist(out: &mut String, name: &str, h: &HistSnapshot) {
+    out.push_str(&format!(
+        "\"{name}\":{{\"count\":{},\"mean_ns\":{:.0},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+        h.count(),
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.max(),
+    ));
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Resolve early so a bad address fails fast with a clear message.
+    if cfg.addr.to_socket_addrs().map(|mut a| a.next().is_none()).unwrap_or(true) {
+        eprintln!("netbench: cannot resolve address '{}'", cfg.addr);
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "netbench: {} conns={} pipeline={} ops={} preload={} mixes={:?}",
+        cfg.addr, cfg.conns, cfg.pipeline, cfg.ops, cfg.preload, cfg.mixes
+    );
+    preload(&cfg.addr, cfg.preload, cfg.pipeline);
+    eprintln!("netbench: preloaded {} records", cfg.preload);
+
+    let mut mix_reports = Vec::new();
+    let mut insert_base = cfg.preload;
+    for (mix_idx, mix) in cfg.mixes.iter().enumerate() {
+        let spec = spec_for(mix);
+        let per_conn = cfg.ops / cfg.conns.max(1);
+        let stats = Arc::new(MixStats {
+            hists: std::array::from_fn(|_| AtomicHistogram::new()),
+            errors: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        });
+        // Disjoint insert id ranges per connection (and per mix): a
+        // generated Insert must never collide with a preloaded or
+        // previously inserted id, or SET would just overwrite — fine for
+        // the server but wrong for the op accounting.
+        let streams: Vec<Vec<Op>> = (0..cfg.conns)
+            .map(|ci| {
+                let base = insert_base + (ci as u64) * (per_conn as u64);
+                let seed = 0x9E37_79B9_7F4A_7C15 ^ ((mix_idx as u64) << 32) ^ ci as u64;
+                generate_ops(&spec, cfg.preload, base, per_conn, seed)
+            })
+            .collect();
+        insert_base += (cfg.conns as u64) * (per_conn as u64);
+
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for ops in &streams {
+                let stats = Arc::clone(&stats);
+                let addr = cfg.addr.as_str();
+                s.spawn(move || run_conn(addr, ops, cfg.pipeline, &stats));
+            }
+        });
+        let elapsed = started.elapsed();
+        let total_ops: usize = streams.iter().map(Vec::len).sum();
+        let thr = total_ops as f64 / elapsed.as_secs_f64();
+        let errors = stats.errors.load(Ordering::Relaxed);
+        let reconnects = stats.reconnects.load(Ordering::Relaxed);
+        eprintln!(
+            "netbench: mix={mix} ops={total_ops} elapsed={:.2}s throughput={thr:.0} ops/s errors={errors} reconnects={reconnects}",
+            elapsed.as_secs_f64()
+        );
+
+        let mut body = String::new();
+        body.push_str(&format!(
+            "{{\"mix\":\"{mix}\",\"ops\":{total_ops},\"elapsed_s\":{:.4},\"throughput_ops_s\":{thr:.1},\"errors\":{errors},\"reconnects\":{reconnects},\"latency\":{{",
+            elapsed.as_secs_f64()
+        ));
+        let mut first = true;
+        for (ki, kind) in OP_KINDS.iter().enumerate() {
+            let h = stats.hists[ki].snapshot();
+            if h.count() == 0 {
+                continue;
+            }
+            if !first {
+                body.push(',');
+            }
+            first = false;
+            json_hist(&mut body, kind, &h);
+        }
+        body.push_str("}}");
+        mix_reports.push(body);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\"bench\":\"net\",");
+    json.push_str(&format!(
+        "\"config\":{{\"addr\":\"{}\",\"conns\":{},\"pipeline\":{},\"ops_per_mix\":{},\"preload\":{}}},",
+        cfg.addr, cfg.conns, cfg.pipeline, cfg.ops, cfg.preload
+    ));
+    json.push_str("\"mixes\":[");
+    json.push_str(&mix_reports.join(","));
+    json.push_str("]}");
+    let mut f = std::fs::File::create(&cfg.out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+    f.write_all(b"\n").expect("write output");
+    eprintln!("netbench: wrote {}", cfg.out);
+
+    if cfg.shutdown {
+        let mut c = connect_retry(&cfg.addr);
+        match c.shutdown() {
+            Ok(r) if r.is_ok() => eprintln!("netbench: server shutdown requested"),
+            other => eprintln!("netbench: shutdown reply {other:?}"),
+        }
+    }
+}

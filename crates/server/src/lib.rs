@@ -1,0 +1,32 @@
+//! Network service layer for HDNH: a RESP2-subset TCP front-end.
+//!
+//! Three pieces:
+//!
+//! - [`resp`] — the wire grammar: a zero-copy incremental request
+//!   [`resp::Decoder`] (frames are byte ranges into the decoder's buffer;
+//!   partial reads and deep pipelining are first-class) plus reply
+//!   encoders.
+//! - [`server`] — a thread-per-worker TCP server sharing one
+//!   [`hdnh::Hdnh`] through its lock-free read path, with connection
+//!   limits, read/write timeouts, a pipelining budget as backpressure,
+//!   and graceful drain on `SHUTDOWN`/SIGTERM.
+//! - [`client`] — a blocking pipelining [`client::RespClient`] used by
+//!   the `netbench` load generator and the integration tests.
+//!
+//! The command vocabulary (`PING GET SET DEL EXISTS MGET MSET INFO SCRUB
+//! METRICS SHUTDOWN`) maps 1:1 onto the table's typed API; table errors
+//! come back as RESP errors with a machine-readable code prefix
+//! (`-CORRUPTION`, `-IO`, `-CAPACITY`, `-RECOVERY`, `-INTEGRITY`,
+//! `-ERR`). See DESIGN.md §12 for the full protocol contract.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod resp;
+pub mod server;
+
+pub use client::{Reply, RespClient};
+pub use resp::{Decoder, Frame, ProtoError};
+pub use server::{
+    install_signal_handlers, serve_until_signal, signaled, start, ServerConfig, ServerHandle,
+};

@@ -1,0 +1,610 @@
+//! Threaded RESP server over one shared [`Hdnh`] table.
+//!
+//! **Threading.** `threads` workers share one `TcpListener`; each worker
+//! loops `accept → serve one connection to completion`. There is no
+//! central dispatcher and no cross-worker queue — the kernel's accept
+//! queue is the load balancer, and the table itself is the only shared
+//! state (reads go through the epoch-pinned lock-free path, writes take
+//! per-slot locks, so workers never serialize on server-side locks).
+//!
+//! **Backpressure.** Three independent bounds protect the server:
+//! connection slots (`max_conns`; a connection over budget is answered
+//! `-ERR max connections` and closed), a per-frame byte budget
+//! (`max_frame`; oversized frames are a fatal protocol error), and a
+//! per-connection pipelining budget (`max_inflight`; at most that many
+//! replies accumulate in the output buffer before the server stops
+//! decoding and flushes, so a client streaming requests faster than it
+//! reads replies is eventually throttled by TCP flow control instead of
+//! growing server memory).
+//!
+//! **Shutdown.** `SHUTDOWN` (any connection) or [`ServerHandle::shutdown`]
+//! (process signal, test harness) flips one shared flag. Accept loops
+//! stop taking new connections; every live connection finishes executing
+//! the requests already received, flushes its replies, and closes. No
+//! reply that was owed for a received frame is ever dropped.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hdnh::{Hdnh, HdnhError};
+use hdnh_common::{Key, Value};
+use hdnh_obs as obs;
+
+use crate::resp::{
+    enc_array_header, enc_bulk, enc_error, enc_int, enc_nil, enc_simple, parse_u64, Decoder,
+    DEFAULT_MAX_FRAME,
+};
+
+/// How long a worker blocks in one read before re-checking the shutdown
+/// flag and the idle clock.
+const POLL: Duration = Duration::from_millis(100);
+
+/// After a drain begins, how long a connection keeps answering bytes that
+/// were already in flight before closing. Bounds how much a firehosing
+/// client can stretch shutdown.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker (accept + serve) threads.
+    pub threads: usize,
+    /// Concurrent connection budget; extra connections are rejected with
+    /// an error reply.
+    pub max_conns: usize,
+    /// Close a connection after this long with no bytes from the peer.
+    pub read_timeout: Duration,
+    /// Socket write timeout (a peer that stops reading its replies for
+    /// this long is dropped).
+    pub write_timeout: Duration,
+    /// Pipelining budget: max replies buffered before a forced flush.
+    pub max_inflight: usize,
+    /// Per-frame byte budget (see [`crate::resp::Decoder`]).
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            max_conns: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_inflight: 128,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+struct Shared {
+    table: Arc<Hdnh>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    addr: SocketAddr,
+}
+
+/// Handle to a running server: address, shutdown trigger, join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether a drain has been requested (by `SHUTDOWN` or
+    /// [`ServerHandle::shutdown`]).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain: no new connections; live connections
+    /// finish their received frames and close.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Waits for every worker to exit (drain complete).
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] + [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake workers blocked in accept(): each dummy connection unblocks one
+    // accept call, whose worker then observes the flag and exits.
+    for _ in 0..shared.cfg.threads {
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+/// Binds `addr` and starts the worker threads. The table is shared; the
+/// caller keeps its own `Arc` and may continue using it in-process.
+pub fn start<A: ToSocketAddrs>(table: Arc<Hdnh>, addr: A, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    assert!(cfg.threads >= 1, "server needs at least one worker");
+    assert!(cfg.max_inflight >= 1, "pipelining budget must be positive");
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        table,
+        cfg,
+        shutdown: AtomicBool::new(false),
+        active_conns: AtomicUsize::new(0),
+        addr: local,
+    });
+    let mut workers = Vec::with_capacity(shared.cfg.threads);
+    for i in 0..shared.cfg.threads {
+        let shared = Arc::clone(&shared);
+        let listener = listener.try_clone()?;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("hdnh-net-{i}"))
+                .spawn(move || worker_loop(&shared, &listener))?,
+        );
+    }
+    Ok(ServerHandle { shared, workers })
+}
+
+fn worker_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Connection budget: a slot is held for the connection's lifetime.
+        if shared.active_conns.fetch_add(1, Ordering::SeqCst) >= shared.cfg.max_conns {
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            obs::count(obs::Counter::NetConnRejected);
+            let mut out = Vec::new();
+            enc_error(&mut out, "ERR", "max connections reached");
+            let mut stream = stream;
+            let _ = stream.write_all(&out);
+            continue;
+        }
+        obs::count(obs::Counter::NetConnAccepted);
+        let _ = serve_conn(shared, stream);
+        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Serves one connection until EOF, timeout, fatal protocol error, or
+/// drain. Frames already received when a drain begins are always answered.
+fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
+    let mut stream = stream;
+    let mut dec = Decoder::new(shared.cfg.max_frame);
+    let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut rdbuf = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        // Drain the decoder: execute buffered frames, flushing every
+        // `max_inflight` replies so the output buffer stays bounded.
+        let mut inflight = 0usize;
+        loop {
+            match dec.next() {
+                Ok(Some(frame)) => {
+                    obs::count(obs::Counter::NetFrameDecoded);
+                    dispatch(shared, &dec, &frame, &mut out);
+                    inflight += 1;
+                    if inflight >= shared.cfg.max_inflight {
+                        flush(&mut stream, &mut out)?;
+                        inflight = 0;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    obs::count(obs::Counter::NetProtocolError);
+                    enc_error(&mut out, "ERR", &format!("protocol error: {e}"));
+                    flush(&mut stream, &mut out)?;
+                    if e.recoverable() {
+                        continue;
+                    }
+                    return Ok(()); // fatal: close with the error delivered
+                }
+            }
+        }
+        flush(&mut stream, &mut out)?;
+        dec.compact();
+
+        // Drain semantics: every received frame is answered. After the
+        // shutdown flag is seen, the connection keeps reading for a short
+        // grace window so a pipelined batch split across TCP segments
+        // still gets all its replies, then closes at the first moment of
+        // silence (or at the grace deadline).
+        if shared.shutdown.load(Ordering::SeqCst) {
+            match drain_deadline {
+                None => drain_deadline = Some(Instant::now() + DRAIN_GRACE),
+                Some(d) if Instant::now() >= d => return Ok(()),
+                Some(_) => {}
+            }
+        }
+
+        match stream.read(&mut rdbuf) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => {
+                obs::add(obs::Counter::NetBytesIn, n as u64);
+                dec.feed(&rdbuf[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if drain_deadline.is_some() {
+                    return Ok(()); // draining and the wire went quiet
+                }
+                if last_activity.elapsed() >= shared.cfg.read_timeout {
+                    return Ok(()); // idle timeout
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn flush(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
+    if !out.is_empty() {
+        stream.write_all(out)?;
+        obs::add(obs::Counter::NetBytesOut, out.len() as u64);
+        out.clear();
+    }
+    Ok(())
+}
+
+/// Maps a table error onto a typed RESP error reply.
+fn enc_hdnh_error(out: &mut Vec<u8>, e: &HdnhError) {
+    let code = match e {
+        HdnhError::Corruption { .. } => "CORRUPTION",
+        HdnhError::Capacity(_) => "CAPACITY",
+        HdnhError::Io(_) => "IO",
+        HdnhError::Recovery(_) => "RECOVERY",
+        HdnhError::Integrity { .. } => "INTEGRITY",
+        _ => "ERR",
+    };
+    enc_error(out, code, &e.to_string());
+}
+
+fn wrong_args(out: &mut Vec<u8>, cmd: &str) {
+    enc_error(out, "ERR", &format!("wrong number of arguments for '{cmd}'"));
+}
+
+/// Parses one u64 argument or encodes the canonical error.
+fn u64_arg(dec: &Decoder, frame: &crate::resp::Frame, i: usize, out: &mut Vec<u8>) -> Option<u64> {
+    match parse_u64(dec.arg(frame, i)) {
+        Some(v) => Some(v),
+        None => {
+            enc_error(out, "ERR", "value is not an unsigned integer or out of range");
+            None
+        }
+    }
+}
+
+/// Update-then-insert upsert keeping the typed error (the `HashIndex`
+/// trait's `upsert` narrows errors to the small `IndexError` vocabulary).
+fn upsert(table: &Hdnh, k: u64, v: u64) -> Result<(), HdnhError> {
+    let key = Key::from_u64(k);
+    let val = Value::from_u64(v);
+    loop {
+        match table.update(&key, &val) {
+            Ok(()) => return Ok(()),
+            Err(HdnhError::KeyNotFound) => match table.insert(&key, &val) {
+                Ok(()) => return Ok(()),
+                Err(HdnhError::DuplicateKey) => continue, // lost a race; retry update
+                Err(e) => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Executes one decoded frame, appending exactly one reply to `out`.
+fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out: &mut Vec<u8>) {
+    let started = obs::op_start();
+    let name = dec.arg(frame, 0);
+    let mut upper = [0u8; 16];
+    if name.is_empty() || name.len() > upper.len() {
+        obs::count(obs::Counter::NetUnknownCmd);
+        enc_error(out, "ERR", "unknown command");
+        return;
+    }
+    for (d, s) in upper.iter_mut().zip(name) {
+        *d = s.to_ascii_uppercase();
+    }
+    let cmd = &upper[..name.len()];
+    let table = &shared.table;
+    let netcmd = match cmd {
+        b"PING" => {
+            if frame.len() > 2 {
+                wrong_args(out, "ping");
+            } else if frame.len() == 2 {
+                enc_bulk(out, dec.arg(frame, 1));
+            } else {
+                enc_simple(out, "PONG");
+            }
+            obs::NetCmd::Ping
+        }
+        b"GET" => {
+            if frame.len() != 2 {
+                wrong_args(out, "get");
+            } else if let Some(k) = u64_arg(dec, frame, 1, out) {
+                match table.get(&Key::from_u64(k)) {
+                    Ok(Some(v)) => enc_bulk(out, v.as_u64().to_string().as_bytes()),
+                    Ok(None) => enc_nil(out),
+                    Err(e) => enc_hdnh_error(out, &e),
+                }
+            }
+            obs::NetCmd::Get
+        }
+        b"SET" => {
+            if frame.len() != 3 {
+                wrong_args(out, "set");
+            } else if let Some(k) = u64_arg(dec, frame, 1, out) {
+                if let Some(v) = u64_arg(dec, frame, 2, out) {
+                    match upsert(table, k, v) {
+                        Ok(()) => enc_simple(out, "OK"),
+                        Err(e) => enc_hdnh_error(out, &e),
+                    }
+                }
+            }
+            obs::NetCmd::Set
+        }
+        b"DEL" => {
+            if frame.len() < 2 {
+                wrong_args(out, "del");
+            } else {
+                let mut removed = 0i64;
+                let mut failed = None;
+                for i in 1..frame.len() {
+                    let Some(k) = parse_u64(dec.arg(frame, i)) else {
+                        failed = Some(());
+                        break;
+                    };
+                    match table.remove(&Key::from_u64(k)) {
+                        Ok(true) => removed += 1,
+                        Ok(false) => {}
+                        Err(e) => {
+                            enc_hdnh_error(out, &e);
+                            return finish(started, obs::NetCmd::Del);
+                        }
+                    }
+                }
+                if failed.is_some() {
+                    enc_error(out, "ERR", "value is not an unsigned integer or out of range");
+                } else {
+                    enc_int(out, removed);
+                }
+            }
+            obs::NetCmd::Del
+        }
+        b"EXISTS" => {
+            if frame.len() < 2 {
+                wrong_args(out, "exists");
+            } else {
+                let mut found = 0i64;
+                let mut bad = false;
+                for i in 1..frame.len() {
+                    let Some(k) = parse_u64(dec.arg(frame, i)) else {
+                        bad = true;
+                        break;
+                    };
+                    if matches!(table.get(&Key::from_u64(k)), Ok(Some(_))) {
+                        found += 1;
+                    }
+                }
+                if bad {
+                    enc_error(out, "ERR", "value is not an unsigned integer or out of range");
+                } else {
+                    enc_int(out, found);
+                }
+            }
+            obs::NetCmd::Exists
+        }
+        b"MGET" => {
+            if frame.len() < 2 {
+                wrong_args(out, "mget");
+            } else {
+                // Parse every key before emitting the array header so a bad
+                // key yields one error reply, not a torn array.
+                let mut keys = Vec::with_capacity(frame.len() - 1);
+                let mut bad = false;
+                for i in 1..frame.len() {
+                    match parse_u64(dec.arg(frame, i)) {
+                        Some(k) => keys.push(k),
+                        None => {
+                            bad = true;
+                            break;
+                        }
+                    }
+                }
+                if bad {
+                    enc_error(out, "ERR", "value is not an unsigned integer or out of range");
+                } else {
+                    enc_array_header(out, keys.len());
+                    for k in keys {
+                        match table.get(&Key::from_u64(k)) {
+                            Ok(Some(v)) => enc_bulk(out, v.as_u64().to_string().as_bytes()),
+                            // Per-element nil for misses *and* per-element
+                            // failures: the array shape must match the ask.
+                            _ => enc_nil(out),
+                        }
+                    }
+                }
+            }
+            obs::NetCmd::MGet
+        }
+        b"MSET" => {
+            if frame.len() < 3 || frame.len().is_multiple_of(2) {
+                wrong_args(out, "mset");
+            } else {
+                let mut err = None;
+                for i in (1..frame.len()).step_by(2) {
+                    let (Some(k), Some(v)) =
+                        (parse_u64(dec.arg(frame, i)), parse_u64(dec.arg(frame, i + 1)))
+                    else {
+                        enc_error(out, "ERR", "value is not an unsigned integer or out of range");
+                        return finish(started, obs::NetCmd::MSet);
+                    };
+                    if let Err(e) = upsert(table, k, v) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+                match err {
+                    None => enc_simple(out, "OK"),
+                    Some(e) => enc_hdnh_error(out, &e),
+                }
+            }
+            obs::NetCmd::MSet
+        }
+        b"INFO" => {
+            if frame.len() != 1 {
+                wrong_args(out, "info");
+            } else {
+                let s = format!(
+                    "records:{}\r\nload_factor:{:.3}\r\nresizes:{}\r\nocf_bytes:{}\r\nconnections:{}\r\nmax_connections:{}\r\nworkers:{}\r\nshutting_down:{}\r\n",
+                    table.len(),
+                    table.load_factor(),
+                    table.resize_count(),
+                    table.ocf_footprint_bytes(),
+                    shared.active_conns.load(Ordering::SeqCst),
+                    shared.cfg.max_conns,
+                    shared.cfg.threads,
+                    shared.shutdown.load(Ordering::SeqCst) as u8,
+                );
+                enc_bulk(out, s.as_bytes());
+            }
+            obs::NetCmd::Info
+        }
+        b"SCRUB" => {
+            if frame.len() != 1 {
+                wrong_args(out, "scrub");
+            } else {
+                enc_bulk(out, table.scrub().to_json().as_bytes());
+            }
+            obs::NetCmd::Scrub
+        }
+        b"METRICS" => {
+            let mode = if frame.len() >= 2 {
+                let mut m = [0u8; 8];
+                let a = dec.arg(frame, 1);
+                if a.len() > m.len() {
+                    enc_error(out, "ERR", "METRICS takes JSON or PROM");
+                    return finish(started, obs::NetCmd::Metrics);
+                }
+                for (d, s) in m.iter_mut().zip(a) {
+                    *d = s.to_ascii_uppercase();
+                }
+                match &m[..a.len()] {
+                    b"JSON" => 0u8,
+                    b"PROM" => 1,
+                    _ => {
+                        enc_error(out, "ERR", "METRICS takes JSON or PROM");
+                        return finish(started, obs::NetCmd::Metrics);
+                    }
+                }
+            } else {
+                0
+            };
+            let snap = obs::snapshot();
+            let body = if mode == 0 { snap.to_json() } else { snap.to_prometheus() };
+            enc_bulk(out, body.as_bytes());
+            obs::NetCmd::Metrics
+        }
+        b"SHUTDOWN" => {
+            enc_simple(out, "OK");
+            begin_shutdown(shared);
+            obs::NetCmd::Shutdown
+        }
+        _ => {
+            obs::count(obs::Counter::NetUnknownCmd);
+            enc_error(
+                out,
+                "ERR",
+                &format!("unknown command '{}'", String::from_utf8_lossy(name)),
+            );
+            return;
+        }
+    };
+    finish(started, netcmd)
+}
+
+#[inline]
+fn finish(started: Option<Instant>, cmd: obs::NetCmd) {
+    obs::net_record(cmd, started);
+}
+
+// ---------------------------------------------------------------------------
+// Process signal integration (SIGTERM/SIGINT → graceful drain)
+// ---------------------------------------------------------------------------
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: std::os::raw::c_int) {
+    // Only an atomic store: async-signal-safe by construction.
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that set a process-wide drain flag
+/// (poll it with [`signaled`]). No-op off Unix.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(
+                signum: std::os::raw::c_int,
+                handler: extern "C" fn(std::os::raw::c_int),
+            ) -> usize;
+        }
+        const SIGINT: std::os::raw::c_int = 2;
+        const SIGTERM: std::os::raw::c_int = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Whether a termination signal arrived since
+/// [`install_signal_handlers`].
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Runs the server until `SHUTDOWN` or a termination signal, then drains
+/// and returns. The convenience wrapper behind `hdnh-cli serve`.
+pub fn serve_until_signal(handle: ServerHandle) {
+    install_signal_handlers();
+    while !handle.is_shutting_down() && !signaled() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown_and_join();
+}

@@ -12,6 +12,7 @@ use hdnh::{Hdnh, HdnhParams};
 use hdnh_common::hash::KeyHashes;
 use hdnh_common::HashIndex;
 use hdnh_obs as obs;
+use hdnh_server::{RespClient, ServerConfig};
 use hdnh_ycsb::{generate_ops, KeySpace, Op, WorkloadSpec};
 
 static TEST_LOCK: Mutex<()> = Mutex::new(());
@@ -156,4 +157,69 @@ fn ycsb_a_histogram_population_equals_op_count() {
             assert!(h.max() >= h.quantile(0.99), "{:?} max vs p99", kind);
         }
     }
+}
+
+#[test]
+fn net_frames_decoded_match_commands_executed() {
+    let _g = lock();
+    obs::set_enabled(true);
+    let table = std::sync::Arc::new(Hdnh::new(HdnhParams::for_capacity(4_000)));
+    let handle = hdnh_server::start(table, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+
+    let m0 = obs::snapshot();
+    let mut c = RespClient::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+
+    // A known command script: every request is one frame, and every frame
+    // is either a recognized command (lands in exactly one per-command
+    // histogram) or an unknown one (lands in the unknown counter).
+    let sets = 40u64;
+    let gets = 25u64;
+    let unknowns = 3u64;
+    for i in 0..sets {
+        assert_eq!(c.set(i, i * 2).unwrap(), Ok(()));
+    }
+    for i in 0..gets {
+        assert_eq!(c.get(i).unwrap(), Some(i * 2));
+    }
+    for _ in 0..unknowns {
+        assert!(matches!(
+            c.call(&[b"NOSUCH", b"1"]).unwrap(),
+            hdnh_server::Reply::Error(_)
+        ));
+    }
+    assert!(c.del(0).unwrap());
+    assert!(c.exists(1).unwrap());
+    assert_eq!(c.mget(&[1, 2, 999_999]).unwrap().len(), 3);
+    assert!(c.ping().unwrap());
+    drop(c);
+    handle.shutdown_and_join();
+
+    let dm = obs::snapshot().since(&m0);
+
+    // Ground truth: frames decoded = recognized commands (one histogram
+    // record each) + unknown commands.
+    let frames = dm.counter(obs::Counter::NetFrameDecoded);
+    let executed = dm.total_net_cmds();
+    let unknown = dm.counter(obs::Counter::NetUnknownCmd);
+    assert_eq!(frames, executed + unknown, "frame accounting must balance");
+    assert_eq!(unknown, unknowns);
+    assert_eq!(dm.net(obs::NetCmd::Set).count(), sets);
+    assert_eq!(dm.net(obs::NetCmd::Get).count(), gets);
+    assert_eq!(dm.net(obs::NetCmd::Del).count(), 1);
+    assert_eq!(dm.net(obs::NetCmd::Exists).count(), 1);
+    assert_eq!(dm.net(obs::NetCmd::MGet).count(), 1);
+    assert_eq!(dm.net(obs::NetCmd::Ping).count(), 1);
+    assert_eq!(dm.net(obs::NetCmd::Shutdown).count(), 0, "shutdown came via the handle");
+
+    // The wire moved real bytes in both directions, and the server-side
+    // command execution rode the table's own op histograms too.
+    assert!(dm.counter(obs::Counter::NetBytesIn) > 0);
+    assert!(dm.counter(obs::Counter::NetBytesOut) > 0);
+    assert_eq!(dm.counter(obs::Counter::NetConnAccepted), 1);
+    assert_eq!(dm.counter(obs::Counter::NetConnRejected), 0);
+    assert_eq!(dm.counter(obs::Counter::NetProtocolError), 0);
+    assert!(dm.op(obs::OpKind::Get).count() >= gets, "GETs hit the table path");
 }
