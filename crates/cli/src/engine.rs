@@ -22,6 +22,9 @@ pub struct EngineConfig {
     pub latency: bool,
     /// Initial capacity hint in records.
     pub capacity: usize,
+    /// Pool directory for the file-backed persistent backend (`--pool`).
+    /// `None` keeps the default heap simulator.
+    pub pool: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -30,6 +33,7 @@ impl Default for EngineConfig {
             strict: false,
             latency: false,
             capacity: 10_000,
+            pool: None,
         }
     }
 }
@@ -45,6 +49,12 @@ pub struct Engine {
     stats_base: StatsSnapshot,
     /// Baseline for `metrics delta` (moved by `metrics reset`).
     metrics_base: obs::MetricsSnapshot,
+    /// Whether the table is backed by a pool directory (`quit` must then
+    /// close the pool to mark it clean).
+    pool_backed: bool,
+    /// One-line description of how the pool was opened, for the shell to
+    /// print at startup.
+    open_banner: Option<String>,
 }
 
 /// Outcome of executing one command.
@@ -61,8 +71,20 @@ pub enum Outcome {
 }
 
 impl Engine {
-    /// Builds an engine with a fresh table.
+    /// Builds an engine with a fresh table. Panics on pool-open failure;
+    /// fallible construction is [`Engine::try_new`].
     pub fn new(config: EngineConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("engine construction failed: {e}"))
+    }
+
+    /// Builds an engine, surfacing configuration and pool-open problems as
+    /// typed errors (the binary prints them and exits nonzero).
+    pub fn try_new(config: EngineConfig) -> Result<Self, HdnhError> {
+        if config.strict && config.pool.is_some() {
+            return Err(HdnhError::Config(
+                "--strict simulates shadow media and cannot be combined with --pool".into(),
+            ));
+        }
         let nvm = if config.strict {
             NvmOptions::strict()
         } else if config.latency {
@@ -74,18 +96,56 @@ impl Engine {
             .capacity(config.capacity)
             .nvm(nvm)
             .build()
-            .expect("engine defaults are valid");
+            .map_err(|e| HdnhError::Config(e.to_string()))?;
         // The shell is an observability surface: the registry is always on
         // here (library users opt in via `hdnh_obs::set_enabled`).
         obs::set_enabled(true);
-        Engine {
-            table: Some(Hdnh::new(params.clone())),
+        let (table, open_banner) = match &config.pool {
+            None => (Hdnh::new(params.clone()), None),
+            Some(dir) => {
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2);
+                let (table, report) =
+                    Hdnh::open_pool(params.clone(), std::path::Path::new(dir), threads)?;
+                let banner = if report.created {
+                    format!("created pool {dir} (layout epoch {})", report.layout_epoch)
+                } else {
+                    format!(
+                        "opened pool {dir}: {} records, layout epoch {}, {}{}",
+                        table.len(),
+                        report.layout_epoch,
+                        if report.was_clean {
+                            "clean shutdown"
+                        } else {
+                            "recovered after unclean shutdown"
+                        },
+                        if report.removed_orphans > 0 {
+                            format!(", {} orphan file(s) removed", report.removed_orphans)
+                        } else {
+                            String::new()
+                        },
+                    )
+                };
+                (table, Some(banner))
+            }
+        };
+        Ok(Engine {
+            table: Some(table),
             params,
             ks: KeySpace::default(),
             next_fill_id: 0,
             stats_base: StatsSnapshot::default(),
             metrics_base: obs::MetricsSnapshot::empty(),
-        }
+            pool_backed: config.pool.is_some(),
+            open_banner,
+        })
+    }
+
+    /// One-line description of how the pool was opened (pool-backed engines
+    /// only); the shell prints it at startup.
+    pub fn open_banner(&self) -> Option<&str> {
+        self.open_banner.as_deref()
     }
 
     /// The live table, as a typed error instead of a panic when a prior
@@ -329,7 +389,17 @@ impl Engine {
                 )))
             }
             Command::Help => Ok(Outcome::Text(HELP.to_string())),
-            Command::Quit => Ok(Outcome::Quit),
+            Command::Quit => {
+                if self.pool_backed {
+                    // A clean quit must mark the pool clean-shutdown; a
+                    // failed close leaves it dirty (next open recovers) and
+                    // the shell exits nonzero.
+                    if let Some(table) = self.table.take() {
+                        table.close_pool()?;
+                    }
+                }
+                Ok(Outcome::Quit)
+            }
         }
     }
 
@@ -677,6 +747,44 @@ mod tests {
     fn quit_propagates() {
         let mut e = Engine::new(EngineConfig::default());
         assert_eq!(e.execute(Command::Quit), Outcome::Quit);
+    }
+
+    #[test]
+    fn strict_plus_pool_is_rejected() {
+        let cfg = EngineConfig {
+            strict: true,
+            pool: Some("/tmp/never-created".into()),
+            ..Default::default()
+        };
+        let err = Engine::try_new(cfg).err().expect("strict+pool must be rejected");
+        match err {
+            HdnhError::Config(msg) => assert!(msg.contains("--pool"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pool_backed_engine_persists_across_quit() {
+        let dir = std::env::temp_dir().join(format!("hdnh-cli-engine-pool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = EngineConfig {
+            pool: Some(dir.to_str().unwrap().to_string()),
+            capacity: 4_000,
+            ..Default::default()
+        };
+        let mut e = Engine::try_new(cfg.clone()).unwrap();
+        let banner = e.open_banner().unwrap().to_string();
+        assert!(banner.starts_with("created pool"), "{banner}");
+        assert_eq!(run(&mut e, "insert 7 77"), "ok");
+        assert_eq!(e.execute(Command::Quit), Outcome::Quit);
+
+        let mut e = Engine::try_new(cfg).unwrap();
+        let banner = e.open_banner().unwrap().to_string();
+        assert!(banner.contains("clean shutdown"), "{banner}");
+        assert_eq!(run(&mut e, "get 7"), "77");
+        assert_eq!(e.execute(Command::Quit), Outcome::Quit);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `hdnh-cli` — interactive/scriptable shell for an HDNH table.
 //!
 //! ```text
-//! hdnh-cli [--strict] [--latency] [--capacity N]
-//! hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]
+//! hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR]
+//! hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR]
 //! ```
 //!
 //! Without a subcommand, reads shell commands from stdin (one per line;
@@ -11,6 +11,12 @@
 //!
 //! `serve` runs the RESP network front-end from `hdnh-server` over a fresh
 //! table until `SHUTDOWN` or SIGTERM/SIGINT, then drains and exits 0.
+//!
+//! `--pool DIR` swaps the heap simulator for the mmap-backed pool-file
+//! backend: the table lives in `DIR` and survives process restarts,
+//! including `kill -9`. A `quit` (shell) or drained signal (serve) marks
+//! the pool clean; anything else leaves it dirty and the next open runs
+//! recovery.
 //!
 //! Exit status: 0 when every command succeeded; 1 when any command reported
 //! a failure (`verify` violation, `scrub` detection, failing `faultrun`
@@ -41,9 +47,15 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--pool" => {
+                config.pool = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--pool needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                println!("hdnh-cli [--strict] [--latency] [--capacity N]");
-                println!("hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]");
+                println!("hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR]");
+                println!("hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR]");
                 println!("{}", hdnh_cli::command::HELP);
                 return;
             }
@@ -54,7 +66,13 @@ fn main() {
         }
     }
 
-    let mut engine = Engine::new(config);
+    let mut engine = Engine::try_new(config).unwrap_or_else(|e| {
+        eprintln!("cannot start: {e}");
+        std::process::exit(1);
+    });
+    if let Some(banner) = engine.open_banner() {
+        println!("{banner}");
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let interactive = atty_stdin();
@@ -110,16 +128,19 @@ fn atty_stdin() -> bool {
     std::env::var("HDNH_CLI_BATCH").is_err()
 }
 
-/// `serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]` —
-/// RESP front-end over a fresh table; blocks until drain, then exits 0.
+/// `serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]
+/// [--pool DIR]` — RESP front-end; blocks until drain, then exits 0.
+/// With `--pool` the table is file-backed: the pool is opened (running
+/// recovery if the last run died) and marked clean after the drain.
 fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
     let Some(addr) = args.next().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]");
+        eprintln!("usage: hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR]");
         std::process::exit(2);
     };
     let mut cfg = hdnh_server::ServerConfig::default();
     let mut capacity = 100_000usize;
     let mut fill = 0u64;
+    let mut pool: Option<String> = None;
     while let Some(flag) = args.next() {
         let val = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
             args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -132,6 +153,12 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
             "--max-conns" => cfg.max_conns = val(&mut args, "--max-conns").max(1) as usize,
             "--capacity" => capacity = val(&mut args, "--capacity").max(1) as usize,
             "--fill" => fill = val(&mut args, "--fill"),
+            "--pool" => {
+                pool = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--pool needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown serve flag '{other}'");
                 std::process::exit(2);
@@ -147,12 +174,45 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
             std::process::exit(2);
         });
     hdnh_obs::set_enabled(true);
-    let table = std::sync::Arc::new(hdnh::Hdnh::new(params));
+    let table = match &pool {
+        None => hdnh::Hdnh::new(params),
+        Some(dir) => {
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+            match hdnh::Hdnh::open_pool(params, std::path::Path::new(dir), threads) {
+                Ok((table, report)) => {
+                    if report.created {
+                        println!("created pool {dir}");
+                    } else {
+                        println!(
+                            "opened pool {dir}: {} records, {}",
+                            table.len(),
+                            if report.was_clean {
+                                "clean shutdown"
+                            } else {
+                                "recovered after unclean shutdown"
+                            }
+                        );
+                    }
+                    table
+                }
+                Err(e) => {
+                    eprintln!("cannot open pool {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+    let table = std::sync::Arc::new(table);
     for id in 0..fill {
         use hdnh_common::{Key, Value};
-        if let Err(e) = table.insert(&Key::from_u64(id), &Value::from_u64(id)) {
-            eprintln!("prefill failed at id {id}: {e}");
-            std::process::exit(1);
+        match table.insert(&Key::from_u64(id), &Value::from_u64(id)) {
+            Ok(()) => {}
+            // A reopened pool may already hold the prefill range.
+            Err(hdnh::HdnhError::DuplicateKey) if pool.is_some() => {}
+            Err(e) => {
+                eprintln!("prefill failed at id {id}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     match hdnh_server::start(std::sync::Arc::clone(&table), addr.as_str(), cfg) {
@@ -161,6 +221,23 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
             println!("hdnh-server listening on {}", handle.local_addr());
             let _ = std::io::stdout().flush();
             hdnh_server::serve_until_signal(handle);
+            if pool.is_some() {
+                // All workers have joined; ours is the last table handle.
+                // Marking the pool clean lets the next open skip recovery.
+                match std::sync::Arc::try_unwrap(table) {
+                    Ok(t) => {
+                        if let Err(e) = t.close_pool() {
+                            eprintln!("pool close failed: {e}");
+                            std::process::exit(1);
+                        }
+                        println!("pool marked clean");
+                    }
+                    Err(_) => {
+                        eprintln!("pool close failed: table still shared after drain");
+                        std::process::exit(1);
+                    }
+                }
+            }
             println!("hdnh-server drained, exiting");
             std::process::exit(0);
         }

@@ -115,6 +115,14 @@ impl fmt::Display for HdnhError {
 
 impl std::error::Error for HdnhError {}
 
+impl From<hdnh_nvm::NvmIoError> for HdnhError {
+    /// A file-backend failure (mmap/msync/ftruncate/…) with its path and
+    /// operation context.
+    fn from(e: hdnh_nvm::NvmIoError) -> Self {
+        HdnhError::Io(e.to_string())
+    }
+}
+
 impl From<IndexError> for HdnhError {
     /// Maps the per-operation vocabulary onto the system taxonomy.
     fn from(e: IndexError) -> Self {

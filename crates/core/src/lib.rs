@@ -51,6 +51,7 @@ pub mod meta;
 pub mod nvtable;
 pub mod ocf;
 pub mod params;
+pub mod pool;
 pub mod recovery;
 pub mod sync;
 pub mod table;
@@ -59,5 +60,6 @@ pub use error::{CorruptionOutcome, HdnhError};
 pub use faultexplore::{ExploreConfig, ExploreReport, FaultCaseResult, OpMix};
 pub use hot::HotTable;
 pub use params::{HdnhParams, HdnhParamsBuilder, HotPolicy, SyncMode};
+pub use pool::{PoolOpenReport, Superblock, SUPERBLOCK_FILE};
 pub use recovery::{PersistentPool, RecoveryTiming};
 pub use table::{Hdnh, InvariantReport, ScrubReport};

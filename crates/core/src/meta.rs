@@ -62,14 +62,27 @@ pub struct Meta {
 }
 
 impl Meta {
-    /// Formats a fresh metadata block.
+    /// Formats a fresh metadata block. Panics on backend allocation
+    /// failure; fallible construction is [`Meta::try_create`].
     pub fn create(
         opts: &NvmOptions,
         top_segments: usize,
         bottom_segments: usize,
         segment_bytes: usize,
     ) -> Self {
-        let region = Arc::new(NvmRegion::new(META_BYTES, opts.clone()));
+        Self::try_create(opts, top_segments, bottom_segments, segment_bytes)
+            .unwrap_or_else(|e| panic!("meta allocation failed: {e}"))
+    }
+
+    /// Formats a fresh metadata block, surfacing backend (pool-file)
+    /// failures as [`HdnhError::Io`](crate::HdnhError::Io).
+    pub fn try_create(
+        opts: &NvmOptions,
+        top_segments: usize,
+        bottom_segments: usize,
+        segment_bytes: usize,
+    ) -> Result<Self, crate::HdnhError> {
+        let region = Arc::new(NvmRegion::alloc(META_BYTES, opts, "meta")?);
         let m = Meta { region };
         m.store(OFF_STATE, ResizeState::Stable.to_u64());
         m.store(OFF_TOP_SEGMENTS, top_segments as u64);
@@ -79,7 +92,7 @@ impl Meta {
         m.store(OFF_SEGMENT_BYTES, segment_bytes as u64);
         // Magic last: a pool is valid only once fully formatted.
         m.store(OFF_MAGIC, MAGIC);
-        m
+        Ok(m)
     }
 
     /// Adopts an existing metadata region (recovery).

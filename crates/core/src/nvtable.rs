@@ -139,15 +139,28 @@ pub struct Level {
 
 impl Level {
     /// Allocates a zeroed level of `n_segments × buckets_per_segment`
-    /// buckets.
+    /// buckets. Panics on backend allocation failure; fallible
+    /// construction is [`Level::try_new`].
     pub fn new(n_segments: usize, buckets_per_segment: usize, opts: &NvmOptions) -> Self {
+        Self::try_new(n_segments, buckets_per_segment, opts)
+            .unwrap_or_else(|e| panic!("level allocation failed: {e}"))
+    }
+
+    /// Allocates a zeroed level, surfacing backend (pool-file) failures as
+    /// [`HdnhError::Io`](crate::HdnhError::Io) instead of panicking.
+    pub fn try_new(
+        n_segments: usize,
+        buckets_per_segment: usize,
+        opts: &NvmOptions,
+    ) -> Result<Self, crate::HdnhError> {
         assert!(n_segments.is_power_of_two() && buckets_per_segment.is_power_of_two());
         let bytes = n_segments * buckets_per_segment * BUCKET_BYTES;
-        Level {
-            region: Arc::new(NvmRegion::new(bytes, opts.clone())),
+        let region = NvmRegion::alloc(bytes, opts, "seg")?;
+        Ok(Level {
+            region: Arc::new(region),
             n_segments,
             buckets_per_segment,
-        }
+        })
     }
 
     /// Re-adopts an existing region (recovery).

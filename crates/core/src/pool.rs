@@ -1,0 +1,480 @@
+//! Pool-file lifecycle: superblock, open-or-recover, clean shutdown.
+//!
+//! A pool directory (see [`hdnh_nvm::PoolDir`]) holds the store's
+//! persistent regions as `MAP_SHARED` files plus one 64-byte `superblock`
+//! that this module owns. The superblock is the *outer* integrity layer:
+//! it names the format (magic + version), pins the geometry
+//! (`segment_bytes`), counts open generations (`layout_epoch`), records
+//! whether the last process detached cleanly, and carries a CRC over the
+//! whole block so any torn or bit-flipped header is detected before a
+//! single region byte is trusted.
+//!
+//! Open protocol ([`Hdnh::open_pool`]):
+//! 1. validate the superblock (typed errors, never a panic);
+//! 2. mark the pool **dirty** (epoch+1) *before* mapping any region — if
+//!    this process dies, the next open knows recovery is required;
+//! 3. classify the `seg-*.dat` files into top/bottom/new-top **by size
+//!    alone** (levels double every resize, so sizes are distinct);
+//! 4. run the ordinary recovery path (resize resume + checksum-verified
+//!    rebuild) — a clean previous shutdown makes this a pure rebuild;
+//! 5. sweep orphan files left by a crash inside a resize window.
+//!
+//! Close protocol ([`Hdnh::close_pool`]): refuse if a flush fault is
+//! pending, `msync(MS_SYNC)`+`fsync` every region, then — and only then —
+//! rewrite the superblock with the clean flag set.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hdnh_nvm::{Backend, NvmRegion, PoolDir};
+
+use crate::meta::{self, META_BYTES};
+use crate::params::HdnhParams;
+use crate::recovery::{PersistentPool, RecoveryTiming};
+use crate::{Hdnh, HdnhError};
+
+/// Filename of the pool superblock inside a pool directory.
+pub const SUPERBLOCK_FILE: &str = "superblock";
+
+/// Superblock magic: "HDNHPOOL" as ASCII bytes, read as little-endian.
+pub const SUPERBLOCK_MAGIC: u64 = u64::from_le_bytes(*b"HDNHPOOL");
+
+/// Superblock format version this build reads and writes.
+pub const SUPERBLOCK_VERSION: u32 = 1;
+
+/// Encoded superblock size on disk.
+pub const SUPERBLOCK_BYTES: usize = 64;
+
+const FLAG_CLEAN: u32 = 1;
+
+/// Decoded pool superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Format version (currently always [`SUPERBLOCK_VERSION`]).
+    pub version: u32,
+    /// Whether the previous holder detached through the clean-shutdown
+    /// path (all regions synced, nothing in flight).
+    pub clean: bool,
+    /// The pool's segment size in bytes; must match the opener's params.
+    pub segment_bytes: u64,
+    /// Incremented on every dirty open; a monotone "generation" counter
+    /// for diagnostics and log correlation.
+    pub layout_epoch: u64,
+}
+
+impl Superblock {
+    /// Serializes to the on-disk layout:
+    /// `magic u64 | version u32 | flags u32 | segment_bytes u64 |
+    /// layout_epoch u64 | reserved [u8; 28] | crc32 u32`, all
+    /// little-endian, CRC computed over the whole block with the CRC
+    /// field zeroed.
+    pub fn encode(&self) -> [u8; SUPERBLOCK_BYTES] {
+        let mut b = [0u8; SUPERBLOCK_BYTES];
+        b[0..8].copy_from_slice(&SUPERBLOCK_MAGIC.to_le_bytes());
+        b[8..12].copy_from_slice(&self.version.to_le_bytes());
+        let flags: u32 = if self.clean { FLAG_CLEAN } else { 0 };
+        b[12..16].copy_from_slice(&flags.to_le_bytes());
+        b[16..24].copy_from_slice(&self.segment_bytes.to_le_bytes());
+        b[24..32].copy_from_slice(&self.layout_epoch.to_le_bytes());
+        let crc = crc32(&b[..SUPERBLOCK_BYTES - 4]);
+        b[60..64].copy_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Parses and validates an on-disk superblock. Every failure mode is
+    /// a typed [`HdnhError::Recovery`] — truncation, wrong magic, any
+    /// bit flip (caught by the CRC), unsupported version.
+    pub fn decode(bytes: &[u8]) -> Result<Superblock, HdnhError> {
+        if bytes.len() != SUPERBLOCK_BYTES {
+            return Err(HdnhError::Recovery(format!(
+                "superblock is {} bytes, expected {SUPERBLOCK_BYTES} (truncated?)",
+                bytes.len()
+            )));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[60..64].try_into().unwrap());
+        let actual_crc = crc32(&bytes[..SUPERBLOCK_BYTES - 4]);
+        if stored_crc != actual_crc {
+            return Err(HdnhError::Recovery(format!(
+                "superblock CRC mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            )));
+        }
+        let magic = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        if magic != SUPERBLOCK_MAGIC {
+            return Err(HdnhError::Recovery(format!(
+                "not an HDNH pool superblock (magic {magic:#018x})"
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SUPERBLOCK_VERSION {
+            return Err(HdnhError::Recovery(format!(
+                "unsupported superblock version {version} (this build reads {SUPERBLOCK_VERSION})"
+            )));
+        }
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        Ok(Superblock {
+            version,
+            clean: flags & FLAG_CLEAN != 0,
+            segment_bytes: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+            layout_epoch: u64::from_le_bytes(bytes[24..32].try_into().unwrap()),
+        })
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), bitwise — this
+/// runs on 60 bytes at open/close, a table buys nothing.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (!(crc & 1)).wrapping_add(1));
+        }
+    }
+    !crc
+}
+
+fn read_superblock(dir: &Path) -> Result<Superblock, HdnhError> {
+    let path = dir.join(SUPERBLOCK_FILE);
+    let bytes = fs::read(&path)
+        .map_err(|e| HdnhError::Io(format!("read {}: {e}", path.display())))?;
+    Superblock::decode(&bytes)
+}
+
+/// Crash-safe superblock replacement: write a temp file, fsync it,
+/// rename over the live name, fsync the directory. A kill at any point
+/// leaves either the old or the new (complete, CRC-valid) block.
+fn write_superblock(dir: &Path, sb: &Superblock) -> Result<(), HdnhError> {
+    let tmp = dir.join("superblock.tmp");
+    let live = dir.join(SUPERBLOCK_FILE);
+    let io = |op: &str, p: &Path, e: std::io::Error| {
+        HdnhError::Io(format!("{op} {}: {e}", p.display()))
+    };
+    fs::write(&tmp, sb.encode()).map_err(|e| io("write", &tmp, e))?;
+    let f = fs::File::open(&tmp).map_err(|e| io("open", &tmp, e))?;
+    f.sync_all().map_err(|e| io("fsync", &tmp, e))?;
+    fs::rename(&tmp, &live).map_err(|e| io("rename", &tmp, e))?;
+    #[cfg(unix)]
+    {
+        let d = fs::File::open(dir).map_err(|e| io("open", dir, e))?;
+        d.sync_all().map_err(|e| io("fsync", dir, e))?;
+    }
+    Ok(())
+}
+
+/// What [`Hdnh::open_pool`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOpenReport {
+    /// `true` when the directory held no pool and one was created.
+    pub created: bool,
+    /// `true` when the previous holder shut down cleanly (recovery was a
+    /// pure rebuild). Always `false` for a created pool.
+    pub was_clean: bool,
+    /// Timing of the recovery scan (zeroed for a created pool).
+    pub recovery: RecoveryTiming,
+    /// Orphan region files removed after recovery (left by a process
+    /// killed inside a resize window).
+    pub removed_orphans: usize,
+    /// The pool's open generation after this open.
+    pub layout_epoch: u64,
+}
+
+impl Hdnh {
+    /// Opens (or creates) a file-backed pool at `dir` and returns the
+    /// live table plus a report of what happened.
+    ///
+    /// `params.nvm` must be non-strict and heap-backed on entry (the pool
+    /// backend is injected here); strict mode is rejected with
+    /// [`HdnhError::Config`] because the shadow-media crash model
+    /// simulates losses a mapped file does not have. A corrupt or
+    /// truncated superblock, geometry mismatch, or unclassifiable region
+    /// file set fails with a typed error — never a panic, and never by
+    /// silently reformatting.
+    pub fn open_pool(
+        mut params: HdnhParams,
+        dir: &Path,
+        threads: usize,
+    ) -> Result<(Hdnh, PoolOpenReport), HdnhError> {
+        if params.nvm.strict {
+            return Err(HdnhError::Config(
+                "strict (shadow-media) mode requires the heap backend; \
+                 a pool cannot be opened strict"
+                    .into(),
+            ));
+        }
+        let sb_path = dir.join(SUPERBLOCK_FILE);
+        let meta_path = dir.join(hdnh_nvm::META_FILE);
+        if !sb_path.exists() {
+            if meta_path.exists() {
+                return Err(HdnhError::Recovery(format!(
+                    "{} has region files but no superblock (interrupted creation?); \
+                     refusing to guess — remove the directory to start over",
+                    dir.display()
+                )));
+            }
+            return Self::create_pool(params, dir);
+        }
+
+        // ---- validate the superblock before trusting anything else ----
+        let sb = read_superblock(dir)?;
+        if sb.segment_bytes != params.segment_bytes as u64 {
+            return Err(HdnhError::Recovery(format!(
+                "pool was formatted with segment_bytes={} but params say {}",
+                sb.segment_bytes, params.segment_bytes
+            )));
+        }
+        let pool = Arc::new(PoolDir::open(dir).map_err(HdnhError::from)?);
+        params.nvm.backend = Backend::Pool(Arc::clone(&pool));
+
+        // ---- pre-validate the meta block (typed errors, not asserts) ----
+        let meta_md = fs::metadata(&meta_path)
+            .map_err(|e| HdnhError::Io(format!("stat {}: {e}", meta_path.display())))?;
+        if meta_md.len() != META_BYTES as u64 {
+            return Err(HdnhError::Recovery(format!(
+                "meta block is {} bytes, expected {META_BYTES}",
+                meta_md.len()
+            )));
+        }
+        let mut head = [0u8; 56];
+        {
+            use std::io::Read;
+            let mut f = fs::File::open(&meta_path)
+                .map_err(|e| HdnhError::Io(format!("open {}: {e}", meta_path.display())))?;
+            f.read_exact(&mut head)
+                .map_err(|e| HdnhError::Io(format!("read {}: {e}", meta_path.display())))?;
+        }
+        let magic = u64::from_le_bytes(head[0..8].try_into().unwrap());
+        if magic != meta::MAGIC {
+            return Err(HdnhError::Recovery(format!(
+                "meta block is not an HDNH pool (magic {magic:#018x})"
+            )));
+        }
+        let meta_seg_bytes = u64::from_le_bytes(head[48..56].try_into().unwrap());
+        if meta_seg_bytes != params.segment_bytes as u64 {
+            return Err(HdnhError::Recovery(format!(
+                "meta block says segment_bytes={meta_seg_bytes} but params say {}",
+                params.segment_bytes
+            )));
+        }
+
+        // ---- mark dirty BEFORE mapping regions ----
+        let epoch = sb.layout_epoch + 1;
+        write_superblock(
+            dir,
+            &Superblock {
+                version: SUPERBLOCK_VERSION,
+                clean: false,
+                segment_bytes: sb.segment_bytes,
+                layout_epoch: epoch,
+            },
+        )?;
+
+        // ---- map the regions and classify them by size ----
+        let meta_region = Arc::new(
+            NvmRegion::open_file(&meta_path, &params.nvm).map_err(HdnhError::from)?,
+        );
+        // Geometry words straight from the (magic-checked) meta block.
+        let state = u64::from_le_bytes(head[8..16].try_into().unwrap());
+        let top_segments = u64::from_le_bytes(head[16..24].try_into().unwrap()) as usize;
+        let bottom_segments = u64::from_le_bytes(head[24..32].try_into().unwrap()) as usize;
+        let new_top_segments = u64::from_le_bytes(head[40..48].try_into().unwrap()) as usize;
+        let stable = state == 1;
+        if sb.clean && !stable {
+            return Err(HdnhError::Recovery(format!(
+                "superblock says clean shutdown but the resize state machine reads {state}"
+            )));
+        }
+        let seg_bytes = params.segment_bytes as u64;
+        let top_bytes = top_segments as u64 * seg_bytes;
+        let bottom_bytes = bottom_segments as u64 * seg_bytes;
+        let new_top_bytes = new_top_segments as u64 * seg_bytes;
+
+        let mut files: Vec<(PathBuf, u64)> = Vec::new();
+        for p in pool.region_files().map_err(HdnhError::from)? {
+            let len = fs::metadata(&p)
+                .map_err(|e| HdnhError::Io(format!("stat {}: {e}", p.display())))?
+                .len();
+            files.push((p, len));
+        }
+        // Deterministic: highest seg id first, so the most recently
+        // allocated file wins when sizes tie (a stale twin is orphaned).
+        files.sort();
+        files.reverse();
+        let mut take = |want: u64| -> Option<PathBuf> {
+            let i = files.iter().position(|(_, len)| *len == want)?;
+            Some(files.remove(i).0)
+        };
+        let top_path = take(top_bytes).ok_or_else(|| {
+            HdnhError::Recovery(format!(
+                "no region file of the top level's size ({top_bytes} bytes) exists in {}",
+                dir.display()
+            ))
+        })?;
+        let bottom_path = take(bottom_bytes).ok_or_else(|| {
+            HdnhError::Recovery(format!(
+                "no region file of the bottom level's size ({bottom_bytes} bytes) exists in {}",
+                dir.display()
+            ))
+        })?;
+        // An in-flight resize target is only meaningful outside Stable;
+        // in Stable the recorded new-top size is a stale leftover.
+        let new_top_path = if !stable && new_top_segments > 0 {
+            take(new_top_bytes)
+        } else {
+            None
+        };
+
+        let open_region = |p: &Path| -> Result<Arc<NvmRegion>, HdnhError> {
+            Ok(Arc::new(NvmRegion::open_file(p, &params.nvm)?))
+        };
+        let persistent = PersistentPool {
+            meta: meta_region,
+            top: open_region(&top_path)?,
+            bottom: open_region(&bottom_path)?,
+            new_top: new_top_path.as_deref().map(open_region).transpose()?,
+        };
+
+        // ---- the ordinary recovery path does the rest ----
+        let (table, timing) = Hdnh::try_recover_timed(params, persistent, threads)?;
+
+        // ---- sweep orphans (files no live region claims) ----
+        let live = table.region_file_paths();
+        let mut removed = 0usize;
+        for p in pool.region_files().map_err(HdnhError::from)? {
+            if !live.contains(&p) && fs::remove_file(&p).is_ok() {
+                removed += 1;
+            }
+        }
+
+        Ok((
+            table,
+            PoolOpenReport {
+                created: false,
+                was_clean: sb.clean,
+                recovery: timing,
+                removed_orphans: removed,
+                layout_epoch: epoch,
+            },
+        ))
+    }
+
+    /// Formats a fresh pool: region files first, superblock (dirty) last,
+    /// so a half-created directory is recognizably incomplete rather than
+    /// silently openable.
+    fn create_pool(
+        mut params: HdnhParams,
+        dir: &Path,
+    ) -> Result<(Hdnh, PoolOpenReport), HdnhError> {
+        let pool = Arc::new(PoolDir::create(dir).map_err(HdnhError::from)?);
+        params.nvm.backend = Backend::Pool(Arc::clone(&pool));
+        let segment_bytes = params.segment_bytes as u64;
+        let table = Hdnh::try_new(params)?;
+        // The freshly formatted regions exist only in page cache; pin the
+        // creation to disk before publishing the superblock.
+        table.sync_regions_to_disk()?;
+        write_superblock(
+            dir,
+            &Superblock {
+                version: SUPERBLOCK_VERSION,
+                clean: false,
+                segment_bytes,
+                layout_epoch: 1,
+            },
+        )?;
+        Ok((
+            table,
+            PoolOpenReport {
+                created: true,
+                was_clean: false,
+                recovery: RecoveryTiming::default(),
+                removed_orphans: 0,
+                layout_epoch: 1,
+            },
+        ))
+    }
+
+    /// Clean shutdown of a file-backed table: full-strength sync of every
+    /// region, then the superblock's clean flag. Fails (without setting
+    /// the flag) if a flush fault is pending or any sync fails — the next
+    /// open then takes the recovery path, which is exactly right.
+    pub fn close_pool(self) -> Result<(), HdnhError> {
+        let pool = match &self.params().nvm.backend {
+            Backend::Pool(p) => Arc::clone(p),
+            Backend::Heap => {
+                return Err(HdnhError::Config(
+                    "close_pool called on a heap-backed table".into(),
+                ));
+            }
+        };
+        if let Some(fault) = self.io_fault() {
+            return Err(fault);
+        }
+        let dir = pool.path().to_path_buf();
+        let sb = read_superblock(&dir)?;
+        let pp = self.into_pool();
+        for region in [&pp.meta, &pp.top, &pp.bottom]
+            .into_iter()
+            .chain(pp.new_top.as_ref())
+        {
+            region.sync_to_disk().map_err(HdnhError::from)?;
+        }
+        write_superblock(&dir, &Superblock { clean: true, ..sb })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock {
+            version: SUPERBLOCK_VERSION,
+            clean: true,
+            segment_bytes: 16384,
+            layout_epoch: 42,
+        };
+        assert_eq!(Superblock::decode(&sb.encode()).unwrap(), sb);
+        let dirty = Superblock { clean: false, ..sb };
+        assert_eq!(Superblock::decode(&dirty.encode()).unwrap(), dirty);
+    }
+
+    #[test]
+    fn superblock_rejects_any_single_bit_flip() {
+        let sb = Superblock {
+            version: SUPERBLOCK_VERSION,
+            clean: true,
+            segment_bytes: 4096,
+            layout_epoch: 7,
+        };
+        let good = sb.encode();
+        for byte in 0..SUPERBLOCK_BYTES {
+            for bit in 0..8 {
+                let mut bad = good;
+                bad[byte] ^= 1 << bit;
+                let r = Superblock::decode(&bad);
+                assert!(r.is_err(), "bit {bit} of byte {byte} flipped but decode passed");
+            }
+        }
+    }
+
+    #[test]
+    fn superblock_rejects_truncation() {
+        let sb = Superblock {
+            version: SUPERBLOCK_VERSION,
+            clean: true,
+            segment_bytes: 4096,
+            layout_epoch: 1,
+        };
+        let good = sb.encode();
+        for n in 0..SUPERBLOCK_BYTES {
+            assert!(Superblock::decode(&good[..n]).is_err(), "len {n}");
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

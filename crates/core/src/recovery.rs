@@ -105,12 +105,28 @@ impl Hdnh {
         Self::recover_timed(params, pool, threads).0
     }
 
-    /// [`Hdnh::recover`] plus the table-1 timing breakdown.
+    /// [`Hdnh::recover`] plus the table-1 timing breakdown. Panics on
+    /// backend I/O failure (which heap regions never have); the fallible
+    /// form is [`Hdnh::try_recover_timed`].
     pub fn recover_timed(
         params: HdnhParams,
         pool: PersistentPool,
         threads: usize,
     ) -> (Hdnh, RecoveryTiming) {
+        Self::try_recover_timed(params, pool, threads)
+            .unwrap_or_else(|e| panic!("recovery failed: {e}"))
+    }
+
+    /// [`Hdnh::recover_timed`] with pool-file allocation failures surfaced
+    /// as typed errors. Geometry/magic mismatches still panic (they are
+    /// caller bugs on the heap path; the pool-file open path pre-validates
+    /// them against the superblock and reports typed errors before getting
+    /// here).
+    pub fn try_recover_timed(
+        params: HdnhParams,
+        pool: PersistentPool,
+        threads: usize,
+    ) -> Result<(Hdnh, RecoveryTiming), crate::HdnhError> {
         params.validate();
         let t0 = Instant::now();
         let meta = Meta::open(pool.meta);
@@ -183,7 +199,7 @@ impl Hdnh {
                         l.wipe_headers();
                         l
                     }
-                    _ => Level::new(meta.new_top_segments(), bps, &params.nvm),
+                    _ => Level::try_new(meta.new_top_segments(), bps, &params.nvm)?,
                 };
                 let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
                 meta.set_state(ResizeState::Rehashing);
@@ -222,7 +238,7 @@ impl Hdnh {
                             let l = Level::from_region(region, nts, bps);
                             (l, meta.rehash_progress().unwrap_or(0))
                         }
-                        None => (Level::new(nts, bps, &params.nvm), 0),
+                        None => (Level::try_new(nts, bps, &params.nvm)?, 0),
                     };
                     fault::point("recover.rehash.resumed");
                     // Rebuild the new top's OCF from its persisted headers so
@@ -301,14 +317,14 @@ impl Hdnh {
             sync,
         );
         table.set_count(count);
-        (
+        Ok((
             table,
             RecoveryTiming {
                 ocf: ocf_time,
                 hot: hot_time,
                 total,
             },
-        )
+        ))
     }
 
     fn swap_levels_for_recovery(meta: &Meta, top: &mut Level, bottom: &mut Level, new_top: Level) {

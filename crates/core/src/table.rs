@@ -297,23 +297,31 @@ impl Hdnh {
         obs::count(obs::Counter::MaintenanceLock);
         self.maintenance.lock()
     }
-    /// Creates an empty table.
+    /// Creates an empty table. Panics on backend allocation failure;
+    /// fallible construction (pool files) is [`Hdnh::try_new`].
     pub fn new(params: HdnhParams) -> Self {
+        Self::try_new(params).unwrap_or_else(|e| panic!("table allocation failed: {e}"))
+    }
+
+    /// Creates an empty table, surfacing backend (pool-file) failures as
+    /// typed errors instead of panicking.
+    pub fn try_new(params: HdnhParams) -> Result<Self, HdnhError> {
         params.validate();
         let bps = params.segment_bytes / BUCKET_BYTES;
         let bottom_segments = params.initial_bottom_segments;
         let top_segments = bottom_segments * 2;
-        let top = Level::new(top_segments, bps, &params.nvm);
-        let bottom = Level::new(bottom_segments, bps, &params.nvm);
+        let top = Level::try_new(top_segments, bps, &params.nvm)?;
+        let bottom = Level::try_new(bottom_segments, bps, &params.nvm)?;
         let ocf_top = Ocf::new(top.n_buckets(), SLOTS_PER_BUCKET);
         let ocf_bottom = Ocf::new(bottom.n_buckets(), SLOTS_PER_BUCKET);
-        let meta = Meta::create(&params.nvm, top_segments, bottom_segments, params.segment_bytes);
+        let meta =
+            Meta::try_create(&params.nvm, top_segments, bottom_segments, params.segment_bytes)?;
         let hot = params
             .enable_hot_table
             .then(|| Arc::new(Self::make_hot(&params, top.n_slots() + bottom.n_slots())));
         let sync = (params.sync_mode == SyncMode::Background && params.enable_hot_table)
             .then(|| SyncWriter::new(params.background_writers));
-        Self::assemble(
+        Ok(Self::assemble(
             params,
             meta,
             Inner {
@@ -325,7 +333,7 @@ impl Hdnh {
                 hot,
             },
             sync,
-        )
+        ))
     }
 
     /// Assembles a table from recovered parts (see [`crate::recovery`]).
@@ -391,6 +399,56 @@ impl Hdnh {
     /// Handle to the hot table (None when disabled).
     pub fn hot_table(&self) -> Option<Arc<HotTable>> {
         self.pinned().inner.hot.clone()
+    }
+
+    /// A sticky flush-path I/O fault, if the file backend has recorded
+    /// one (a failed `msync` on the fence path). `None` on the heap
+    /// backend or while the pool is healthy. Callers that acknowledge
+    /// durability (the RESP server) check this before acking.
+    pub fn io_fault(&self) -> Option<HdnhError> {
+        self.params
+            .nvm
+            .backend
+            .pool()
+            .and_then(|p| p.fault())
+            .map(HdnhError::from)
+    }
+
+    /// Paths of every pool file currently reachable from the table
+    /// (meta + live levels + any in-flight resize target). Empty on the
+    /// heap backend. Used by the orphan sweep after recovery.
+    pub fn region_file_paths(&self) -> Vec<std::path::PathBuf> {
+        let _m = self.maintenance_lock();
+        let snap = self.pinned();
+        let inner = snap.inner;
+        let mut out = Vec::new();
+        for region in [self.meta.region(), inner.top.region(), inner.bottom.region()] {
+            if let Some(p) = region.file_path() {
+                out.push(p.to_path_buf());
+            }
+        }
+        if let Some((level, _)) = self.pending_new_top.lock().as_ref() {
+            if let Some(p) = level.region().file_path() {
+                out.push(p.to_path_buf());
+            }
+        }
+        out
+    }
+
+    /// `msync(MS_SYNC)`+`fsync` every region reachable from the table
+    /// without consuming it (pool creation, checkpoint-style callers).
+    /// No-op on the heap backend.
+    pub fn sync_regions_to_disk(&self) -> Result<(), HdnhError> {
+        let _m = self.maintenance_lock();
+        let snap = self.pinned();
+        let inner = snap.inner;
+        for region in [self.meta.region(), inner.top.region(), inner.bottom.region()] {
+            region.sync_to_disk().map_err(HdnhError::from)?;
+        }
+        if let Some((level, _)) = self.pending_new_top.lock().as_ref() {
+            level.region().sync_to_disk().map_err(HdnhError::from)?;
+        }
+        Ok(())
     }
 
     /// Number of bottom-level buckets (the rehash cursor range; exposed for
@@ -1216,7 +1274,10 @@ impl Hdnh {
         // Safety: the maintenance lock is held — no other thread swaps or
         // frees the pointer.
         let old: &Inner = unsafe { &*self.current.load(Ordering::SeqCst) };
-        let next = self.perform_resize(old, observed_gen + 2);
+        // The retiring bottom level's pool file becomes garbage once the
+        // swap publishes; remember it so it can be unlinked afterwards.
+        let retired_file = old.bottom.region().file_path().map(|p| p.to_path_buf());
+        let next = self.perform_resize(old, observed_gen + 2)?;
         let old_ptr = self
             .current
             .swap(Box::into_raw(Box::new(next)), Ordering::SeqCst);
@@ -1231,12 +1292,20 @@ impl Hdnh {
         // Safety: the pointer was unpublished above and every pin that
         // could have loaded it has since been observed quiescent.
         drop(unsafe { Box::from_raw(old_ptr) });
+        // Safe to unlink only now: the post-swap Stable state is persisted,
+        // so no recovery will look for this region. Best-effort — a leaked
+        // file is caught by the orphan sweep on the next pool open.
+        if let Some(path) = retired_file {
+            let _ = std::fs::remove_file(path);
+        }
         Ok(())
     }
 
     /// Full resize under the maintenance lock: builds and returns the
-    /// successor snapshot (the caller publishes it).
-    fn perform_resize(&self, old: &Inner, new_generation: u64) -> Inner {
+    /// successor snapshot (the caller publishes it). A pool-file
+    /// allocation failure rolls the persisted state machine back to
+    /// `Stable` (nothing was migrated yet) and surfaces as `Io`.
+    fn perform_resize(&self, old: &Inner, new_generation: u64) -> Result<Inner, HdnhError> {
         let bps = self.params.segment_bytes / BUCKET_BYTES;
         let new_top_segments = old.top.n_segments() * 2;
 
@@ -1247,7 +1316,13 @@ impl Hdnh {
         fault::point("resize.planned");
         self.meta.set_state(ResizeState::Allocating);
         fault::point("resize.allocating");
-        let new_top = Level::new(new_top_segments, bps, &self.params.nvm);
+        let new_top = match Level::try_new(new_top_segments, bps, &self.params.nvm) {
+            Ok(l) => l,
+            Err(e) => {
+                self.meta.set_state(ResizeState::Stable);
+                return Err(e);
+            }
+        };
         let new_ocf = Ocf::new(new_top.n_buckets(), SLOTS_PER_BUCKET);
         // Keep the new level reachable from the table while migration runs:
         // a crash (unwind) anywhere before the pointer swap must surface
@@ -1281,7 +1356,7 @@ impl Hdnh {
         let span = obs::phase_start();
         let next = self.finalize_swap(old, new_top, new_ocf, new_generation);
         obs::phase_record(obs::Phase::ResizeSwap, span, 0);
-        next
+        Ok(next)
     }
 
     /// Moves every valid record in `from` buckets `[start..]` into `to`,

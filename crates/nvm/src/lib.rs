@@ -20,6 +20,10 @@
 //!   dirty/staged cacheline tracking and randomized [`crash`](NvmRegion::crash)
 //!   simulation (unflushed lines survive or vanish at random, optionally
 //!   torn at 8-byte granularity), used by the crash-consistency tests.
+//! * file backend ([`Backend::Pool`]) — regions mapped `MAP_SHARED` over
+//!   files in a [`PoolDir`], flushed with `msync`. The store survives real
+//!   `kill -9`, so the recovery protocol can be exercised against actual
+//!   process death instead of only the simulated crash model.
 //!
 //! # Persistence model
 //!
@@ -37,13 +41,17 @@
 pub mod bandwidth;
 pub mod fault;
 pub mod latency;
+pub mod mapfile;
 pub mod pod;
+pub mod pool;
 pub mod region;
 pub mod stats;
 
 pub use bandwidth::{BandwidthLimiter, BandwidthModel};
 pub use fault::{CorruptionEvent, CorruptionKind, CorruptionPlan, FaultPlan, InjectedCrash};
 pub use latency::LatencyModel;
+pub use mapfile::{FileMap, NvmIoError};
 pub use pod::Pod;
-pub use region::{NvmOptions, NvmRegion, CACHELINE, NVM_BLOCK};
+pub use pool::{PoolDir, META_FILE};
+pub use region::{Backend, NvmOptions, NvmRegion, CACHELINE, NVM_BLOCK};
 pub use stats::{NvmStats, PerOpStats, StatsSnapshot};

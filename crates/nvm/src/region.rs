@@ -15,6 +15,7 @@
 
 use std::collections::HashSet;
 use std::mem::{size_of, MaybeUninit};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use std::sync::Arc;
@@ -25,13 +26,38 @@ use parking_lot::Mutex;
 use crate::bandwidth::{BandwidthLimiter, BandwidthModel};
 use crate::fault;
 use crate::latency::LatencyModel;
+use crate::mapfile::{FileMap, NvmIoError};
 use crate::pod::Pod;
+use crate::pool::PoolDir;
 use crate::stats::NvmStats;
 
 /// CPU cacheline size: flush granularity.
 pub const CACHELINE: usize = 64;
 /// Optane AEP internal access granularity (XPLine): read-latency granularity.
 pub const NVM_BLOCK: usize = 256;
+
+/// Where region bytes live.
+#[derive(Clone, Debug, Default)]
+pub enum Backend {
+    /// Heap-allocated simulator (the default): fast, supports the strict
+    /// shadow-media crash model, dies with the process.
+    #[default]
+    Heap,
+    /// `MAP_SHARED` files inside a pool directory: survives real process
+    /// death, flushes via `msync`. Mutually exclusive with strict mode
+    /// (the shadow-media model simulates losses a mapped file never has).
+    Pool(Arc<PoolDir>),
+}
+
+impl Backend {
+    /// The pool directory, when file-backed.
+    pub fn pool(&self) -> Option<&Arc<PoolDir>> {
+        match self {
+            Backend::Heap => None,
+            Backend::Pool(p) => Some(p),
+        }
+    }
+}
 
 /// Configuration for a region.
 #[derive(Clone, Debug)]
@@ -48,6 +74,8 @@ pub struct NvmOptions {
     /// In strict mode, tear unflushed lines at 8-byte granularity on crash
     /// (AEP guarantees 8-byte atomicity, nothing larger).
     pub tear_words: bool,
+    /// Storage backend: heap simulator (default) or file-backed pool.
+    pub backend: Backend,
 }
 
 impl NvmOptions {
@@ -59,6 +87,7 @@ impl NvmOptions {
             bandwidth: None,
             strict: false,
             tear_words: true,
+            backend: Backend::Heap,
         }
     }
 
@@ -70,6 +99,7 @@ impl NvmOptions {
             bandwidth: Some(Arc::new(BandwidthLimiter::new(BandwidthModel::aep()))),
             strict: false,
             tear_words: true,
+            backend: Backend::Heap,
         }
     }
 
@@ -80,6 +110,19 @@ impl NvmOptions {
             bandwidth: None,
             strict: true,
             tear_words: true,
+            backend: Backend::Heap,
+        }
+    }
+
+    /// Durable storage: no latency model (the real file I/O *is* the
+    /// latency), file-backed regions in `pool`.
+    pub fn pooled(pool: Arc<PoolDir>) -> Self {
+        NvmOptions {
+            latency: LatencyModel::off(),
+            bandwidth: None,
+            strict: false,
+            tear_words: true,
+            backend: Backend::Pool(pool),
         }
     }
 }
@@ -116,7 +159,7 @@ struct StrictState {
 /// assert_eq!(&buf, b"hello");
 /// ```
 pub struct NvmRegion {
-    words: Box<[AtomicU64]>,
+    backing: Backing,
     len: usize,
     stats: NvmStats,
     latency: LatencyModel,
@@ -125,12 +168,65 @@ pub struct NvmRegion {
     tear_words: bool,
 }
 
+/// The storage behind a region's word array.
+enum Backing {
+    /// Plain heap allocation (simulator).
+    Heap(Box<[AtomicU64]>),
+    /// A `MAP_SHARED` pool file. `pending` accumulates the flushed-but-not-
+    /// fenced byte range; `fence()` msyncs it. Errors go to `pool` (sticky).
+    File {
+        map: FileMap,
+        pool: Arc<PoolDir>,
+        pending: Mutex<Option<(usize, usize)>>,
+    },
+}
+
 impl NvmRegion {
-    /// Allocates a zero-filled region of `len` bytes.
+    /// Allocates a zero-filled heap region of `len` bytes. Panics if the
+    /// options name a pool backend — fallible construction is
+    /// [`NvmRegion::alloc`]; this infallible form exists for the simulator
+    /// paths that predate the backend split.
     pub fn new(len: usize, options: NvmOptions) -> Self {
-        let n_words = len.div_ceil(8);
-        let mut words = Vec::with_capacity(n_words);
-        words.resize_with(n_words, || AtomicU64::new(0));
+        assert!(
+            matches!(options.backend, Backend::Heap),
+            "NvmRegion::new is heap-only; use NvmRegion::alloc for pool backends"
+        );
+        Self::alloc(len, &options, "seg").expect("heap region allocation is infallible")
+    }
+
+    /// Allocates a zero-filled region of `len` bytes on the backend the
+    /// options name. `name_hint` picks the file name inside a pool
+    /// (`"meta"` → `meta.dat`, anything else → a fresh `seg-<id>.dat`);
+    /// ignored for heap regions.
+    pub fn alloc(
+        len: usize,
+        options: &NvmOptions,
+        name_hint: &str,
+    ) -> Result<Self, NvmIoError> {
+        let backing = match &options.backend {
+            Backend::Heap => {
+                let n_words = len.div_ceil(8);
+                let mut words = Vec::with_capacity(n_words);
+                words.resize_with(n_words, || AtomicU64::new(0));
+                Backing::Heap(words.into_boxed_slice())
+            }
+            Backend::Pool(pool) => {
+                if options.strict {
+                    return Err(NvmIoError::msg(
+                        "alloc",
+                        pool.path(),
+                        "strict (shadow-media) mode requires the heap backend",
+                    ));
+                }
+                let path = pool.new_region_path(name_hint)?;
+                let map = FileMap::create(&path, len)?;
+                Backing::File {
+                    map,
+                    pool: Arc::clone(pool),
+                    pending: Mutex::new(None),
+                }
+            }
+        };
         let strict = options.strict.then(|| {
             Mutex::new(StrictState {
                 media: vec![0u8; len],
@@ -138,14 +234,80 @@ impl NvmRegion {
                 staged: HashSet::new(),
             })
         });
-        NvmRegion {
-            words: words.into_boxed_slice(),
+        Ok(NvmRegion {
+            backing,
             len,
             stats: NvmStats::new(),
             latency: options.latency,
-            bandwidth: options.bandwidth,
+            bandwidth: options.bandwidth.clone(),
             strict,
             tear_words: options.tear_words,
+        })
+    }
+
+    /// Maps an existing pool file as a region, preserving its contents.
+    /// The options must name a pool backend (for fault routing); the
+    /// region length is the file length.
+    pub fn open_file(path: &Path, options: &NvmOptions) -> Result<Self, NvmIoError> {
+        let pool = match &options.backend {
+            Backend::Pool(p) => Arc::clone(p),
+            Backend::Heap => {
+                return Err(NvmIoError::msg(
+                    "open",
+                    path,
+                    "open_file requires a pool backend in NvmOptions",
+                ));
+            }
+        };
+        if options.strict {
+            return Err(NvmIoError::msg(
+                "open",
+                path,
+                "strict (shadow-media) mode requires the heap backend",
+            ));
+        }
+        let (map, len) = FileMap::open(path)?;
+        Ok(NvmRegion {
+            backing: Backing::File {
+                map,
+                pool,
+                pending: Mutex::new(None),
+            },
+            len,
+            stats: NvmStats::new(),
+            latency: options.latency,
+            bandwidth: options.bandwidth.clone(),
+            strict: None,
+            tear_words: options.tear_words,
+        })
+    }
+
+    /// The word array behind the region, whichever backend owns it.
+    #[inline]
+    fn words(&self) -> &[AtomicU64] {
+        match &self.backing {
+            Backing::Heap(words) => words,
+            Backing::File { map, .. } => map.words(self.len.div_ceil(8)),
+        }
+    }
+
+    /// The backing file's path, when file-backed.
+    pub fn file_path(&self) -> Option<&Path> {
+        match &self.backing {
+            Backing::Heap(_) => None,
+            Backing::File { map, .. } => Some(map.path()),
+        }
+    }
+
+    /// Blocking full-strength sync (`msync(MS_SYNC)` + `fsync`) of a
+    /// file-backed region; no-op on the heap. The clean-shutdown path.
+    pub fn sync_to_disk(&self) -> Result<(), NvmIoError> {
+        match &self.backing {
+            Backing::Heap(_) => Ok(()),
+            Backing::File { map, pending, .. } => {
+                *pending.lock() = None;
+                map.sync_all()
+            }
         }
     }
 
@@ -246,7 +408,7 @@ impl NvmRegion {
             let w = abs / 8;
             let shift = abs % 8;
             let n = (8 - shift).min(out.len() - i);
-            let word = self.words[w].load(Ordering::Relaxed).to_le_bytes();
+            let word = self.words()[w].load(Ordering::Relaxed).to_le_bytes();
             out[i..i + n].copy_from_slice(&word[shift..shift + n]);
             i += n;
         }
@@ -289,7 +451,7 @@ impl NvmRegion {
             let n = (8 - shift).min(data.len() - i);
             if n == 8 {
                 let v = u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
-                self.words[w].store(v, Ordering::Relaxed);
+                self.words()[w].store(v, Ordering::Relaxed);
             } else {
                 let mut mask = 0u64;
                 let mut val = 0u64;
@@ -298,7 +460,7 @@ impl NvmRegion {
                     val |= (data[i + j] as u64) << ((shift + j) * 8);
                 }
                 // Merge the bytes without disturbing neighbours.
-                let _ = self.words[w]
+                let _ = self.words()[w]
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
                         Some((old & !mask) | val)
                     });
@@ -330,7 +492,7 @@ impl NvmRegion {
     fn word_at(&self, off: usize) -> &AtomicU64 {
         self.check(off, 8);
         assert_eq!(off % 8, 0, "atomic access must be 8-byte aligned: {off}");
-        &self.words[off / 8]
+        &self.words()[off / 8]
     }
 
     /// Atomic 64-bit load. Charged as a one-block read.
@@ -420,6 +582,8 @@ impl NvmRegion {
 
     /// `clwb` every cacheline covering `[off, off+len)`. Lines become
     /// *staged*: they reach media at the next [`fence`](Self::fence).
+    /// On a file-backed region the line range is accumulated instead,
+    /// and the fence `msync`s it.
     pub fn flush(&self, off: usize, len: usize) {
         fault::point("nvm.flush");
         self.check(off, len);
@@ -437,9 +601,27 @@ impl NvmRegion {
                 }
             }
         }
+        if len == 0 {
+            return;
+        }
+        if let Backing::File { pending, .. } = &self.backing {
+            // Accumulate at cacheline granularity (msync itself rounds to
+            // pages); one merged range keeps the hot path to a min/max.
+            let lo = (off / CACHELINE) * CACHELINE;
+            let hi = off + len;
+            let mut p = pending.lock();
+            *p = Some(match *p {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
     }
 
-    /// `sfence`: commits every staged line to the media image.
+    /// `sfence`: commits every staged line to the media image. On a
+    /// file-backed region, `msync(MS_ASYNC)`es the accumulated flush range
+    /// — scheduling write-back without blocking the writer; a failure is
+    /// recorded as a sticky pool fault (surfaced before the next ack)
+    /// rather than panicking mid-write.
     pub fn fence(&self) {
         fault::point("nvm.fence");
         self.stats.on_fence();
@@ -449,6 +631,14 @@ impl NvmRegion {
             let staged: Vec<usize> = st.staged.drain().collect();
             for line in staged {
                 self.commit_line_to_media(&mut st.media, line);
+            }
+        }
+        if let Backing::File { map, pool, pending } = &self.backing {
+            let range = pending.lock().take();
+            if let Some((lo, hi)) = range {
+                if let Err(e) = map.sync_range(lo, hi - lo, false) {
+                    pool.record_fault(e);
+                }
             }
         }
     }
@@ -623,6 +813,7 @@ impl std::fmt::Debug for NvmRegion {
         f.debug_struct("NvmRegion")
             .field("len", &self.len)
             .field("strict", &self.strict.is_some())
+            .field("file", &self.file_path())
             .finish_non_exhaustive()
     }
 }
@@ -1092,5 +1283,99 @@ mod tests {
         r.write_bytes(0, &[1; 16]);
         r.assert_persisted(0, 16); // gate off: no panic
         crate::fault::set_lint_persists(prev);
+    }
+
+    // ---------------- file backend ----------------
+
+    #[cfg(unix)]
+    mod file_backend {
+        use super::*;
+        use std::path::PathBuf;
+
+        fn pool_dir(name: &str) -> (PathBuf, NvmOptions) {
+            let d = std::env::temp_dir()
+                .join(format!("hdnh_region_file_{}_{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            let pool = Arc::new(PoolDir::create(&d).unwrap());
+            (d, NvmOptions::pooled(pool))
+        }
+
+        #[test]
+        fn pooled_region_roundtrips_and_reopens() {
+            let (d, opts) = pool_dir("roundtrip");
+            let r = NvmRegion::alloc(512, &opts, "seg").unwrap();
+            let path = r.file_path().unwrap().to_path_buf();
+            r.write_bytes(13, &[0xAB; 31]);
+            r.persist(13, 31);
+            r.atomic_store_u64(64, 0x1234, Ordering::Release);
+            r.sync_to_disk().unwrap();
+            drop(r);
+
+            let r2 = NvmRegion::open_file(&path, &opts).unwrap();
+            assert_eq!(r2.len(), 512);
+            let mut buf = [0u8; 31];
+            r2.read_into(13, &mut buf);
+            assert_eq!(buf, [0xAB; 31]);
+            assert_eq!(r2.atomic_load_u64(64, Ordering::Acquire), 0x1234);
+            drop(r2);
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+
+        #[test]
+        fn unsynced_pooled_write_survives_drop() {
+            // Process-death durability: no persist/sync at all, the bytes
+            // still come back (page cache keeps them).
+            let (d, opts) = pool_dir("unsynced");
+            let r = NvmRegion::alloc(256, &opts, "seg").unwrap();
+            let path = r.file_path().unwrap().to_path_buf();
+            r.write_bytes(0, &[0x77; 64]);
+            drop(r);
+            let r2 = NvmRegion::open_file(&path, &opts).unwrap();
+            let mut buf = [0u8; 64];
+            r2.peek(0, &mut buf);
+            assert_eq!(buf, [0x77; 64]);
+            drop(r2);
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+
+        #[test]
+        fn strict_plus_pool_is_rejected() {
+            let (d, opts) = pool_dir("strict");
+            let mut opts = opts;
+            opts.strict = true;
+            let e = NvmRegion::alloc(256, &opts, "seg").unwrap_err();
+            assert!(e.msg.contains("strict"), "{e}");
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+
+        #[test]
+        fn heap_constructor_rejects_pool_backend() {
+            let (d, opts) = pool_dir("newpanics");
+            let r = std::panic::catch_unwind(|| NvmRegion::new(256, opts.clone()));
+            assert!(r.is_err());
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+
+        #[test]
+        fn flush_fence_msyncs_without_fault() {
+            let (d, opts) = pool_dir("fence");
+            let r = NvmRegion::alloc(4096, &opts, "seg").unwrap();
+            r.write_bytes(100, &[1; 200]);
+            r.flush(100, 200);
+            r.write_bytes(3000, &[2; 50]);
+            r.flush(3000, 50);
+            r.fence();
+            let pool = opts.backend.pool().unwrap();
+            assert!(!pool.has_fault());
+            drop(r);
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+
+        #[test]
+        fn heap_region_has_no_file_path_and_syncs_trivially() {
+            let r = region(64);
+            assert!(r.file_path().is_none());
+            r.sync_to_disk().unwrap();
+        }
     }
 }

@@ -103,19 +103,14 @@ fn spec_for(mix: &str) -> WorkloadSpec {
 }
 
 /// Connects with retry — the server may still be binding when CI launches
-/// the bench.
+/// the bench. A connection still refused after the whole backoff window is
+/// a hard error.
 fn connect_retry(addr: &str) -> RespClient {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match RespClient::connect(addr) {
-            Ok(c) => return c,
-            Err(e) => {
-                if Instant::now() >= deadline {
-                    eprintln!("netbench: cannot connect to {addr}: {e}");
-                    std::process::exit(1);
-                }
-                std::thread::sleep(Duration::from_millis(100));
-            }
+    match RespClient::connect_retry(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("netbench: cannot connect to {addr}: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -190,6 +190,30 @@ impl RespClient {
         })
     }
 
+    /// Connects with bounded retry: refused/reset connects are retried with
+    /// exponential backoff (10 ms doubling to a 200 ms cap) until `timeout`
+    /// elapses, then the last error is returned. Covers the race where a
+    /// freshly spawned (or just-restarted) server has not bound yet.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(10);
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if std::time::Instant::now() + backoff > deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(200));
+                }
+            }
+        }
+    }
+
     /// Sets the receive timeout for [`RespClient::read_reply`].
     pub fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
         self.stream.set_read_timeout(t)

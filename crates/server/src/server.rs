@@ -325,6 +325,16 @@ fn upsert(table: &Hdnh, k: u64, v: u64) -> Result<(), HdnhError> {
     }
 }
 
+/// Emits `+OK` only when the backend carries no sticky i/o fault. A write
+/// whose flush already failed (pool-file `msync` error) must not be
+/// acknowledged as durable; the fault surfaces here as `-IO`.
+fn ack_ok(table: &Hdnh, out: &mut Vec<u8>) {
+    match table.io_fault() {
+        None => enc_simple(out, "OK"),
+        Some(e) => enc_hdnh_error(out, &e),
+    }
+}
+
 /// Executes one decoded frame, appending exactly one reply to `out`.
 fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out: &mut Vec<u8>) {
     let started = obs::op_start();
@@ -369,7 +379,7 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
             } else if let Some(k) = u64_arg(dec, frame, 1, out) {
                 if let Some(v) = u64_arg(dec, frame, 2, out) {
                     match upsert(table, k, v) {
-                        Ok(()) => enc_simple(out, "OK"),
+                        Ok(()) => ack_ok(table, out),
                         Err(e) => enc_hdnh_error(out, &e),
                     }
                 }
@@ -398,6 +408,9 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                 }
                 if failed.is_some() {
                     enc_error(out, "ERR", "value is not an unsigned integer or out of range");
+                } else if let Some(e) = table.io_fault() {
+                    // Deletions mutate NVM too: no ack over a failed flush.
+                    enc_hdnh_error(out, &e);
                 } else {
                     enc_int(out, removed);
                 }
@@ -478,7 +491,7 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                     }
                 }
                 match err {
-                    None => enc_simple(out, "OK"),
+                    None => ack_ok(table, out),
                     Some(e) => enc_hdnh_error(out, &e),
                 }
             }

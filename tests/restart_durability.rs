@@ -1,0 +1,165 @@
+//! Restart durability for the file-backed pool backend: a table opened on
+//! a pool directory must come back after a drop (dirty reopen → recovery)
+//! and after a clean close (clean reopen → no recovery), including across
+//! resizes, and a damaged superblock must never open clean.
+
+#![cfg(unix)]
+#![allow(clippy::needless_update)]
+
+use std::path::PathBuf;
+
+use hdnh::{Hdnh, HdnhError, HdnhParams};
+use hdnh_common::{Key, Value};
+use hdnh_nvm::NvmOptions;
+use proptest::prelude::*;
+
+fn tmp_pool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdnh-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn params(capacity: usize) -> HdnhParams {
+    HdnhParams::builder().capacity(capacity).build().unwrap()
+}
+
+fn fill(table: &Hdnh, range: std::ops::Range<u64>) {
+    for id in range {
+        table
+            .insert(&Key::from_u64(id), &Value::from_u64(id * 3 + 1))
+            .unwrap_or_else(|e| panic!("insert {id}: {e}"));
+    }
+}
+
+fn check(table: &Hdnh, range: std::ops::Range<u64>) {
+    for id in range {
+        let got = table.get(&Key::from_u64(id)).unwrap().map(|v| v.as_u64());
+        assert_eq!(got, Some(id * 3 + 1), "key {id} wrong after reopen");
+    }
+}
+
+#[test]
+fn clean_close_then_reopen_skips_recovery_and_keeps_data() {
+    let dir = tmp_pool("clean");
+    let (table, report) = Hdnh::open_pool(params(5_000), &dir, 2).unwrap();
+    assert!(report.created);
+    fill(&table, 0..1_000);
+    table.close_pool().unwrap();
+
+    let (table, report) = Hdnh::open_pool(params(5_000), &dir, 2).unwrap();
+    assert!(!report.created);
+    assert!(report.was_clean, "clean close must set the clean flag");
+    assert_eq!(table.len(), 1_000);
+    check(&table, 0..1_000);
+    let (reports, live) = table.verify_integrity_report();
+    assert_eq!(live, 1_000);
+    assert!(reports.iter().all(|r| r.ok), "{reports:?}");
+    table.close_pool().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_table_reopens_dirty_and_recovers_every_record() {
+    let dir = tmp_pool("dirty");
+    let (table, _) = Hdnh::open_pool(params(5_000), &dir, 2).unwrap();
+    fill(&table, 0..1_500);
+    // Simulated kill: no close_pool, the superblock stays dirty.
+    drop(table);
+
+    let (table, report) = Hdnh::open_pool(params(5_000), &dir, 2).unwrap();
+    assert!(!report.was_clean, "a dropped pool must reopen via recovery");
+    assert_eq!(table.len(), 1_500);
+    check(&table, 0..1_500);
+    let scrub = table.scrub();
+    assert!(scrub.clean(), "{scrub:?}");
+    table.close_pool().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resize_survives_both_clean_and_dirty_reopen() {
+    let dir = tmp_pool("resize");
+    let (table, _) = Hdnh::open_pool(params(1_000), &dir, 2).unwrap();
+    // Overfill well past the initial capacity to force at least one resize.
+    fill(&table, 0..6_000);
+    assert!(table.resize_count() > 0, "test did not trigger a resize");
+    table.close_pool().unwrap();
+
+    let (table, report) = Hdnh::open_pool(params(1_000), &dir, 2).unwrap();
+    assert!(report.was_clean);
+    check(&table, 0..6_000);
+    // Grow again, then crash-drop on the post-resize geometry.
+    fill(&table, 6_000..9_000);
+    drop(table);
+
+    let (table, report) = Hdnh::open_pool(params(1_000), &dir, 2).unwrap();
+    assert!(!report.was_clean);
+    assert_eq!(table.len(), 9_000);
+    check(&table, 0..9_000);
+    table.close_pool().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_mode_cannot_open_a_pool() {
+    let dir = tmp_pool("strict");
+    let p = HdnhParams::builder()
+        .capacity(1_000)
+        .nvm(NvmOptions::strict())
+        .build()
+        .unwrap();
+    match Hdnh::open_pool(p, &dir, 2) {
+        Err(HdnhError::Config(msg)) => assert!(msg.contains("strict"), "{msg}"),
+        other => panic!("strict+pool must be a Config error, got {other:?}"),
+    }
+    assert!(!dir.exists(), "rejected open must not create the pool directory");
+}
+
+/// Shared fixture for the superblock-damage property: the pool directory
+/// and its pristine superblock bytes (the shim's `proptest!` expands to a
+/// plain fn, which cannot capture locals).
+static SB_CTX: std::sync::OnceLock<(PathBuf, Vec<u8>)> = std::sync::OnceLock::new();
+
+/// A pool whose superblock is damaged — any single bit flip or any
+/// truncation — must fail to open with a typed error, never open clean.
+#[test]
+fn damaged_superblock_never_opens() {
+    let dir = tmp_pool("sbdamage");
+    let (table, _) = Hdnh::open_pool(params(2_000), &dir, 2).unwrap();
+    fill(&table, 0..100);
+    table.close_pool().unwrap();
+    let sb_path = dir.join(hdnh::SUPERBLOCK_FILE);
+    let pristine = std::fs::read(&sb_path).unwrap();
+    SB_CTX.set((dir.clone(), pristine.clone())).unwrap();
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        fn damage_case(bit in 0usize..(64 * 8), cut in 0usize..64) {
+            let (dir, pristine) = SB_CTX.get().unwrap();
+            let sb_path = dir.join(hdnh::SUPERBLOCK_FILE);
+            // Bit flip.
+            let mut bytes = pristine.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            std::fs::write(&sb_path, &bytes).unwrap();
+            prop_assert!(
+                Hdnh::open_pool(params(2_000), dir, 2).is_err(),
+                "bit {bit} flip opened anyway"
+            );
+            // Truncation.
+            std::fs::write(&sb_path, &pristine[..cut]).unwrap();
+            prop_assert!(
+                Hdnh::open_pool(params(2_000), dir, 2).is_err(),
+                "truncation to {cut} bytes opened anyway"
+            );
+            std::fs::write(&sb_path, pristine).unwrap();
+        }
+    }
+    damage_case();
+
+    // The pristine superblock still opens (damage was the only problem).
+    let (table, report) = Hdnh::open_pool(params(2_000), &dir, 2).unwrap();
+    assert!(report.was_clean);
+    check(&table, 0..100);
+    table.close_pool().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
