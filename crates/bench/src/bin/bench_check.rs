@@ -1,0 +1,175 @@
+//! `bench_check` — the bench regression gate.
+//!
+//! Compares fresh `BENCH_ops.json` / `BENCH_net.json` / `BENCH_scale.json`
+//! artifacts against committed baselines with tolerance bands (see
+//! [`hdnh_bench::check`]) and exits nonzero on any violation, so CI can
+//! fail a PR that collapses throughput or blows up tail latency.
+//!
+//! ```text
+//! bench_check [--baseline-dir DIR] [--fresh-dir DIR]
+//!             [--throughput-floor F] [--latency-ceiling F]
+//!             [--only ops,net,scale] [--write-baselines]
+//! ```
+//!
+//! Defaults: baselines in `crates/baselines/bench/`, fresh artifacts in
+//! the working directory, bands from [`Tolerance::default`]. An artifact
+//! whose baseline or fresh file is missing fails the run — a gate that
+//! silently skips is not a gate. `--write-baselines` copies the fresh
+//! artifacts over the baselines instead of comparing (for intentional
+//! performance-profile changes; commit the result).
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use hdnh_bench::check::{compare, Tolerance};
+use hdnh_bench::json::Json;
+
+const ARTIFACTS: [(&str, &str); 3] = [
+    ("ops", "BENCH_ops.json"),
+    ("net", "BENCH_net.json"),
+    ("scale", "BENCH_scale.json"),
+];
+
+struct Args {
+    baseline_dir: PathBuf,
+    fresh_dir: PathBuf,
+    tol: Tolerance,
+    only: Vec<String>,
+    write_baselines: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        baseline_dir: PathBuf::from("crates/baselines/bench"),
+        fresh_dir: PathBuf::from("."),
+        tol: Tolerance::default(),
+        only: Vec::new(),
+        write_baselines: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let need = |v: Option<String>, what: &str| -> String {
+        v.unwrap_or_else(|| {
+            eprintln!("{what} needs a value");
+            exit(2);
+        })
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline-dir" => a.baseline_dir = need(it.next(), "--baseline-dir").into(),
+            "--fresh-dir" => a.fresh_dir = need(it.next(), "--fresh-dir").into(),
+            "--throughput-floor" => {
+                a.tol.throughput_floor = need(it.next(), "--throughput-floor")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--throughput-floor needs a number in (0,1]");
+                        exit(2);
+                    });
+            }
+            "--latency-ceiling" => {
+                a.tol.latency_ceiling = need(it.next(), "--latency-ceiling")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--latency-ceiling needs a number >= 1");
+                        exit(2);
+                    });
+            }
+            "--only" => {
+                a.only = need(it.next(), "--only")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--write-baselines" => a.write_baselines = true,
+            "--help" | "-h" => {
+                println!(
+                    "bench_check [--baseline-dir DIR] [--fresh-dir DIR] \
+                     [--throughput-floor F] [--latency-ceiling F] \
+                     [--only ops,net,scale] [--write-baselines]"
+                );
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (try --help)");
+                exit(2);
+            }
+        }
+    }
+    if !(a.tol.throughput_floor > 0.0 && a.tol.throughput_floor <= 1.0) {
+        eprintln!("--throughput-floor must be in (0,1]");
+        exit(2);
+    }
+    if a.tol.latency_ceiling < 1.0 {
+        eprintln!("--latency-ceiling must be >= 1");
+        exit(2);
+    }
+    for kind in &a.only {
+        if !ARTIFACTS.iter().any(|(k, _)| k == kind) {
+            eprintln!("--only accepts a comma list of: ops, net, scale");
+            exit(2);
+        }
+    }
+    a
+}
+
+fn load(path: &Path, which: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("FAIL cannot read {which} {}: {e}", path.display());
+        exit(1);
+    });
+    Json::parse(text.trim()).unwrap_or_else(|e| {
+        eprintln!("FAIL cannot parse {which} {}: {e}", path.display());
+        exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let selected: Vec<_> = ARTIFACTS
+        .iter()
+        .filter(|(kind, _)| args.only.is_empty() || args.only.iter().any(|o| o == kind))
+        .collect();
+
+    if args.write_baselines {
+        std::fs::create_dir_all(&args.baseline_dir).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", args.baseline_dir.display());
+            exit(1);
+        });
+        for (kind, file) in &selected {
+            let src = args.fresh_dir.join(file);
+            load(&src, "fresh artifact"); // validate before installing
+            let dst = args.baseline_dir.join(file);
+            std::fs::copy(&src, &dst).unwrap_or_else(|e| {
+                eprintln!("cannot install baseline {}: {e}", dst.display());
+                exit(1);
+            });
+            println!("installed {kind} baseline {}", dst.display());
+        }
+        return;
+    }
+
+    println!(
+        "bench_check: throughput floor {:.0}% of baseline, p99 ceiling {}x baseline",
+        args.tol.throughput_floor * 100.0,
+        args.tol.latency_ceiling
+    );
+    let mut failed = false;
+    for (kind, file) in &selected {
+        let base = load(&args.baseline_dir.join(file), "baseline");
+        let fresh = load(&args.fresh_dir.join(file), "fresh artifact");
+        let violations = compare(&base, &fresh, args.tol);
+        if violations.is_empty() {
+            println!("PASS {kind} ({file})");
+        } else {
+            failed = true;
+            println!("FAIL {kind} ({file}):");
+            for v in &violations {
+                println!("  {v}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("bench_check: regression detected");
+        exit(1);
+    }
+    println!("bench_check: all artifacts within tolerance");
+}

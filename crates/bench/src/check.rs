@@ -1,0 +1,338 @@
+//! Bench regression gating: compare fresh `BENCH_*.json` artifacts
+//! against committed baselines with tolerance bands.
+//!
+//! The gate is deliberately coarse. CI machines, laptops, and the
+//! container this repo grows in differ by integer factors in absolute
+//! throughput, so a tight band would only train people to ignore the
+//! gate. What the bands *can* catch reliably is the class of regression
+//! that matters: an accidental O(n) scan on the hot path, a lock
+//! reintroduced on the read side, a debug assert left in a release build
+//! — all of which shift throughput or tail latency by multiples, not
+//! percents. Defaults: throughput may drop to 35% of baseline before
+//! failing, p99 latency may grow 4× ([`Tolerance::default`]); CI can
+//! tighten or loosen per artifact with flags.
+//!
+//! Shape drift is gated exactly, not tolerantly: a workload, mix, or
+//! thread level present in the baseline but missing from the fresh run
+//! fails the check — silent coverage loss is a regression even when
+//! every remaining number is fine.
+
+use crate::json::Json;
+
+/// Tolerance bands for one comparison run.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Fresh throughput must be at least `throughput_floor` × baseline.
+    pub throughput_floor: f64,
+    /// Fresh p99 latency must be at most `latency_ceiling` × baseline.
+    pub latency_ceiling: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            throughput_floor: 0.35,
+            latency_ceiling: 4.0,
+        }
+    }
+}
+
+/// One detected regression (or shape violation), human-readable.
+pub type Violation = String;
+
+fn num(j: &Json, path: &str) -> Option<f64> {
+    j.path(path).and_then(Json::as_f64)
+}
+
+/// Floor check on a throughput-like metric; `None` means the fresh
+/// artifact lost the cell entirely.
+fn check_floor(
+    out: &mut Vec<Violation>,
+    what: &str,
+    base: Option<f64>,
+    fresh: Option<f64>,
+    floor: f64,
+) {
+    match (base, fresh) {
+        // A baseline cell without a fresh counterpart is coverage loss.
+        (Some(b), None) => out.push(format!("{what}: missing from fresh run (baseline {b:.4})")),
+        (Some(b), Some(f)) if b > 0.0 && f < b * floor => out.push(format!(
+            "{what}: {f:.4} fell below {:.4} ({:.0}% of baseline {b:.4})",
+            b * floor,
+            floor * 100.0
+        )),
+        // No baseline: nothing to gate against (new cells are fine).
+        _ => {}
+    }
+}
+
+/// Ceiling check on a latency-like metric.
+fn check_ceiling(
+    out: &mut Vec<Violation>,
+    what: &str,
+    base: Option<f64>,
+    fresh: Option<f64>,
+    ceiling: f64,
+) {
+    match (base, fresh) {
+        (Some(b), None) => out.push(format!("{what}: missing from fresh run (baseline {b:.0})")),
+        (Some(b), Some(f)) if b > 0.0 && f > b * ceiling => out.push(format!(
+            "{what}: {f:.0} exceeded {:.0} ({}x baseline {b:.0})",
+            b * ceiling,
+            ceiling
+        )),
+        _ => {}
+    }
+}
+
+fn expect_bench(base: &Json, fresh: &Json, kind: &str, out: &mut Vec<Violation>) -> bool {
+    for (doc, which) in [(base, "baseline"), (fresh, "fresh")] {
+        if doc.get("bench").and_then(Json::as_str) != Some(kind) {
+            out.push(format!("{which} document is not a \"{kind}\" artifact"));
+            return false;
+        }
+    }
+    true
+}
+
+/// Compares `BENCH_ops.json` artifacts: per-workload Mops floors.
+pub fn compare_ops(base: &Json, fresh: &Json, tol: Tolerance) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !expect_bench(base, fresh, "ops", &mut out) {
+        return out;
+    }
+    let Some(workloads) = base.get("workloads").and_then(Json::as_obj) else {
+        out.push("baseline ops artifact has no workloads object".into());
+        return out;
+    };
+    for (name, wl) in workloads {
+        check_floor(
+            &mut out,
+            &format!("ops workload {name} mops"),
+            wl.get("mops").and_then(Json::as_f64),
+            num(fresh, &format!("workloads.{name}.mops")),
+            tol.throughput_floor,
+        );
+    }
+    out
+}
+
+/// Compares `BENCH_scale.json` artifacts: per-(threads, workload) Mops
+/// floors and get-p99 ceilings. Thread levels are matched by their
+/// `threads` value, not array position, so a reordered sweep still
+/// compares the right cells.
+pub fn compare_scale(base: &Json, fresh: &Json, tol: Tolerance) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !expect_bench(base, fresh, "scale", &mut out) {
+        return out;
+    }
+    let sweep_of = |doc: &Json| -> Vec<(u64, Json)> {
+        doc.get("sweep")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|lvl| {
+                        Some((num(lvl, "threads")? as u64, lvl.clone()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_sweep = sweep_of(base);
+    let fresh_sweep = sweep_of(fresh);
+    if base_sweep.is_empty() {
+        out.push("baseline scale artifact has no sweep".into());
+        return out;
+    }
+    for (threads, lvl) in &base_sweep {
+        let Some((_, fresh_lvl)) = fresh_sweep.iter().find(|(t, _)| t == threads) else {
+            out.push(format!("scale sweep lost the {threads}-thread level"));
+            continue;
+        };
+        let Some(workloads) = lvl.get("workloads").and_then(Json::as_obj) else {
+            continue;
+        };
+        for (name, wl) in workloads {
+            let ctx = format!("scale {threads}t workload {name}");
+            check_floor(
+                &mut out,
+                &format!("{ctx} mops"),
+                wl.get("mops").and_then(Json::as_f64),
+                num(fresh_lvl, &format!("workloads.{name}.mops")),
+                tol.throughput_floor,
+            );
+            check_ceiling(
+                &mut out,
+                &format!("{ctx} get_p99_ns"),
+                wl.get("get_p99_ns").and_then(Json::as_f64),
+                num(fresh_lvl, &format!("workloads.{name}.get_p99_ns")),
+                tol.latency_ceiling,
+            );
+        }
+    }
+    out
+}
+
+/// Compares `BENCH_net.json` artifacts: per-mix throughput floors and
+/// per-op-kind p99 ceilings. Mixes are matched by their `mix` name.
+pub fn compare_net(base: &Json, fresh: &Json, tol: Tolerance) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !expect_bench(base, fresh, "net", &mut out) {
+        return out;
+    }
+    let mixes_of = |doc: &Json| -> Vec<(String, Json)> {
+        doc.get("mixes")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|m| {
+                        Some((m.get("mix")?.as_str()?.to_string(), m.clone()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_mixes = mixes_of(base);
+    let fresh_mixes = mixes_of(fresh);
+    if base_mixes.is_empty() {
+        out.push("baseline net artifact has no mixes".into());
+        return out;
+    }
+    for (name, mix) in &base_mixes {
+        let Some((_, fresh_mix)) = fresh_mixes.iter().find(|(n, _)| n == name) else {
+            out.push(format!("net run lost mix {name}"));
+            continue;
+        };
+        check_floor(
+            &mut out,
+            &format!("net mix {name} throughput_ops_s"),
+            mix.get("throughput_ops_s").and_then(Json::as_f64),
+            fresh_mix.get("throughput_ops_s").and_then(Json::as_f64),
+            tol.throughput_floor,
+        );
+        if let Some(lat) = mix.get("latency").and_then(Json::as_obj) {
+            for (kind, h) in lat {
+                check_ceiling(
+                    &mut out,
+                    &format!("net mix {name} {kind} p99_ns"),
+                    h.get("p99_ns").and_then(Json::as_f64),
+                    num(fresh_mix, &format!("latency.{kind}.p99_ns")),
+                    tol.latency_ceiling,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Dispatches on the artifact's `bench` tag.
+pub fn compare(base: &Json, fresh: &Json, tol: Tolerance) -> Vec<Violation> {
+    match base.get("bench").and_then(Json::as_str) {
+        Some("ops") => compare_ops(base, fresh, tol),
+        Some("scale") => compare_scale(base, fresh, tol),
+        Some("net") => compare_net(base, fresh, tol),
+        other => vec![format!("unknown baseline artifact kind {other:?}")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPS: &str = r#"{"bench":"ops","threads":2,"workloads":{
+        "a":{"ops":1000,"secs":0.001,"mops":1.0},
+        "c":{"ops":1000,"secs":0.0005,"mops":2.0}}}"#;
+
+    const SCALE: &str = r#"{"bench":"scale","max_threads":2,"sweep":[
+        {"threads":1,"workloads":{"c":{"mops":4.0,"get_p99_ns":600}}},
+        {"threads":2,"workloads":{"c":{"mops":4.5,"get_p99_ns":620}}}]}"#;
+
+    const NET: &str = r#"{"bench":"net","config":{},"mixes":[
+        {"mix":"a","throughput_ops_s":100000.0,"latency":{
+            "get":{"count":10,"p99_ns":50000},"set":{"count":10,"p99_ns":80000}}},
+        {"mix":"c","throughput_ops_s":200000.0,"latency":{
+            "get":{"count":10,"p99_ns":40000}}}]}"#;
+
+    fn j(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let tol = Tolerance::default();
+        assert!(compare(&j(OPS), &j(OPS), tol).is_empty());
+        assert!(compare(&j(SCALE), &j(SCALE), tol).is_empty());
+        assert!(compare(&j(NET), &j(NET), tol).is_empty());
+    }
+
+    #[test]
+    fn modest_noise_stays_inside_the_band() {
+        // 30% slower and 2x p99: machine noise, not a regression.
+        let fresh = j(&OPS.replace("\"mops\":1.0", "\"mops\":0.7"));
+        assert!(compare(&j(OPS), &fresh, Tolerance::default()).is_empty());
+        let fresh = j(&SCALE.replace("\"get_p99_ns\":600", "\"get_p99_ns\":1200"));
+        assert!(compare(&j(SCALE), &fresh, Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn doctored_throughput_collapse_fails() {
+        // 10x collapse on one workload: the gate must fire and name the cell.
+        let fresh = j(&OPS.replace("\"mops\":2.0", "\"mops\":0.2"));
+        let v = compare(&j(OPS), &fresh, Tolerance::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("workload c"), "{v:?}");
+    }
+
+    #[test]
+    fn doctored_latency_blowup_fails() {
+        let fresh = j(&NET.replace("\"p99_ns\":40000", "\"p99_ns\":900000"));
+        let v = compare(&j(NET), &fresh, Tolerance::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("mix c") && v[0].contains("p99"), "{v:?}");
+    }
+
+    #[test]
+    fn lost_coverage_fails_even_with_good_numbers() {
+        // Fresh run silently dropped workload c.
+        let fresh = j(r#"{"bench":"ops","workloads":{"a":{"mops":99.0}}}"#);
+        let v = compare(&j(OPS), &fresh, Tolerance::default());
+        assert!(v.iter().any(|m| m.contains("workload c") && m.contains("missing")), "{v:?}");
+
+        // Fresh scale run lost the 2-thread level.
+        let fresh = j(r#"{"bench":"scale","sweep":[
+            {"threads":1,"workloads":{"c":{"mops":4.0,"get_p99_ns":600}}}]}"#);
+        let v = compare(&j(SCALE), &fresh, Tolerance::default());
+        assert!(v.iter().any(|m| m.contains("2-thread")), "{v:?}");
+
+        // Fresh net run lost mix c.
+        let fresh = j(r#"{"bench":"net","mixes":[
+            {"mix":"a","throughput_ops_s":100000.0,"latency":{}}]}"#);
+        let v = compare(&j(NET), &fresh, Tolerance::default());
+        assert!(v.iter().any(|m| m.contains("lost mix c")), "{v:?}");
+    }
+
+    #[test]
+    fn scale_sweep_matches_by_thread_count_not_position() {
+        let reordered = j(r#"{"bench":"scale","sweep":[
+            {"threads":2,"workloads":{"c":{"mops":4.5,"get_p99_ns":620}}},
+            {"threads":1,"workloads":{"c":{"mops":4.0,"get_p99_ns":600}}}]}"#);
+        assert!(compare(&j(SCALE), &reordered, Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let v = compare(&j(OPS), &j(NET), Tolerance::default());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn custom_bands_apply() {
+        // With a 0.95 floor, a 10% dip fails.
+        let tight = Tolerance {
+            throughput_floor: 0.95,
+            latency_ceiling: 1.05,
+        };
+        let fresh = j(&OPS.replace("\"mops\":1.0", "\"mops\":0.9"));
+        assert_eq!(compare(&j(OPS), &fresh, tight).len(), 1);
+    }
+}

@@ -10,6 +10,8 @@
 //!   any [`hdnh_common::HashIndex`], with optional per-op latency capture.
 //! * [`hist`] — a log-bucketed latency histogram (percentiles, CDF export).
 //! * [`report`] — aligned-table printing shared by all binaries.
+//! * [`json`] / [`check`] — a dependency-free JSON reader and the
+//!   tolerance-band comparisons behind the `bench_check` regression gate.
 //!
 //! Environment knobs (all binaries):
 //!
@@ -21,7 +23,9 @@
 
 
 #![warn(missing_docs)]
+pub mod check;
 pub mod hist;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod schemes;

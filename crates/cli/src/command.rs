@@ -25,6 +25,8 @@ pub enum Command {
     Stats(StatsMode),
     /// `metrics [...]` — hdnh-obs registry exposition (see [`MetricsMode`]).
     Metrics(MetricsMode),
+    /// `trace [...]` — flight-recorder timeline (see [`TraceMode`]).
+    Trace(TraceMode),
     /// `info` — table geometry, length, load factor, footprints.
     Info,
     /// `verify` — full integrity audit.
@@ -82,6 +84,18 @@ pub enum MetricsMode {
     },
     /// Move the delta baseline to now.
     Reset,
+}
+
+/// What `trace` should do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceMode {
+    /// Dump the merged flight-recorder timeline as JSON.
+    Dump,
+    /// Clear every ring buffer.
+    Reset,
+    /// Arm (or with 0, disarm) the slow-op/slow-command thresholds, in
+    /// microseconds; slower operations leave exemplars in the recorder.
+    Slow(u64),
 }
 
 /// What `faultrun` should execute.
@@ -202,6 +216,19 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
                 MetricsMode::Show { format, delta }
             })
         }
+        "trace" => {
+            let mode = match toks.next() {
+                None => TraceMode::Dump,
+                Some("reset") => TraceMode::Reset,
+                Some("slow") => TraceMode::Slow(int(toks.next(), "threshold (µs)")?),
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "unknown trace mode '{other}' (reset|slow <us>)"
+                    )))
+                }
+            };
+            Command::Trace(mode)
+        }
         "info" => Command::Info,
         "verify" | "check" => Command::Verify,
         "scrub" => Command::Scrub,
@@ -267,6 +294,9 @@ commands:
   metrics [json|prom] [delta]  hdnh-obs registry: per-op latency histograms,
                           event counters, derived rates, phase spans
   metrics reset           move the metrics delta baseline
+  trace                   dump the flight-recorder timeline as JSON
+  trace slow <us>         record ops/commands slower than <us> µs (0 = off)
+  trace reset             clear the flight-recorder rings
   info                    table geometry and occupancy
   verify                  per-invariant integrity audit
   scrub                   checksum-verify all live records; repair or
@@ -408,6 +438,26 @@ mod tests {
         assert!(parse("metrics bogus").is_err());
         assert!(parse("metrics reset delta").is_err());
         assert!(parse("metrics json reset").is_err());
+    }
+
+    #[test]
+    fn parses_flight_recorder_forms() {
+        assert_eq!(parse("trace").unwrap(), Some(Command::Trace(TraceMode::Dump)));
+        assert_eq!(
+            parse("trace reset").unwrap(),
+            Some(Command::Trace(TraceMode::Reset))
+        );
+        assert_eq!(
+            parse("trace slow 250").unwrap(),
+            Some(Command::Trace(TraceMode::Slow(250)))
+        );
+        assert_eq!(
+            parse("trace slow 0").unwrap(),
+            Some(Command::Trace(TraceMode::Slow(0)))
+        );
+        assert!(parse("trace slow").is_err());
+        assert!(parse("trace bogus").is_err());
+        assert!(parse("trace reset extra").is_err());
     }
 
     #[test]

@@ -11,7 +11,9 @@ use hdnh_obs as obs;
 use hdnh_ycsb::trace::{load_trace, save_trace};
 use hdnh_ycsb::{generate_ops, KeySpace, Op, WorkloadSpec};
 
-use crate::command::{Command, FaultRunMode, MetricsFormat, MetricsMode, StatsMode, HELP};
+use crate::command::{
+    Command, FaultRunMode, MetricsFormat, MetricsMode, StatsMode, TraceMode, HELP,
+};
 
 /// Engine configuration (mapped from CLI flags by the binary).
 #[derive(Clone, Debug)]
@@ -265,7 +267,22 @@ impl Engine {
                         return Ok(Outcome::Text("metrics baseline reset".to_string()));
                     }
                     MetricsMode::Show { format, delta } => {
-                        let s = if delta { now.since(&self.metrics_base) } else { now };
+                        // If the registry was globally reset (`obs::reset`)
+                        // after our baseline was captured, the baseline is
+                        // *ahead* of the live counters and a naive subtract
+                        // would go negative (or, with saturating math,
+                        // silently report zeros for real work). Detect the
+                        // regression, drop the stale baseline, and leave an
+                        // auditable counter tick behind.
+                        let s = if delta {
+                            if now.regressed_from(&self.metrics_base) {
+                                obs::count(obs::Counter::DeltaBaselineReset);
+                                self.metrics_base = obs::MetricsSnapshot::empty();
+                            }
+                            now.since(&self.metrics_base)
+                        } else {
+                            now
+                        };
                         (s, format)
                     }
                 };
@@ -282,6 +299,23 @@ impl Engine {
                 };
                 Ok(Outcome::Text(out))
             }
+            Command::Trace(mode) => Ok(match mode {
+                TraceMode::Dump => Outcome::Text(obs::trace::dump_json()),
+                TraceMode::Reset => {
+                    obs::trace::reset();
+                    Outcome::Text("trace rings cleared".to_string())
+                }
+                TraceMode::Slow(us) => {
+                    let ns = us.saturating_mul(1_000);
+                    obs::trace::set_slow_op_threshold_ns(ns);
+                    obs::trace::set_slow_cmd_threshold_ns(ns);
+                    Outcome::Text(if ns == 0 {
+                        "slow-op recording disabled".to_string()
+                    } else {
+                        format!("recording ops and commands slower than {us} µs")
+                    })
+                }
+            }),
             Command::Info => {
                 let t = self.table()?;
                 let hot = t
@@ -672,6 +706,51 @@ mod tests {
         // the registry is process-global and tests run concurrently).
         let out = run(&mut e, "metrics delta json");
         assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+    }
+
+    #[test]
+    fn metrics_delta_survives_registry_reset_between_calls() {
+        let mut e = Engine::new(EngineConfig::default());
+        run(&mut e, "fill 300");
+        assert_eq!(run(&mut e, "metrics reset"), "metrics baseline reset");
+        // A registry-wide reset (another test, an operator, a bench run)
+        // leaves our baseline ahead of the live counters.
+        obs::reset();
+        run(&mut e, "fill 100");
+        let out = run(&mut e, "metrics delta json");
+        // The delta must stay well-formed, never report pre-reset zeros
+        // for post-reset work, and record that the baseline was dropped.
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        assert!(
+            out.contains("\"insert\":{\"count\":"),
+            "delta still carries op data: {out}"
+        );
+        let after = obs::snapshot();
+        assert!(
+            after.counter(obs::Counter::DeltaBaselineReset) >= 1,
+            "stale-baseline detection must be auditable"
+        );
+        // A second delta right away does not re-trigger the detector.
+        let before = after.counter(obs::Counter::DeltaBaselineReset);
+        run(&mut e, "metrics delta json");
+        assert_eq!(obs::snapshot().counter(obs::Counter::DeltaBaselineReset), before);
+    }
+
+    #[test]
+    fn trace_commands_drive_the_flight_recorder() {
+        let mut e = Engine::new(EngineConfig::default());
+        obs::trace::reset();
+        assert_eq!(
+            run(&mut e, "trace slow 0"),
+            "slow-op recording disabled"
+        );
+        let out = run(&mut e, "trace slow 1000");
+        assert!(out.contains("1000 µs"), "{out}");
+        assert_eq!(run(&mut e, "trace reset"), "trace rings cleared");
+        let out = run(&mut e, "trace");
+        assert!(out.starts_with("{\"anchor_unix_ns\":"), "{out}");
+        assert!(out.contains("\"slow_op_threshold_ns\":1000000"), "{out}");
+        run(&mut e, "trace slow 0");
     }
 
     #[test]

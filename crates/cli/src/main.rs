@@ -3,6 +3,7 @@
 //! ```text
 //! hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR]
 //! hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR]
+//!                       [--ops-addr ADDR] [--slow-us N]
 //! ```
 //!
 //! Without a subcommand, reads shell commands from stdin (one per line;
@@ -55,7 +56,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR]");
-                println!("hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR]");
+                println!("hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR] [--ops-addr ADDR] [--slow-us N]");
                 println!("{}", hdnh_cli::command::HELP);
                 return;
             }
@@ -129,18 +130,28 @@ fn atty_stdin() -> bool {
 }
 
 /// `serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N]
-/// [--pool DIR]` — RESP front-end; blocks until drain, then exits 0.
-/// With `--pool` the table is file-backed: the pool is opened (running
-/// recovery if the last run died) and marked clean after the drain.
+/// [--pool DIR] [--ops-addr ADDR] [--slow-us N]` — RESP front-end; blocks
+/// until drain, then exits 0. With `--pool` the table is file-backed: the
+/// pool is opened (running recovery if the last run died) and marked clean
+/// after the drain. With `--ops-addr` an HTTP ops listener comes up
+/// *before* the pool opens, so `/healthz` answers and `/readyz` reports
+/// 503 throughout recovery. `--slow-us` arms the slow-op log: any table op
+/// or network command taking at least that many microseconds leaves an
+/// exemplar in the flight recorder (`/trace`) and bumps the slowlog
+/// counters. `HDNH_NO_OBS=1` disables the whole observability layer (the
+/// CI overhead job compares against this).
 fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
+    const USAGE: &str = "usage: hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR] [--ops-addr ADDR] [--slow-us N]";
     let Some(addr) = args.next().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
     let mut cfg = hdnh_server::ServerConfig::default();
     let mut capacity = 100_000usize;
     let mut fill = 0u64;
     let mut pool: Option<String> = None;
+    let mut ops_addr: Option<String> = None;
+    let mut slow_us = 0u64;
     while let Some(flag) = args.next() {
         let val = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
             args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -159,6 +170,13 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
                     std::process::exit(2);
                 }));
             }
+            "--ops-addr" => {
+                ops_addr = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--ops-addr needs an address (host:port)");
+                    std::process::exit(2);
+                }));
+            }
+            "--slow-us" => slow_us = val(&mut args, "--slow-us"),
             other => {
                 eprintln!("unknown serve flag '{other}'");
                 std::process::exit(2);
@@ -173,7 +191,28 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
             eprintln!("bad table configuration: {e}");
             std::process::exit(2);
         });
-    hdnh_obs::set_enabled(true);
+    // HDNH_NO_OBS=1 keeps the whole observability layer off (counters,
+    // histograms, flight recorder) so its overhead can be measured.
+    let obs_on = std::env::var("HDNH_NO_OBS").is_err();
+    hdnh_obs::set_enabled(obs_on);
+    if obs_on && slow_us > 0 {
+        hdnh_obs::trace::set_slow_op_threshold_ns(slow_us.saturating_mul(1_000));
+        hdnh_obs::trace::set_slow_cmd_threshold_ns(slow_us.saturating_mul(1_000));
+    }
+    // Ops plane first: during a long pool recovery, probes already get
+    // `/healthz` 200 and `/readyz` 503 ("starting") instead of a refused
+    // connection.
+    let state = hdnh_server::OpsState::new();
+    let ops_handle = ops_addr.map(|a| match hdnh_server::start_ops(a.as_str(), std::sync::Arc::clone(&state)) {
+        Ok(h) => {
+            println!("hdnh-ops listening on {}", h.local_addr());
+            h
+        }
+        Err(e) => {
+            eprintln!("cannot bind ops address {a}: {e}");
+            std::process::exit(1);
+        }
+    });
     let table = match &pool {
         None => hdnh::Hdnh::new(params),
         Some(dir) => {
@@ -215,12 +254,26 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
             }
         }
     }
-    match hdnh_server::start(std::sync::Arc::clone(&table), addr.as_str(), cfg) {
+    state.set_table(&table);
+    match hdnh_server::start_with_state(
+        std::sync::Arc::clone(&table),
+        addr.as_str(),
+        cfg,
+        std::sync::Arc::clone(&state),
+    ) {
         Ok(handle) => {
+            state.set_ready();
             // The bench/CI side greps for this line to learn the bound port.
             println!("hdnh-server listening on {}", handle.local_addr());
             let _ = std::io::stdout().flush();
             hdnh_server::serve_until_signal(handle);
+            // Keep the ops plane up briefly after the drain so external
+            // probes reliably observe `/readyz` flipping to "draining"
+            // before the process disappears.
+            if let Some(ops) = ops_handle {
+                std::thread::sleep(std::time::Duration::from_millis(750));
+                ops.stop();
+            }
             if pool.is_some() {
                 // All workers have joined; ours is the last table handle.
                 // Marking the pool clean lets the next open skip recovery.

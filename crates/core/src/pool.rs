@@ -418,7 +418,9 @@ impl Hdnh {
         {
             region.sync_to_disk().map_err(HdnhError::from)?;
         }
-        write_superblock(&dir, &Superblock { clean: true, ..sb })
+        write_superblock(&dir, &Superblock { clean: true, ..sb })?;
+        hdnh_obs::trace::milestone(hdnh_obs::trace::Milestone::PoolClosed);
+        Ok(())
     }
 }
 

@@ -128,6 +128,7 @@ impl Hdnh {
         threads: usize,
     ) -> Result<(Hdnh, RecoveryTiming), crate::HdnhError> {
         params.validate();
+        obs::trace::milestone(obs::trace::Milestone::RecoveryStart);
         let t0 = Instant::now();
         let meta = Meta::open(pool.meta);
         assert_eq!(
@@ -179,7 +180,11 @@ impl Hdnh {
 
         // ---- resize state machine ----
         let resume_state = meta.state();
-        let resume_span = obs::phase_start();
+        let resume_span = if resume_state != ResizeState::Stable {
+            obs::phase_enter(obs::Phase::RecoveryResume)
+        } else {
+            None
+        };
         let mut resumed_moved = 0u64;
         match resume_state {
             ResizeState::Stable => {}
@@ -269,7 +274,7 @@ impl Hdnh {
         }
 
         // ---- rebuild DRAM structures (merged single scan) ----
-        let rebuild_span = obs::phase_start();
+        let rebuild_span = obs::phase_enter(obs::Phase::RecoveryRebuild);
         let ocf_top = Ocf::new(top.n_buckets(), SLOTS_PER_BUCKET);
         let ocf_bottom = Ocf::new(bottom.n_buckets(), SLOTS_PER_BUCKET);
         let hot = params
@@ -284,6 +289,7 @@ impl Hdnh {
         fault::point("recover.rebuilt");
         let total = t0.elapsed();
         obs::phase_record_ns(obs::Phase::RecoveryTotal, total.as_nanos() as u64, count as u64);
+        obs::trace::milestone(obs::trace::Milestone::RecoveryDone);
 
         // ---- separate timings for table 1 (measurement-only passes) ----
         let t1 = Instant::now();

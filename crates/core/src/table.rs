@@ -414,6 +414,18 @@ impl Hdnh {
             .map(HdnhError::from)
     }
 
+    /// Which storage backend holds the NVM regions: `"pool"` for the
+    /// mmap-backed file pool, `"heap"` for the in-process simulator.
+    /// Operational surfaces (`INFO`, `/varz`) report this so an operator
+    /// can tell a durable deployment from a volatile one at a glance.
+    pub fn backend_kind(&self) -> &'static str {
+        if self.params.nvm.backend.pool().is_some() {
+            "pool"
+        } else {
+            "heap"
+        }
+    }
+
     /// Paths of every pool file currently reachable from the table
     /// (meta + live levels + any in-flight resize target). Empty on the
     /// heap backend. Used by the orphan sweep after recovery.
@@ -639,7 +651,7 @@ impl Hdnh {
     /// [`verify_integrity_report`](Hdnh::verify_integrity_report) is clean
     /// with respect to `checksum-match`.
     pub fn scrub(&self) -> ScrubReport {
-        let span = obs::phase_start();
+        let span = obs::phase_enter(obs::Phase::Scrub);
         let _m = self.maintenance_lock();
         // Safety: the maintenance lock is held — the pointer cannot swap.
         let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
@@ -1311,7 +1323,7 @@ impl Hdnh {
 
         // Phase 1 — "apply for a new level" (level number 2). The planned
         // size is persisted first so recovery can always re-allocate.
-        let span = obs::phase_start();
+        let span = obs::phase_enter(obs::Phase::ResizeAllocate);
         self.meta.set_new_top_segments(new_top_segments);
         fault::point("resize.planned");
         self.meta.set_state(ResizeState::Allocating);
@@ -1333,7 +1345,7 @@ impl Hdnh {
         obs::phase_record(obs::Phase::ResizeAllocate, span, new_top.n_slots() as u64);
 
         // Phase 2 — rehash bottom-level items into the new top (level 3).
-        let span = obs::phase_start();
+        let span = obs::phase_enter(obs::Phase::ResizeRehash);
         self.meta.set_state(ResizeState::Rehashing);
         self.meta.set_rehash_progress(Some(0));
         fault::point("resize.rehashing");
@@ -1353,7 +1365,7 @@ impl Hdnh {
         obs::phase_record(obs::Phase::ResizeRehash, span, moved as u64);
 
         // Phase 3 — swap levels, publish geometry, return to stable.
-        let span = obs::phase_start();
+        let span = obs::phase_enter(obs::Phase::ResizeSwap);
         let next = self.finalize_swap(old, new_top, new_ocf, new_generation);
         obs::phase_record(obs::Phase::ResizeSwap, span, 0);
         Ok(next)

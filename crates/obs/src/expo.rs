@@ -4,18 +4,64 @@
 //! views use the same code path. JSON is emitted as a single line so CLI
 //! consumers (and the CI smoke test) can grab it with a one-line match and
 //! feed it straight to a JSON parser.
+//!
+//! The Prometheus output is lint-clean by contract (enforced by
+//! `crates/obs/tests/prom_lint.rs`): every family carries a `# HELP` and
+//! `# TYPE` pair, histogram families emit cumulative `_bucket` series with
+//! ascending `le` bounds ending at `+Inf`, and the `+Inf` bucket equals
+//! the family's `_count`.
 
 use std::fmt::Write;
 
+use crate::hist::HistSnapshot;
 use crate::{Counter, MetricsSnapshot, NetCmd, OpKind, Phase};
 
 const QUANTILES: [(f64, &str); 4] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// Histogram `le` bounds in nanoseconds. Powers of two are exact edges of
+/// the log-linear bucket layout (see [`HistSnapshot::le_counts`]), spanning
+/// 1 µs to ~2.1 s — the plausible latency range of a table op or a wire
+/// command — with a terminal `+Inf`.
+const LE_EDGES: [u64; 8] = [
+    1 << 10, // ~1 µs
+    1 << 13, // ~8 µs
+    1 << 16, // ~65 µs
+    1 << 19, // ~524 µs
+    1 << 22, // ~4.2 ms
+    1 << 25, // ~33 ms
+    1 << 28, // ~268 ms
+    1 << 31, // ~2.1 s
+];
+
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Emits one labelled histogram series (`_bucket`+`+Inf`, `_sum`,
+/// `_count`) for `h` under `name{label_key="label_val"}`.
+fn hist_series(out: &mut String, name: &str, label_key: &str, label_val: &str, h: &HistSnapshot) {
+    let le = h.le_counts(&LE_EDGES);
+    for (edge, c) in LE_EDGES.iter().zip(&le) {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{label_key}=\"{label_val}\",le=\"{edge}\"}} {c}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{label_key}=\"{label_val}\",le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let _ = writeln!(out, "{name}_sum{{{label_key}=\"{label_val}\"}} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{{{label_key}=\"{label_val}\"}} {}", h.count());
+}
 
 /// Prometheus text exposition format.
 pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
     let mut out = String::new();
 
-    out.push_str("# TYPE hdnh_ops_total counter\n");
+    family(&mut out, "hdnh_ops_total", "Completed table operations by kind.", "counter");
     for &op in &OpKind::ALL {
         let _ = writeln!(
             out,
@@ -25,7 +71,12 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
         );
     }
 
-    out.push_str("# TYPE hdnh_op_latency_ns gauge\n");
+    family(
+        &mut out,
+        "hdnh_op_latency_ns",
+        "Table operation latency quantiles in nanoseconds.",
+        "gauge",
+    );
     for &op in &OpKind::ALL {
         let h = s.op(op);
         for &(q, label) in &QUANTILES {
@@ -37,7 +88,12 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
             );
         }
     }
-    out.push_str("# TYPE hdnh_op_latency_ns_max gauge\n");
+    family(
+        &mut out,
+        "hdnh_op_latency_ns_max",
+        "Largest observed table operation latency in nanoseconds.",
+        "gauge",
+    );
     for &op in &OpKind::ALL {
         let _ = writeln!(
             out,
@@ -47,7 +103,17 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
         );
     }
 
-    out.push_str("# TYPE hdnh_net_cmds_total counter\n");
+    family(
+        &mut out,
+        "hdnh_op_latency_hist_ns",
+        "Table operation latency histogram in nanoseconds.",
+        "histogram",
+    );
+    for &op in &OpKind::ALL {
+        hist_series(&mut out, "hdnh_op_latency_hist_ns", "op", op.name(), s.op(op));
+    }
+
+    family(&mut out, "hdnh_net_cmds_total", "Wire commands served by kind.", "counter");
     for &cmd in &NetCmd::ALL {
         let _ = writeln!(
             out,
@@ -56,7 +122,12 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
             s.net(cmd).count()
         );
     }
-    out.push_str("# TYPE hdnh_net_cmd_latency_ns gauge\n");
+    family(
+        &mut out,
+        "hdnh_net_cmd_latency_ns",
+        "Wire command service latency quantiles in nanoseconds.",
+        "gauge",
+    );
     for &cmd in &NetCmd::ALL {
         let h = s.net(cmd);
         for &(q, label) in &QUANTILES {
@@ -68,8 +139,38 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
             );
         }
     }
+    family(
+        &mut out,
+        "hdnh_net_cmd_latency_hist_ns",
+        "Wire command service latency histogram in nanoseconds.",
+        "histogram",
+    );
+    for &cmd in &NetCmd::ALL {
+        hist_series(
+            &mut out,
+            "hdnh_net_cmd_latency_hist_ns",
+            "cmd",
+            cmd.name(),
+            s.net(cmd),
+        );
+    }
 
-    out.push_str("# TYPE hdnh_events_total counter\n");
+    family(
+        &mut out,
+        "hdnh_slowlog_total",
+        "Wire commands that crossed the slow-command threshold.",
+        "counter",
+    );
+    for &cmd in &NetCmd::ALL {
+        let _ = writeln!(
+            out,
+            "hdnh_slowlog_total{{cmd=\"{}\"}} {}",
+            cmd.name(),
+            s.slowlog(cmd)
+        );
+    }
+
+    family(&mut out, "hdnh_events_total", "Internal path events by kind.", "counter");
     for &c in &Counter::ALL {
         let _ = writeln!(
             out,
@@ -79,14 +180,29 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
         );
     }
 
-    out.push_str("# TYPE hdnh_ocf_false_positive_rate gauge\n");
+    family(
+        &mut out,
+        "hdnh_ocf_false_positive_rate",
+        "Fraction of OCF fingerprint matches that were false positives.",
+        "gauge",
+    );
     let _ = writeln!(out, "hdnh_ocf_false_positive_rate {:.6}", s.ocf_false_positive_rate());
-    out.push_str("# TYPE hdnh_hot_hit_rate gauge\n");
+    family(
+        &mut out,
+        "hdnh_hot_hit_rate",
+        "Fraction of hot-table searches that hit.",
+        "gauge",
+    );
     let _ = writeln!(out, "hdnh_hot_hit_rate {:.6}", s.hot_hit_rate());
-    out.push_str("# TYPE hdnh_sync_overlap_win_rate gauge\n");
+    family(
+        &mut out,
+        "hdnh_sync_overlap_win_rate",
+        "Fraction of synchronous writes whose DRAM write hid under the NVM write.",
+        "gauge",
+    );
     let _ = writeln!(out, "hdnh_sync_overlap_win_rate {:.6}", s.sync_overlap_win_rate());
 
-    out.push_str("# TYPE hdnh_phase_runs_total counter\n");
+    family(&mut out, "hdnh_phase_runs_total", "Completed runs per maintenance phase.", "counter");
     for &p in &Phase::ALL {
         let _ = writeln!(
             out,
@@ -95,7 +211,12 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
             s.phase(p).runs
         );
     }
-    out.push_str("# TYPE hdnh_phase_ns_total counter\n");
+    family(
+        &mut out,
+        "hdnh_phase_ns_total",
+        "Total nanoseconds spent per maintenance phase.",
+        "counter",
+    );
     for &p in &Phase::ALL {
         let _ = writeln!(
             out,
@@ -104,7 +225,12 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
             s.phase(p).total_ns
         );
     }
-    out.push_str("# TYPE hdnh_phase_last_ns gauge\n");
+    family(
+        &mut out,
+        "hdnh_phase_last_ns",
+        "Duration of the most recent run per maintenance phase.",
+        "gauge",
+    );
     for &p in &Phase::ALL {
         let _ = writeln!(
             out,
@@ -113,7 +239,12 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
             s.phase(p).last_ns
         );
     }
-    out.push_str("# TYPE hdnh_phase_items_total counter\n");
+    family(
+        &mut out,
+        "hdnh_phase_items_total",
+        "Total work items processed per maintenance phase.",
+        "counter",
+    );
     for &p in &Phase::ALL {
         let _ = writeln!(
             out,
@@ -166,6 +297,13 @@ pub(crate) fn json(s: &MetricsSnapshot) -> String {
             h.max(),
         );
     }
+    out.push_str("},\"slowlog\":{");
+    for (i, &cmd) in NetCmd::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", cmd.name(), s.slowlog(cmd));
+    }
     out.push_str("},\"events\":{");
     for (i, &c) in Counter::ALL.iter().enumerate() {
         if i > 0 {
@@ -175,8 +313,9 @@ pub(crate) fn json(s: &MetricsSnapshot) -> String {
     }
     let _ = write!(
         out,
-        "}},\"derived\":{{\"total_ops\":{},\"ocf_false_positive_rate\":{:.6},\"hot_hit_rate\":{:.6},\"sync_overlap_win_rate\":{:.6}}},\"phases\":{{",
+        "}},\"derived\":{{\"total_ops\":{},\"total_slowlog\":{},\"ocf_false_positive_rate\":{:.6},\"hot_hit_rate\":{:.6},\"sync_overlap_win_rate\":{:.6}}},\"phases\":{{",
         s.total_ops(),
+        s.total_slowlog(),
         s.ocf_false_positive_rate(),
         s.hot_hit_rate(),
         s.sync_overlap_win_rate(),
@@ -213,9 +352,14 @@ mod tests {
             "hdnh_op_latency_ns{op=\"get\",quantile=\"0.5\"}",
             "hdnh_op_latency_ns{op=\"update\",quantile=\"0.99\"}",
             "hdnh_op_latency_ns_max{op=\"remove\"}",
+            "hdnh_op_latency_hist_ns_bucket{op=\"get\",le=\"+Inf\"}",
+            "hdnh_op_latency_hist_ns_count{op=\"insert\"}",
+            "hdnh_net_cmd_latency_hist_ns_bucket{cmd=\"set\",le=\"1024\"}",
+            "hdnh_slowlog_total{cmd=\"get\"}",
             "hdnh_events_total{event=\"ocf_false_positive\"}",
             "hdnh_events_total{event=\"seqlock_read_retry\"}",
             "hdnh_events_total{event=\"net_frame_decoded\"}",
+            "hdnh_events_total{event=\"delta_baseline_reset\"}",
             "hdnh_net_cmds_total{cmd=\"mget\"}",
             "hdnh_net_cmd_latency_ns{cmd=\"set\",quantile=\"0.999\"}",
             "hdnh_ocf_false_positive_rate",
@@ -224,6 +368,23 @@ mod tests {
             "hdnh_phase_items_total{phase=\"recovery_total\"}",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn every_type_line_has_a_help_line() {
+        let text = MetricsSnapshot::empty().to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(i > 0, "TYPE line first: {line}");
+                let prev = lines[i - 1];
+                assert!(
+                    prev.starts_with(&format!("# HELP {name} ")),
+                    "TYPE for {name} not preceded by its HELP: {prev}"
+                );
+            }
         }
     }
 
@@ -238,7 +399,7 @@ mod tests {
             j.matches('}').count(),
             "unbalanced braces: {j}"
         );
-        for key in ["\"get\"", "\"net\"", "\"mset\"", "\"events\"", "\"derived\"", "\"total_ops\"", "\"phases\"", "\"resize_allocate\""] {
+        for key in ["\"get\"", "\"net\"", "\"mset\"", "\"slowlog\"", "\"events\"", "\"derived\"", "\"total_ops\"", "\"total_slowlog\"", "\"phases\"", "\"resize_allocate\""] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
     }

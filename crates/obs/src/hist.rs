@@ -185,6 +185,27 @@ impl HistSnapshot {
         self.max
     }
 
+    /// Cumulative counts at ascending `edges` (Prometheus `le` bounds):
+    /// element `i` is the number of recorded values falling in buckets
+    /// wholly at or below `edges[i]`. When an edge is a bucket boundary
+    /// (any power of two ≥ 16 is), the count is exact; otherwise it is
+    /// rounded down to the nearest boundary. Always monotone
+    /// nondecreasing, and never exceeds [`count`](Self::count) — append
+    /// the total itself as the `+Inf` bucket.
+    pub fn le_counts(&self, edges: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(edges.len());
+        let mut acc = 0u64;
+        let mut idx = 0usize;
+        for &edge in edges {
+            while idx < BUCKETS && bucket_upper(idx) <= edge {
+                acc += self.counts[idx];
+                idx += 1;
+            }
+            out.push(acc);
+        }
+        out
+    }
+
     /// Adds another snapshot's population into this one.
     pub fn merge(&mut self, other: &HistSnapshot) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -310,6 +331,24 @@ mod tests {
         let min = delta.min();
         assert!((4_000..=5_000).contains(&min), "min={min}");
         assert_eq!(h.snapshot().since(&h.snapshot()).count(), 0);
+    }
+
+    #[test]
+    fn le_counts_are_monotone_and_exact_at_boundaries() {
+        let h = AtomicHistogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let edges = [16u64, 1 << 7, 1 << 11, 1 << 14, 1 << 17, 1 << 21];
+        let le = s.le_counts(&edges);
+        assert_eq!(le.len(), edges.len());
+        assert!(le.windows(2).all(|w| w[0] <= w[1]), "not monotone: {le:?}");
+        assert!(*le.last().unwrap() <= s.count());
+        // Power-of-two edges are exact boundaries: 10 < 16, {10,100} < 128.
+        assert_eq!(le[0], 1);
+        assert_eq!(le[1], 2);
+        assert_eq!(le[5], 6, "2^21 > 1e6 captures everything");
     }
 
     #[test]

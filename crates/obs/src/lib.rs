@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod trace;
 
 mod expo;
 
@@ -115,11 +116,14 @@ pub enum Counter {
     /// Well-framed requests naming a command the server does not speak
     /// (answered with an error reply; the connection stays open).
     NetUnknownCmd,
+    /// A `metrics delta` consumer observed the registry rewound beneath its
+    /// baseline (a reset happened between two delta reads) and rebased.
+    DeltaBaselineReset,
 }
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 27] = [
         Counter::OcfTrueMatch,
         Counter::OcfFalsePositive,
         Counter::OcfNegativeShortCircuit,
@@ -146,6 +150,7 @@ impl Counter {
         Counter::NetConnAccepted,
         Counter::NetConnRejected,
         Counter::NetUnknownCmd,
+        Counter::DeltaBaselineReset,
     ];
 
     /// Stable snake_case name used in exposition.
@@ -177,6 +182,7 @@ impl Counter {
             Counter::NetConnAccepted => "net_conn_accepted",
             Counter::NetConnRejected => "net_conn_rejected",
             Counter::NetUnknownCmd => "net_unknown_cmd",
+            Counter::DeltaBaselineReset => "delta_baseline_reset",
         }
     }
 }
@@ -404,6 +410,10 @@ impl PhaseCell {
 
 static PHASES: [PhaseCell; N_PHASES] = [const { PhaseCell::new() }; N_PHASES];
 
+/// Slow-command log counters, one per wire command. Unsharded: entries are
+/// rare by definition (each one crossed the slow threshold).
+static SLOWLOG: [AtomicU64; N_NET] = [const { AtomicU64::new(0) }; N_NET];
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
@@ -453,6 +463,18 @@ pub fn add(c: Counter, n: u64) {
 #[cold]
 fn add_slow(c: Counter, n: u64) {
     COUNTERS[shard()].vals[c as usize].fetch_add(n, Ordering::Relaxed);
+    // A handful of counters are also timeline events: the flight recorder
+    // wants *when* a corruption was found or a connection turned away, not
+    // just how many. Mapping them here keeps every emission site DRY.
+    let kind = match c {
+        Counter::CorruptionDetected => trace::EventKind::CorruptionDetected,
+        Counter::CorruptionRepaired => trace::EventKind::CorruptionRepaired,
+        Counter::CorruptionQuarantined => trace::EventKind::CorruptionQuarantined,
+        Counter::NetConnAccepted => trace::EventKind::ConnAccepted,
+        Counter::NetConnRejected => trace::EventKind::ConnRejected,
+        _ => return,
+    };
+    trace::emit(kind, 0, n);
 }
 
 /// Starts an op latency measurement; `None` while disabled, so the
@@ -486,6 +508,7 @@ pub fn op_record_ns(op: OpKind, ns: u64) {
 #[cold]
 fn op_record_slow(op: OpKind, ns: u64) {
     OP_HISTS[shard()][op as usize].record(ns);
+    trace::note_op_latency(op, ns);
 }
 
 /// Completes a wire-command service-latency measurement started with
@@ -510,12 +533,28 @@ pub fn net_record_ns(cmd: NetCmd, ns: u64) {
 #[cold]
 fn net_record_slow(cmd: NetCmd, ns: u64) {
     NET_HISTS[shard()][cmd as usize].record(ns);
+    if trace::note_cmd_latency(cmd, ns) {
+        SLOWLOG[cmd as usize].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Starts a phase span; `None` while disabled.
 #[inline]
 pub fn phase_start() -> Option<Instant> {
     op_start()
+}
+
+/// Starts a phase span *and* stamps a [`trace::EventKind::PhaseEnter`]
+/// event into the flight recorder, so the phase's position in the
+/// timeline (not just its duration) is reconstructible. Prefer this over
+/// [`phase_start`] at sites that know their phase up front.
+#[inline]
+pub fn phase_enter(p: Phase) -> Option<Instant> {
+    if !enabled() {
+        return None;
+    }
+    trace::emit(trace::EventKind::PhaseEnter, p as u32, 0);
+    Some(Instant::now())
 }
 
 /// Completes a phase span started with [`phase_start`]. `items` is the
@@ -540,6 +579,7 @@ pub fn phase_record_ns(p: Phase, ns: u64, items: u64) {
 
 #[cold]
 fn phase_apply(p: Phase, ns: u64, items: u64) {
+    trace::emit(trace::EventKind::PhaseExit, p as u32, ns);
     let cell = &PHASES[p as usize];
     cell.runs.fetch_add(1, Ordering::Relaxed);
     cell.total_ns.fetch_add(ns, Ordering::Relaxed);
@@ -564,6 +604,9 @@ pub fn reset() {
         for h in row {
             h.reset();
         }
+    }
+    for s in &SLOWLOG {
+        s.store(0, Ordering::Relaxed);
     }
     for p in &PHASES {
         p.reset();
@@ -620,6 +663,7 @@ pub struct MetricsSnapshot {
     counters: Vec<u64>,
     ops: Vec<HistSnapshot>,
     net: Vec<HistSnapshot>,
+    slowlog: Vec<u64>,
     phases: Vec<PhaseSnapshot>,
 }
 
@@ -630,6 +674,7 @@ impl MetricsSnapshot {
             counters: vec![0; N_COUNTERS],
             ops: (0..N_OPS).map(|_| HistSnapshot::empty()).collect(),
             net: (0..N_NET).map(|_| HistSnapshot::empty()).collect(),
+            slowlog: vec![0; N_NET],
             phases: vec![PhaseSnapshot::default(); N_PHASES],
         }
     }
@@ -647,6 +692,41 @@ impl MetricsSnapshot {
     /// Service-latency histogram of one wire command.
     pub fn net(&self, cmd: NetCmd) -> &HistSnapshot {
         &self.net[cmd as usize]
+    }
+
+    /// Slow-command log count of one wire command (commands that crossed
+    /// the [`trace::set_slow_cmd_threshold_ns`] threshold).
+    pub fn slowlog(&self, cmd: NetCmd) -> u64 {
+        self.slowlog[cmd as usize]
+    }
+
+    /// Total slow-command log entries across all commands.
+    pub fn total_slowlog(&self) -> u64 {
+        self.slowlog.iter().sum()
+    }
+
+    /// Whether any monotonic quantity in `self` is *below* `earlier` — the
+    /// signature of a registry reset between the two snapshots. A delta
+    /// consumer observing this must rebase rather than trust a clamped
+    /// (all-zero) difference.
+    pub fn regressed_from(&self, earlier: &MetricsSnapshot) -> bool {
+        self.counters.iter().zip(&earlier.counters).any(|(a, b)| a < b)
+            || self
+                .ops
+                .iter()
+                .zip(&earlier.ops)
+                .any(|(a, b)| a.count() < b.count())
+            || self
+                .net
+                .iter()
+                .zip(&earlier.net)
+                .any(|(a, b)| a.count() < b.count())
+            || self.slowlog.iter().zip(&earlier.slowlog).any(|(a, b)| a < b)
+            || self
+                .phases
+                .iter()
+                .zip(&earlier.phases)
+                .any(|(a, b)| a.runs < b.runs)
     }
 
     /// Total wire commands served across all command histograms — by
@@ -718,6 +798,12 @@ impl MetricsSnapshot {
                 .zip(&earlier.net)
                 .map(|(a, b)| a.since(b))
                 .collect(),
+            slowlog: self
+                .slowlog
+                .iter()
+                .zip(&earlier.slowlog)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
             phases: self
                 .phases
                 .iter()
@@ -772,11 +858,13 @@ pub fn snapshot() -> MetricsSnapshot {
             merged
         })
         .collect();
+    let slowlog = SLOWLOG.iter().map(|s| s.load(Ordering::Relaxed)).collect();
     let phases = PHASES.iter().map(PhaseCell::snapshot).collect();
     MetricsSnapshot {
         counters,
         ops,
         net,
+        slowlog,
         phases,
     }
 }

@@ -1,6 +1,7 @@
-//! Network service layer for HDNH: a RESP2-subset TCP front-end.
+//! Network service layer for HDNH: a RESP2-subset TCP front-end plus an
+//! HTTP ops plane.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - [`resp`] — the wire grammar: a zero-copy incremental request
 //!   [`resp::Decoder`] (frames are byte ranges into the decoder's buffer;
@@ -12,6 +13,10 @@
 //!   and graceful drain on `SHUTDOWN`/SIGTERM.
 //! - [`client`] — a blocking pipelining [`client::RespClient`] used by
 //!   the `netbench` load generator and the integration tests.
+//! - [`ops`] — a dependency-free HTTP/1.0 listener on a separate port
+//!   serving `/metrics`, `/healthz`, `/readyz`, `/varz`, and `/trace`,
+//!   sharing readiness/drain state with the RESP server through
+//!   [`ops::OpsState`].
 //!
 //! The command vocabulary (`PING GET SET DEL EXISTS MGET MSET INFO SCRUB
 //! METRICS SHUTDOWN`) maps 1:1 onto the table's typed API; table errors
@@ -22,11 +27,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod ops;
 pub mod resp;
 pub mod server;
 
 pub use client::{Reply, RespClient};
+pub use ops::{start_ops, OpsHandle, OpsState, GIT_HASH, VERSION};
 pub use resp::{Decoder, Frame, ProtoError};
 pub use server::{
-    install_signal_handlers, serve_until_signal, signaled, start, ServerConfig, ServerHandle,
+    install_signal_handlers, serve_until_signal, signaled, start, start_with_state, ServerConfig,
+    ServerHandle,
 };

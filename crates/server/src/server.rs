@@ -25,7 +25,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,6 +33,7 @@ use hdnh::{Hdnh, HdnhError};
 use hdnh_common::{Key, Value};
 use hdnh_obs as obs;
 
+use crate::ops::OpsState;
 use crate::resp::{
     enc_array_header, enc_bulk, enc_error, enc_int, enc_nil, enc_simple, parse_u64, Decoder,
     DEFAULT_MAX_FRAME,
@@ -83,8 +84,10 @@ struct Shared {
     table: Arc<Hdnh>,
     cfg: ServerConfig,
     shutdown: AtomicBool,
-    active_conns: AtomicUsize,
     addr: SocketAddr,
+    /// Shared ops-plane state: readiness, drain flag, uptime, and the
+    /// canonical live-connection count (so `INFO` and `/varz` agree).
+    state: Arc<OpsState>,
 }
 
 /// Handle to a running server: address, shutdown trigger, join.
@@ -129,6 +132,9 @@ fn begin_shutdown(shared: &Arc<Shared>) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
+    // Readiness probes flip false the instant the drain begins, before the
+    // accept loops have even noticed.
+    shared.state.begin_drain();
     // Wake workers blocked in accept(): each dummy connection unblocks one
     // accept call, whose worker then observes the flag and exits.
     for _ in 0..shared.cfg.threads {
@@ -138,7 +144,27 @@ fn begin_shutdown(shared: &Arc<Shared>) {
 
 /// Binds `addr` and starts the worker threads. The table is shared; the
 /// caller keeps its own `Arc` and may continue using it in-process.
+///
+/// Convenience wrapper over [`start_with_state`] with a private
+/// [`OpsState`] that is published and marked ready immediately.
 pub fn start<A: ToSocketAddrs>(table: Arc<Hdnh>, addr: A, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let state = OpsState::new();
+    state.set_table(&table);
+    let handle = start_with_state(table, addr, cfg, Arc::clone(&state))?;
+    state.set_ready();
+    Ok(handle)
+}
+
+/// [`start`] with a caller-supplied [`OpsState`], so an ops listener
+/// started *before* the table was opened (readiness false through
+/// recovery) shares the same readiness/drain/connection state as the
+/// data path.
+pub fn start_with_state<A: ToSocketAddrs>(
+    table: Arc<Hdnh>,
+    addr: A,
+    cfg: ServerConfig,
+    state: Arc<OpsState>,
+) -> std::io::Result<ServerHandle> {
     assert!(cfg.threads >= 1, "server needs at least one worker");
     assert!(cfg.max_inflight >= 1, "pipelining budget must be positive");
     let listener = TcpListener::bind(addr)?;
@@ -147,8 +173,8 @@ pub fn start<A: ToSocketAddrs>(table: Arc<Hdnh>, addr: A, cfg: ServerConfig) -> 
         table,
         cfg,
         shutdown: AtomicBool::new(false),
-        active_conns: AtomicUsize::new(0),
         addr: local,
+        state,
     });
     let mut workers = Vec::with_capacity(shared.cfg.threads);
     for i in 0..shared.cfg.threads {
@@ -176,8 +202,9 @@ fn worker_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             return;
         }
         // Connection budget: a slot is held for the connection's lifetime.
-        if shared.active_conns.fetch_add(1, Ordering::SeqCst) >= shared.cfg.max_conns {
-            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        let conns = &shared.state.active_conns;
+        if conns.fetch_add(1, Ordering::SeqCst) >= shared.cfg.max_conns {
+            conns.fetch_sub(1, Ordering::SeqCst);
             obs::count(obs::Counter::NetConnRejected);
             let mut out = Vec::new();
             enc_error(&mut out, "ERR", "max connections reached");
@@ -187,7 +214,7 @@ fn worker_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         }
         obs::count(obs::Counter::NetConnAccepted);
         let _ = serve_conn(shared, stream);
-        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        conns.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -325,13 +352,27 @@ fn upsert(table: &Hdnh, k: u64, v: u64) -> Result<(), HdnhError> {
     }
 }
 
+/// A sticky backend I/O fault is recorded in the flight recorder exactly
+/// once per process — the fault itself is sticky, so one timeline event
+/// marks the transition without flooding the ring on every denied ack.
+static IO_FAULT_TRACED: AtomicBool = AtomicBool::new(false);
+
+fn note_io_fault() {
+    if !IO_FAULT_TRACED.swap(true, Ordering::Relaxed) {
+        obs::trace::emit(obs::trace::EventKind::IoFault, 0, 0);
+    }
+}
+
 /// Emits `+OK` only when the backend carries no sticky i/o fault. A write
 /// whose flush already failed (pool-file `msync` error) must not be
 /// acknowledged as durable; the fault surfaces here as `-IO`.
 fn ack_ok(table: &Hdnh, out: &mut Vec<u8>) {
     match table.io_fault() {
         None => enc_simple(out, "OK"),
-        Some(e) => enc_hdnh_error(out, &e),
+        Some(e) => {
+            note_io_fault();
+            enc_hdnh_error(out, &e);
+        }
     }
 }
 
@@ -410,6 +451,7 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                     enc_error(out, "ERR", "value is not an unsigned integer or out of range");
                 } else if let Some(e) = table.io_fault() {
                     // Deletions mutate NVM too: no ack over a failed flush.
+                    note_io_fault();
                     enc_hdnh_error(out, &e);
                 } else {
                     enc_int(out, removed);
@@ -501,15 +543,22 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
             if frame.len() != 1 {
                 wrong_args(out, "info");
             } else {
+                let state = &shared.state;
                 let s = format!(
-                    "records:{}\r\nload_factor:{:.3}\r\nresizes:{}\r\nocf_bytes:{}\r\nconnections:{}\r\nmax_connections:{}\r\nworkers:{}\r\nshutting_down:{}\r\n",
+                    "version:{}\r\ngit_sha:{}\r\nuptime_seconds:{}\r\nbackend:{}\r\nrecords:{}\r\nload_factor:{:.3}\r\nresizes:{}\r\nocf_bytes:{}\r\nconnections:{}\r\nmax_connections:{}\r\nworkers:{}\r\nready:{}\r\ndraining:{}\r\nshutting_down:{}\r\n",
+                    crate::ops::VERSION,
+                    crate::ops::GIT_HASH,
+                    state.uptime_secs(),
+                    table.backend_kind(),
                     table.len(),
                     table.load_factor(),
                     table.resize_count(),
                     table.ocf_footprint_bytes(),
-                    shared.active_conns.load(Ordering::SeqCst),
+                    state.active_conns.load(Ordering::SeqCst),
                     shared.cfg.max_conns,
                     shared.cfg.threads,
+                    state.not_ready_reason().is_none() as u8,
+                    state.is_draining() as u8,
                     shared.shutdown.load(Ordering::SeqCst) as u8,
                 );
                 enc_bulk(out, s.as_bytes());
