@@ -97,9 +97,62 @@ fn main() {
         );
     }
 
+    // Sync-policy cost: the same YCSB-A mix on a file-backed pool under
+    // MS_ASYNC (default, acks before media) vs MS_SYNC (blocks every fence
+    // until the media write completes — the only power-loss-safe ack).
+    // Smaller run: a blocking msync per fence is orders slower on disk.
+    let sp_preload = scaled(10_000) as u64;
+    let sp_ops = scaled(4_000);
+    let mut sp_json = String::new();
+    for (i, policy) in [hdnh_nvm::SyncPolicy::Async, hdnh_nvm::SyncPolicy::Sync]
+        .into_iter()
+        .enumerate()
+    {
+        let dir = std::env::temp_dir().join(format!(
+            "hdnh-bench-syncpolicy-{}-{}",
+            policy.name(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut params = hdnh_params(sp_preload as usize);
+        params.nvm.sync_policy = policy;
+        let (table, _) = Hdnh::open_pool(params, &dir, threads).expect("sync-policy pool");
+        preload(&table, &ks, sp_preload, threads);
+        let r = run_workload(
+            &table,
+            &ks,
+            &WorkloadSpec::ycsb_a(),
+            sp_preload,
+            sp_ops,
+            threads,
+            0xFE11CE,
+            false,
+        );
+        table.close_pool().expect("sync-policy pool close");
+        let _ = std::fs::remove_dir_all(&dir);
+        println!(
+            "YCSB-A pool {}: {} ops in {:.3} s ({:.3} Mops/s)",
+            policy.name(),
+            r.ops,
+            r.secs,
+            r.mops(),
+        );
+        let _ = write!(
+            sp_json,
+            "{}\"{}\":{{\"ops\":{},\"secs\":{:.6},\"mops\":{:.4}}}",
+            if i == 0 { "" } else { "," },
+            policy.name(),
+            r.ops,
+            r.secs,
+            r.mops(),
+        );
+    }
+
     let doc = format!(
         "{{\"bench\":\"ops\",\"threads\":{threads},\"preload\":{preloaded},\
-         \"ops_per_thread\":{ops_per_thread},\"workloads\":{{{wl_json}}}}}\n"
+         \"ops_per_thread\":{ops_per_thread},\"workloads\":{{{wl_json}}},\
+         \"sync_policy\":{{\"backend\":\"pool\",\"workload\":\"a\",\
+         \"preload\":{sp_preload},\"ops_per_thread\":{sp_ops},{sp_json}}}}}\n"
     );
     match std::fs::write(&out_path, &doc) {
         Ok(()) => println!("wrote {out_path}"),

@@ -38,6 +38,11 @@ pub enum Command {
     Crash(u64),
     /// `faultrun [...]` — crash-point injection matrix (see [`FaultRunMode`]).
     FaultRun(FaultRunMode),
+    /// `backup <dir>` — crash-consistent snapshot of a pool-backed table.
+    Backup(String),
+    /// `restore <snapshot-dir> <dest-dir>` — verify a snapshot's CRC
+    /// manifest, copy it into a fresh pool directory, and open it.
+    Restore(String, String),
     /// `record <file> <a|b|c|f> <ops>` — generate a YCSB stream and save it
     /// as a binary trace.
     Record(String, char, usize),
@@ -255,6 +260,19 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
             };
             Command::FaultRun(mode)
         }
+        "backup" => Command::Backup(
+            toks.next()
+                .ok_or_else(|| ParseError("missing snapshot directory".into()))?
+                .to_string(),
+        ),
+        "restore" => Command::Restore(
+            toks.next()
+                .ok_or_else(|| ParseError("missing snapshot directory".into()))?
+                .to_string(),
+            toks.next()
+                .ok_or_else(|| ParseError("missing destination directory".into()))?
+                .to_string(),
+        ),
         "record" => {
             let file = toks
                 .next()
@@ -304,6 +322,9 @@ commands:
   crash <seed>            simulate power failure + recovery (strict mode)
   faultrun [mode]         crash-point injection matrix; modes: full (default),
                           quick, sites, repro <mix:site:hit:seed[:rsite:rhit]>
+  backup <dir>            crash-consistent snapshot (pool-backed tables only)
+  restore <snap> <dest>   verify a snapshot's manifest, copy it into a fresh
+                          pool directory and open it there
   record <file> <mix> <n> save a YCSB op stream as a binary trace
   replay <file>           replay a saved trace against the table
   help                    this text

@@ -27,6 +27,11 @@ pub struct EngineConfig {
     /// Pool directory for the file-backed persistent backend (`--pool`).
     /// `None` keeps the default heap simulator.
     pub pool: Option<String>,
+    /// Pool fence policy: [`SyncPolicy::Sync`](hdnh_nvm::SyncPolicy) blocks
+    /// write acks on `msync(MS_SYNC)` and is the only power-loss-safe
+    /// setting; `Async` (default) is faster but an acked write may be lost
+    /// if power fails before the kernel writes the page back.
+    pub sync_policy: hdnh_nvm::SyncPolicy,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +41,7 @@ impl Default for EngineConfig {
             latency: false,
             capacity: 10_000,
             pool: None,
+            sync_policy: hdnh_nvm::SyncPolicy::Async,
         }
     }
 }
@@ -97,6 +103,7 @@ impl Engine {
         let params = HdnhParams::builder()
             .capacity(config.capacity)
             .nvm(nvm)
+            .sync_policy(config.sync_policy)
             .build()
             .map_err(|e| HdnhError::Config(e.to_string()))?;
         // The shell is an observability surface: the registry is always on
@@ -400,6 +407,35 @@ impl Engine {
                 )))
             }
             Command::FaultRun(mode) => Ok(Self::fault_run(mode)),
+            Command::Backup(dir) => {
+                let report = self.table()?.snapshot(std::path::Path::new(&dir))?;
+                Ok(Outcome::Text(format!(
+                    "snapshot written to {dir}: {} files, {} bytes",
+                    report.files, report.bytes
+                )))
+            }
+            Command::Restore(snap, dest) => {
+                if self.params.nvm.strict {
+                    return Err(HdnhError::Config(
+                        "restore opens a file-backed pool and cannot run under --strict".into(),
+                    ));
+                }
+                let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+                let (table, report) = Hdnh::restore_snapshot(
+                    self.params.clone(),
+                    std::path::Path::new(&snap),
+                    std::path::Path::new(&dest),
+                    threads,
+                )?;
+                let records = table.len();
+                // The restored pool is validated, closed clean, and left in
+                // place; reopen it with `--pool <dest>`.
+                table.close_pool()?;
+                Ok(Outcome::Text(format!(
+                    "restored {snap} into {dest}: {records} records, layout epoch {}",
+                    report.layout_epoch
+                )))
+            }
             Command::Record(file, mix, ops) => {
                 let spec = Self::spec_for(mix);
                 let preloaded = self.next_fill_id.max(1);

@@ -1,9 +1,9 @@
 //! `hdnh-cli` — interactive/scriptable shell for an HDNH table.
 //!
 //! ```text
-//! hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR]
+//! hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR] [--sync-policy async|sync]
 //! hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR]
-//!                       [--ops-addr ADDR] [--slow-us N]
+//!                       [--sync-policy async|sync] [--ops-addr ADDR] [--slow-us N]
 //! ```
 //!
 //! Without a subcommand, reads shell commands from stdin (one per line;
@@ -54,9 +54,10 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--sync-policy" => config.sync_policy = parse_sync_policy(args.next()),
             "--help" | "-h" => {
-                println!("hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR]");
-                println!("hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR] [--ops-addr ADDR] [--slow-us N]");
+                println!("hdnh-cli [--strict] [--latency] [--capacity N] [--pool DIR] [--sync-policy async|sync]");
+                println!("hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR] [--sync-policy async|sync] [--ops-addr ADDR] [--slow-us N]");
                 println!("{}", hdnh_cli::command::HELP);
                 return;
             }
@@ -121,6 +122,21 @@ fn main() {
     }
 }
 
+/// Parses `--sync-policy async|sync`. `sync` blocks every write ack on
+/// `msync(MS_SYNC)` — the only power-loss-safe setting; `async` (default)
+/// acks after a non-blocking `MS_ASYNC` and can lose acked writes if power
+/// fails before writeback.
+fn parse_sync_policy(val: Option<String>) -> hdnh_nvm::SyncPolicy {
+    match val.as_deref() {
+        Some("async") => hdnh_nvm::SyncPolicy::Async,
+        Some("sync") => hdnh_nvm::SyncPolicy::Sync,
+        _ => {
+            eprintln!("--sync-policy takes 'async' or 'sync'");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Minimal tty check without a dependency: assume non-interactive when the
 /// `HDNH_CLI_BATCH` env var is set, interactive otherwise. (Good enough for
 /// a demo shell; piped runs just see a few extra prompts on stdout if the
@@ -141,7 +157,7 @@ fn atty_stdin() -> bool {
 /// counters. `HDNH_NO_OBS=1` disables the whole observability layer (the
 /// CI overhead job compares against this).
 fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
-    const USAGE: &str = "usage: hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR] [--ops-addr ADDR] [--slow-us N]";
+    const USAGE: &str = "usage: hdnh-cli serve <addr> [--threads N] [--max-conns N] [--capacity N] [--fill N] [--pool DIR] [--sync-policy async|sync] [--ops-addr ADDR] [--slow-us N]";
     let Some(addr) = args.next().filter(|a| !a.starts_with("--")) else {
         eprintln!("{USAGE}");
         std::process::exit(2);
@@ -152,6 +168,7 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
     let mut pool: Option<String> = None;
     let mut ops_addr: Option<String> = None;
     let mut slow_us = 0u64;
+    let mut sync_policy = hdnh_nvm::SyncPolicy::Async;
     while let Some(flag) = args.next() {
         let val = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
             args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -177,6 +194,7 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
                 }));
             }
             "--slow-us" => slow_us = val(&mut args, "--slow-us"),
+            "--sync-policy" => sync_policy = parse_sync_policy(args.next()),
             other => {
                 eprintln!("unknown serve flag '{other}'");
                 std::process::exit(2);
@@ -186,6 +204,7 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
     let params = hdnh::HdnhParams::builder()
         .capacity(capacity)
         .nvm(hdnh_nvm::NvmOptions::fast())
+        .sync_policy(sync_policy)
         .build()
         .unwrap_or_else(|e| {
             eprintln!("bad table configuration: {e}");

@@ -34,8 +34,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use hdnh_common::rng::XorShift64Star;
 use hdnh_common::{Key, Value};
-use hdnh_nvm::{fault, FaultPlan, NvmOptions, NvmRegion};
+use hdnh_nvm::{fault, FaultPlan, LossMode, NvmOptions, NvmRegion, SyncPolicy};
 
 use crate::params::{HdnhParams, SyncMode};
 use crate::recovery::PersistentPool;
@@ -216,6 +217,24 @@ pub fn explore_params() -> HdnhParams {
         segment_bytes: 1024,
         initial_bottom_segments: 2,
         nvm: NvmOptions::strict(),
+        sync_mode: SyncMode::Background,
+        background_writers: 1,
+        ..Default::default()
+    }
+}
+
+/// The pool-backend twin of [`explore_params`]: same tiny geometry, but
+/// file-backed with shadow-persistence tracking and the blocking sync
+/// policy — the only configuration whose acks are power-loss safe, and
+/// therefore the only one the acked-state oracle is sound against.
+pub fn explore_pool_params() -> HdnhParams {
+    let mut nvm = NvmOptions::fast();
+    nvm.shadow_pool = true;
+    nvm.sync_policy = SyncPolicy::Sync;
+    HdnhParams {
+        segment_bytes: 1024,
+        initial_bottom_segments: 2,
+        nvm,
         sync_mode: SyncMode::Background,
         background_writers: 1,
         ..Default::default()
@@ -479,8 +498,146 @@ pub fn run_single(
     result
 }
 
+/// A fresh scratch pool directory under the system temp dir, unique per
+/// process and per call.
+fn scratch_pool_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "hdnh-faultpool-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+/// Builds a *file-backed* table in `dir` and runs the mix, catching an
+/// injected crash anywhere in between. Returns how many ops completed, or
+/// `Ok(None)` when the crash hit pool creation (the superblock is written
+/// last, so a half-created directory is refused on reopen and nothing was
+/// ever acknowledged). The table is dropped *without* `close_pool` — the
+/// mapping disappears dirty, exactly like a power cut.
+fn run_phase_one_pool(mix: &OpMix, dir: &std::path::Path) -> Result<Option<usize>, String> {
+    let applied = AtomicUsize::new(0);
+    let mut table: Option<Hdnh> = None;
+    let mut open_err: Option<String> = None;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        match Hdnh::open_pool(explore_pool_params(), dir, 1) {
+            Ok((t, _)) => {
+                table = Some(t);
+                run_mix(table.as_ref().unwrap(), &mix.ops, &applied);
+            }
+            Err(e) => open_err = Some(format!("pool creation failed: {e}")),
+        }
+    }));
+    if let Err(payload) = outcome {
+        if fault::injected(&*payload).is_none() {
+            return Err(format!(
+                "genuine panic during pool mix (not an injected crash): {}",
+                panic_message(&*payload)
+            ));
+        }
+    }
+    if let Some(e) = open_err {
+        return Err(e);
+    }
+    let had_table = table.is_some();
+    drop(table);
+    Ok(had_table.then_some(applied.load(Ordering::Relaxed)))
+}
+
+/// [`run_single`] under `Backend::Pool` with shadow persistence: the
+/// injected crash is followed by a *power loss* — every region file is
+/// reduced to what the shadow sidecar guarantees plus a seed-chosen
+/// fraction of the at-risk (unfenced) lines, torn, dropped or reordered
+/// per [`LossMode::from_seed`]. Recovery then runs through the full
+/// `open_pool` path (superblock validation, size classification, orphan
+/// sweep) and must satisfy the same acked-state oracle as the heap matrix.
+pub fn run_single_pool(mix: &OpMix, plan: &FaultPlan, seed: u64, threads: usize) -> FaultCaseResult {
+    let mode = LossMode::from_seed(seed);
+    let mut result = FaultCaseResult {
+        mix: mix.name.to_string(),
+        site: plan.site.clone(),
+        hit: plan.hit,
+        seed,
+        recovery_site: None,
+        pass: false,
+        detail: String::new(),
+    };
+    let dir = scratch_pool_dir("case");
+
+    fault::arm(plan.clone());
+    let phase_one = run_phase_one_pool(mix, &dir);
+    let fired = fault::fired();
+    fault::disarm();
+
+    'case: {
+        let applied = match phase_one {
+            Ok(Some(applied)) => applied,
+            Ok(None) => {
+                result.pass = true;
+                result.detail = "injected crash during pool creation (no pool formatted)".into();
+                break 'case;
+            }
+            Err(detail) => {
+                result.detail = detail;
+                break 'case;
+            }
+        };
+        if fired.is_none() {
+            result.pass = true;
+            result.detail = "site/hit not reached by mix".into();
+            break 'case;
+        }
+
+        // Power loss: cut every region file back to fenced content plus
+        // random survivors of the at-risk lines.
+        let mut rng = XorShift64Star::new(seed ^ 0xD6E8_FEB8_6659_FD93);
+        let files = match std::fs::read_dir(&dir) {
+            Ok(rd) => rd,
+            Err(e) => {
+                result.detail = format!("read_dir {}: {e}", dir.display());
+                break 'case;
+            }
+        };
+        for entry in files.flatten() {
+            let p = entry.path();
+            if p.extension().and_then(|e| e.to_str()) != Some("dat") {
+                continue;
+            }
+            if let Err(e) = hdnh_nvm::powerloss_crash_file(&p, &mut rng, mode) {
+                result.detail = format!("powerloss on {}: {e}", p.display());
+                break 'case;
+            }
+        }
+
+        match Hdnh::open_pool(explore_pool_params(), &dir, threads.max(1)) {
+            Ok((table, _)) => match check_recovered(&table, &mix.ops, applied) {
+                Ok(()) => result.pass = true,
+                Err(e) => result.detail = format!("[{}] {e}", mode.name()),
+            },
+            Err(e) => {
+                result.detail = format!("[{}] pool reopen failed: {e}", mode.name());
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Records per-site hit counts for one mix on the pool backend (the site
+/// population differs from the heap run: `msync` paths fire, strict-mode
+/// paths do not).
+pub fn record_sites_pool(mix: &OpMix) -> Result<BTreeMap<&'static str, u64>, String> {
+    let dir = scratch_pool_dir("record");
+    fault::start_recording();
+    let phase = run_phase_one_pool(mix, &dir);
+    let counts = fault::disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+    phase.map(|_| counts)
+}
+
 /// Hit samples for a site observed `n` times: first, middle, last.
-fn hit_samples(n: u64) -> Vec<u64> {
+pub fn hit_samples(n: u64) -> Vec<u64> {
     let mut v = vec![1, n / 2 + 1, n];
     v.sort_unstable();
     v.dedup();

@@ -53,6 +53,7 @@ pub mod ocf;
 pub mod params;
 pub mod pool;
 pub mod recovery;
+pub mod snapshot;
 pub mod sync;
 pub mod table;
 
@@ -60,6 +61,9 @@ pub use error::{CorruptionOutcome, HdnhError};
 pub use faultexplore::{ExploreConfig, ExploreReport, FaultCaseResult, OpMix};
 pub use hot::HotTable;
 pub use params::{HdnhParams, HdnhParamsBuilder, HotPolicy, SyncMode};
-pub use pool::{PoolOpenReport, Superblock, SUPERBLOCK_FILE};
+pub use pool::{crc32_ieee, PoolOpenReport, Superblock, SUPERBLOCK_FILE};
 pub use recovery::{PersistentPool, RecoveryTiming};
+pub use snapshot::{
+    verify_snapshot, ManifestEntry, SnapshotManifest, SnapshotReport, SNAPSHOT_MANIFEST_FILE,
+};
 pub use table::{Hdnh, InvariantReport, ScrubReport};

@@ -222,6 +222,15 @@ impl HdnhParamsBuilder {
         self
     }
 
+    /// Pool-backend fence policy: [`SyncPolicy::Sync`] blocks write acks on
+    /// `msync(MS_SYNC)` and is the only power-loss-safe setting;
+    /// [`SyncPolicy::Async`] (default) acks after `MS_ASYNC` and can lose
+    /// acked writes on power failure.
+    pub fn sync_policy(mut self, policy: hdnh_nvm::SyncPolicy) -> Self {
+        self.params.nvm.sync_policy = policy;
+        self
+    }
+
     /// Validates and produces the final configuration.
     pub fn build(self) -> Result<HdnhParams, crate::HdnhError> {
         let err = |msg: String| Err(crate::HdnhError::Config(msg));

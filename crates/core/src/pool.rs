@@ -77,7 +77,7 @@ impl Superblock {
         b[12..16].copy_from_slice(&flags.to_le_bytes());
         b[16..24].copy_from_slice(&self.segment_bytes.to_le_bytes());
         b[24..32].copy_from_slice(&self.layout_epoch.to_le_bytes());
-        let crc = crc32(&b[..SUPERBLOCK_BYTES - 4]);
+        let crc = crc32_ieee(&b[..SUPERBLOCK_BYTES - 4]);
         b[60..64].copy_from_slice(&crc.to_le_bytes());
         b
     }
@@ -93,7 +93,7 @@ impl Superblock {
             )));
         }
         let stored_crc = u32::from_le_bytes(bytes[60..64].try_into().unwrap());
-        let actual_crc = crc32(&bytes[..SUPERBLOCK_BYTES - 4]);
+        let actual_crc = crc32_ieee(&bytes[..SUPERBLOCK_BYTES - 4]);
         if stored_crc != actual_crc {
             return Err(HdnhError::Recovery(format!(
                 "superblock CRC mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
@@ -122,8 +122,9 @@ impl Superblock {
 }
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), bitwise — this
-/// runs on 60 bytes at open/close, a table buys nothing.
-fn crc32(data: &[u8]) -> u32 {
+/// runs on superblock/manifest-sized inputs, a table buys nothing. Public
+/// because the snapshot manifest and its tests share the same checksum.
+pub fn crc32_ieee(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &byte in data {
         crc ^= byte as u32;
@@ -134,7 +135,7 @@ fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-fn read_superblock(dir: &Path) -> Result<Superblock, HdnhError> {
+pub(crate) fn read_superblock(dir: &Path) -> Result<Superblock, HdnhError> {
     let path = dir.join(SUPERBLOCK_FILE);
     let bytes = fs::read(&path)
         .map_err(|e| HdnhError::Io(format!("read {}: {e}", path.display())))?;
@@ -144,7 +145,7 @@ fn read_superblock(dir: &Path) -> Result<Superblock, HdnhError> {
 /// Crash-safe superblock replacement: write a temp file, fsync it,
 /// rename over the live name, fsync the directory. A kill at any point
 /// leaves either the old or the new (complete, CRC-valid) block.
-fn write_superblock(dir: &Path, sb: &Superblock) -> Result<(), HdnhError> {
+pub(crate) fn write_superblock(dir: &Path, sb: &Superblock) -> Result<(), HdnhError> {
     let tmp = dir.join("superblock.tmp");
     let live = dir.join(SUPERBLOCK_FILE);
     let io = |op: &str, p: &Path, e: std::io::Error| {
@@ -342,6 +343,7 @@ impl Hdnh {
         let mut removed = 0usize;
         for p in pool.region_files().map_err(HdnhError::from)? {
             if !live.contains(&p) && fs::remove_file(&p).is_ok() {
+                hdnh_nvm::shadow::remove_sidecar(&p);
                 removed += 1;
             }
         }
@@ -477,6 +479,6 @@ mod tests {
     #[test]
     fn crc32_matches_reference_vector() {
         // IEEE CRC-32 of "123456789" is the classic check value.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_ieee(b"123456789"), 0xCBF4_3926);
     }
 }

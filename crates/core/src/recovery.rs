@@ -117,11 +117,11 @@ impl Hdnh {
             .unwrap_or_else(|e| panic!("recovery failed: {e}"))
     }
 
-    /// [`Hdnh::recover_timed`] with pool-file allocation failures surfaced
-    /// as typed errors. Geometry/magic mismatches still panic (they are
-    /// caller bugs on the heap path; the pool-file open path pre-validates
-    /// them against the superblock and reports typed errors before getting
-    /// here).
+    /// [`Hdnh::recover_timed`] with pool-file allocation failures and
+    /// geometry mismatches surfaced as typed errors
+    /// ([`HdnhError::Recovery`](crate::HdnhError::Recovery)) instead of
+    /// panics, so a pool created with different parameters is reported
+    /// rather than aborting the process.
     pub fn try_recover_timed(
         params: HdnhParams,
         pool: PersistentPool,
@@ -131,11 +131,14 @@ impl Hdnh {
         obs::trace::milestone(obs::trace::Milestone::RecoveryStart);
         let t0 = Instant::now();
         let meta = Meta::open(pool.meta);
-        assert_eq!(
-            meta.segment_bytes(),
-            params.segment_bytes,
-            "params disagree with the persisted pool geometry"
-        );
+        if meta.segment_bytes() != params.segment_bytes {
+            return Err(crate::HdnhError::Recovery(format!(
+                "params disagree with the persisted pool geometry: \
+                 persisted segment_bytes {} vs configured {}",
+                meta.segment_bytes(),
+                params.segment_bytes
+            )));
+        }
         let bps = params.segment_bytes / BUCKET_BYTES;
         // Level geometry comes from the *actual region sizes* (a real pool
         // knows the sizes of its DAX files), not from the metadata block: a
@@ -143,10 +146,17 @@ impl Hdnh {
         // store behind the regions that really survived, and recovery must
         // adopt what is there.
         let seg_bytes = bps * BUCKET_BYTES;
-        assert!(
-            pool.top.len().is_multiple_of(seg_bytes) && pool.bottom.len().is_multiple_of(seg_bytes),
-            "pool regions are not whole segments"
-        );
+        if !pool.top.len().is_multiple_of(seg_bytes)
+            || !pool.bottom.len().is_multiple_of(seg_bytes)
+        {
+            return Err(crate::HdnhError::Recovery(format!(
+                "pool regions are not whole segments: top {} B, bottom {} B, \
+                 segment {} B",
+                pool.top.len(),
+                pool.bottom.len(),
+                seg_bytes
+            )));
+        }
         let mut top_region = pool.top;
         let mut bottom_region = pool.bottom;
         let mut new_top_region = pool.new_top;
@@ -161,14 +171,22 @@ impl Hdnh {
             && (top_region.len() / seg_bytes != meta.top_segments()
                 || bottom_region.len() / seg_bytes != meta.bottom_segments())
         {
-            let nt = new_top_region.take().expect(
-                "meta geometry disagrees with the pool regions and no in-flight level survived",
-            );
-            assert!(
-                nt.len() / seg_bytes == meta.top_segments()
-                    && top_region.len() / seg_bytes == meta.bottom_segments(),
-                "no role assignment of the surviving regions matches the persisted geometry"
-            );
+            let nt = new_top_region.take().ok_or_else(|| {
+                crate::HdnhError::Recovery(
+                    "meta geometry disagrees with the pool regions and no in-flight \
+                     level survived"
+                        .to_string(),
+                )
+            })?;
+            if nt.len() / seg_bytes != meta.top_segments()
+                || top_region.len() / seg_bytes != meta.bottom_segments()
+            {
+                return Err(crate::HdnhError::Recovery(
+                    "no role assignment of the surviving regions matches the \
+                     persisted geometry"
+                        .to_string(),
+                ));
+            }
             bottom_region = std::mem::replace(&mut top_region, nt);
             fault::point("recover.relabeled");
         }

@@ -431,6 +431,12 @@ impl Hdnh {
     /// heap backend. Used by the orphan sweep after recovery.
     pub fn region_file_paths(&self) -> Vec<std::path::PathBuf> {
         let _m = self.maintenance_lock();
+        self.region_file_paths_locked()
+    }
+
+    /// [`region_file_paths`](Self::region_file_paths) body for callers that
+    /// already hold the maintenance lock (the lock is not re-entrant).
+    pub(crate) fn region_file_paths_locked(&self) -> Vec<std::path::PathBuf> {
         let snap = self.pinned();
         let inner = snap.inner;
         let mut out = Vec::new();
@@ -452,6 +458,12 @@ impl Hdnh {
     /// No-op on the heap backend.
     pub fn sync_regions_to_disk(&self) -> Result<(), HdnhError> {
         let _m = self.maintenance_lock();
+        self.sync_regions_to_disk_locked()
+    }
+
+    /// [`sync_regions_to_disk`](Self::sync_regions_to_disk) body for
+    /// callers that already hold the maintenance lock.
+    pub(crate) fn sync_regions_to_disk_locked(&self) -> Result<(), HdnhError> {
         let snap = self.pinned();
         let inner = snap.inner;
         for region in [self.meta.region(), inner.top.region(), inner.bottom.region()] {
@@ -461,6 +473,24 @@ impl Hdnh {
             level.region().sync_to_disk().map_err(HdnhError::from)?;
         }
         Ok(())
+    }
+
+    /// Runs `f` with the maintenance lock held and writers excluded: the
+    /// generation is made odd and the epoch drained, so no mutator is
+    /// mid-operation while `f` runs. Readers keep running throughout (the
+    /// lock-free read path never touches the generation). The snapshot
+    /// machinery uses this to get a single crash-consistent point in time.
+    pub(crate) fn with_writers_paused<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _m = self.maintenance_lock();
+        let gen = self.generation.load(Ordering::SeqCst);
+        self.generation.store(gen + 1, Ordering::SeqCst);
+        let _pause = GenRestore {
+            gen: &self.generation,
+            value: gen,
+            armed: true,
+        };
+        epoch::drain();
+        f()
     }
 
     /// Number of bottom-level buckets (the rehash cursor range; exposed for
@@ -1308,7 +1338,8 @@ impl Hdnh {
         // so no recovery will look for this region. Best-effort — a leaked
         // file is caught by the orphan sweep on the next pool open.
         if let Some(path) = retired_file {
-            let _ = std::fs::remove_file(path);
+            let _ = std::fs::remove_file(&path);
+            hdnh_nvm::shadow::remove_sidecar(&path);
         }
         Ok(())
     }

@@ -45,6 +45,7 @@ pub mod mapfile;
 pub mod pod;
 pub mod pool;
 pub mod region;
+pub mod shadow;
 pub mod stats;
 
 pub use bandwidth::{BandwidthLimiter, BandwidthModel};
@@ -53,5 +54,6 @@ pub use latency::LatencyModel;
 pub use mapfile::{FileMap, NvmIoError};
 pub use pod::Pod;
 pub use pool::{PoolDir, META_FILE};
-pub use region::{Backend, NvmOptions, NvmRegion, CACHELINE, NVM_BLOCK};
+pub use region::{Backend, NvmOptions, NvmRegion, SyncPolicy, CACHELINE, NVM_BLOCK};
+pub use shadow::{powerloss_crash_file, LossMode, PowerlossReport};
 pub use stats::{NvmStats, PerOpStats, StatsSnapshot};

@@ -29,6 +29,7 @@ use crate::latency::LatencyModel;
 use crate::mapfile::{FileMap, NvmIoError};
 use crate::pod::Pod;
 use crate::pool::PoolDir;
+use crate::shadow::ShadowMedia;
 use crate::stats::NvmStats;
 
 /// CPU cacheline size: flush granularity.
@@ -59,6 +60,30 @@ impl Backend {
     }
 }
 
+/// When `fence()` may acknowledge durability on a file-backed region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `msync(MS_ASYNC)`: schedule writeback and return immediately. Fast,
+    /// survives process death (the page cache keeps the bytes), but **not
+    /// power-loss safe** — nothing guarantees the bytes reached media when
+    /// the write was acknowledged.
+    #[default]
+    Async,
+    /// `msync(MS_SYNC)`: block until the flushed range is durably on media
+    /// before the fence returns. The only power-loss-safe policy.
+    Sync,
+}
+
+impl SyncPolicy {
+    /// Stable name used in flags/exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncPolicy::Async => "async",
+            SyncPolicy::Sync => "sync",
+        }
+    }
+}
+
 /// Configuration for a region.
 #[derive(Clone, Debug)]
 pub struct NvmOptions {
@@ -76,6 +101,15 @@ pub struct NvmOptions {
     pub tear_words: bool,
     /// Storage backend: heap simulator (default) or file-backed pool.
     pub backend: Backend,
+    /// Whether `fence()` blocks until flushed ranges are durable
+    /// (file-backed regions only; ignored on the heap).
+    pub sync_policy: SyncPolicy,
+    /// Track the guaranteed-on-media image of every pool region in a
+    /// `.shadow` sidecar file, enabling
+    /// [`shadow::powerloss_crash_file`](crate::shadow::powerloss_crash_file).
+    /// Costs a mutex per write like strict mode — test configurations only.
+    /// Ignored on the heap backend.
+    pub shadow_pool: bool,
 }
 
 impl NvmOptions {
@@ -88,6 +122,8 @@ impl NvmOptions {
             strict: false,
             tear_words: true,
             backend: Backend::Heap,
+            sync_policy: SyncPolicy::Async,
+            shadow_pool: false,
         }
     }
 
@@ -100,6 +136,8 @@ impl NvmOptions {
             strict: false,
             tear_words: true,
             backend: Backend::Heap,
+            sync_policy: SyncPolicy::Async,
+            shadow_pool: false,
         }
     }
 
@@ -111,6 +149,8 @@ impl NvmOptions {
             strict: true,
             tear_words: true,
             backend: Backend::Heap,
+            sync_policy: SyncPolicy::Async,
+            shadow_pool: false,
         }
     }
 
@@ -123,6 +163,19 @@ impl NvmOptions {
             strict: false,
             tear_words: true,
             backend: Backend::Pool(pool),
+            sync_policy: SyncPolicy::Async,
+            shadow_pool: false,
+        }
+    }
+
+    /// Power-loss testing on the pool backend: shadow sidecars track the
+    /// guaranteed-on-media image and fences block (`MS_SYNC`) so every
+    /// acknowledged write is genuinely durable before the ack.
+    pub fn pooled_shadow(pool: Arc<PoolDir>) -> Self {
+        NvmOptions {
+            sync_policy: SyncPolicy::Sync,
+            shadow_pool: true,
+            ..NvmOptions::pooled(pool)
         }
     }
 }
@@ -166,6 +219,10 @@ pub struct NvmRegion {
     bandwidth: Option<Arc<BandwidthLimiter>>,
     strict: Option<Mutex<StrictState>>,
     tear_words: bool,
+    sync_policy: SyncPolicy,
+    /// Guaranteed-on-media tracking for file-backed regions (power-loss
+    /// simulation); `None` unless `NvmOptions::shadow_pool` was set.
+    shadow: Option<Mutex<ShadowMedia>>,
 }
 
 /// The storage behind a region's word array.
@@ -203,6 +260,7 @@ impl NvmRegion {
         options: &NvmOptions,
         name_hint: &str,
     ) -> Result<Self, NvmIoError> {
+        let mut shadow = None;
         let backing = match &options.backend {
             Backend::Heap => {
                 let n_words = len.div_ceil(8);
@@ -220,6 +278,10 @@ impl NvmRegion {
                 }
                 let path = pool.new_region_path(name_hint)?;
                 let map = FileMap::create(&path, len)?;
+                if options.shadow_pool {
+                    // A fresh region's durable image is all zeroes.
+                    shadow = Some(Mutex::new(ShadowMedia::create(&path, &vec![0u8; len])?));
+                }
                 Backing::File {
                     map,
                     pool: Arc::clone(pool),
@@ -242,6 +304,8 @@ impl NvmRegion {
             bandwidth: options.bandwidth.clone(),
             strict,
             tear_words: options.tear_words,
+            sync_policy: options.sync_policy,
+            shadow,
         })
     }
 
@@ -267,6 +331,14 @@ impl NvmRegion {
             ));
         }
         let (map, len) = FileMap::open(path)?;
+        let shadow = if options.shadow_pool {
+            // A reopen is a fresh boot: whatever the file holds *is* what
+            // media presented, so the sidecar baseline is reset to it.
+            let image = std::fs::read(path).map_err(|e| NvmIoError::new("read", path, e))?;
+            Some(Mutex::new(ShadowMedia::create(path, &image)?))
+        } else {
+            None
+        };
         Ok(NvmRegion {
             backing: Backing::File {
                 map,
@@ -279,6 +351,8 @@ impl NvmRegion {
             bandwidth: options.bandwidth.clone(),
             strict: None,
             tear_words: options.tear_words,
+            sync_policy: options.sync_policy,
+            shadow,
         })
     }
 
@@ -306,7 +380,13 @@ impl NvmRegion {
             Backing::Heap(_) => Ok(()),
             Backing::File { map, pending, .. } => {
                 *pending.lock() = None;
-                map.sync_all()
+                map.sync_all()?;
+                if let Some(shadow) = &self.shadow {
+                    // MS_SYNC + fsync covered the whole mapping: everything
+                    // is on media now.
+                    shadow.lock().commit_all(|off, buf| self.copy_out(off, buf))?;
+                }
+                Ok(())
             }
         }
     }
@@ -470,10 +550,10 @@ impl NvmRegion {
     }
 
     fn mark_dirty(&self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
         if let Some(strict) = &self.strict {
-            if len == 0 {
-                return;
-            }
             let mut st = strict.lock();
             for line in (off / CACHELINE)..=((off + len - 1) / CACHELINE) {
                 // A line that was staged but is written again becomes dirty
@@ -481,6 +561,9 @@ impl NvmRegion {
                 st.staged.remove(&line);
                 st.dirty.insert(line);
             }
+        }
+        if let Some(shadow) = &self.shadow {
+            shadow.lock().mark_dirty(off, len);
         }
     }
 
@@ -604,6 +687,9 @@ impl NvmRegion {
         if len == 0 {
             return;
         }
+        if let Some(shadow) = &self.shadow {
+            shadow.lock().on_flush(off, len);
+        }
         if let Backing::File { pending, .. } = &self.backing {
             // Accumulate at cacheline granularity (msync itself rounds to
             // pages); one merged range keeps the hot path to a min/max.
@@ -618,10 +704,13 @@ impl NvmRegion {
     }
 
     /// `sfence`: commits every staged line to the media image. On a
-    /// file-backed region, `msync(MS_ASYNC)`es the accumulated flush range
-    /// — scheduling write-back without blocking the writer; a failure is
-    /// recorded as a sticky pool fault (surfaced before the next ack)
-    /// rather than panicking mid-write.
+    /// file-backed region, `msync`s the accumulated flush range — under
+    /// [`SyncPolicy::Async`] that only *schedules* write-back (fast, not
+    /// power-loss safe); under [`SyncPolicy::Sync`] the call blocks until
+    /// the range is durable, and shadow tracking (when enabled) marks the
+    /// covered lines as guaranteed-on-media. A failure is recorded as a
+    /// sticky pool fault (surfaced before the next ack) rather than
+    /// panicking mid-write.
     pub fn fence(&self) {
         fault::point("nvm.fence");
         self.stats.on_fence();
@@ -636,8 +725,24 @@ impl NvmRegion {
         if let Backing::File { map, pool, pending } = &self.backing {
             let range = pending.lock().take();
             if let Some((lo, hi)) = range {
-                if let Err(e) = map.sync_range(lo, hi - lo, false) {
-                    pool.record_fault(e);
+                let blocking = self.sync_policy == SyncPolicy::Sync;
+                match map.sync_range(lo, hi - lo, blocking) {
+                    Ok(()) if blocking => {
+                        if let Some(shadow) = &self.shadow {
+                            // The msync returned: those lines are on media.
+                            // (Async fences commit nothing — MS_ASYNC gives
+                            // no such guarantee, and the shadow model keeps
+                            // them at risk on purpose.)
+                            let r = shadow
+                                .lock()
+                                .commit_staged(|off, buf| self.copy_out(off, buf));
+                            if let Err(e) = r {
+                                pool.record_fault(e);
+                            }
+                        }
+                    }
+                    Ok(()) => {}
+                    Err(e) => pool.record_fault(e),
                 }
             }
         }
@@ -682,6 +787,10 @@ impl NvmRegion {
                 st.media[off + i] ^= m;
             }
         }
+        if let Some(shadow) = &self.shadow {
+            // Decay hits the persisted image too (same as strict mode).
+            let _ = shadow.lock().corrupt(off, mask);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -689,11 +798,18 @@ impl NvmRegion {
     // ------------------------------------------------------------------
 
     /// Number of lines that are dirty or staged (i.e. would be at risk in a
-    /// crash). Zero after a well-placed `persist`. Strict mode only.
+    /// crash). Zero after a well-placed `persist` under a blocking sync
+    /// policy. Requires strict mode or pool shadow tracking.
     pub fn at_risk_lines(&self) -> usize {
-        let strict = self.strict.as_ref().expect("at_risk_lines requires strict mode");
-        let st = strict.lock();
-        st.dirty.len() + st.staged.len()
+        if let Some(strict) = &self.strict {
+            let st = strict.lock();
+            return st.dirty.len() + st.staged.len();
+        }
+        let shadow = self
+            .shadow
+            .as_ref()
+            .expect("at_risk_lines requires strict mode or shadow tracking");
+        shadow.lock().at_risk()
     }
 
     /// Ack-without-persist lint: asserts that every byte of
@@ -707,7 +823,9 @@ impl NvmRegion {
     /// Debug builds only, and only when [`fault::set_lint_persists`] is
     /// enabled: the check assumes a single mutating thread (a concurrent
     /// writer sharing a cacheline would re-dirty it legitimately).
-    /// No-op outside strict mode.
+    /// No-op outside strict mode and pool shadow tracking. (On a shadow
+    /// pool under [`SyncPolicy::Async`] every ack trips the lint — by
+    /// design: async fences are not power-loss durable.)
     #[inline]
     pub fn assert_persisted(&self, off: usize, len: usize) {
         #[cfg(debug_assertions)]
@@ -728,6 +846,23 @@ impl NvmRegion {
                         !st.staged.contains(&line),
                         "ack-without-persist: bytes {off}..{} acknowledged durable but \
                          line {line} is staged (flush without fence)",
+                        off + len
+                    );
+                }
+            }
+            if let Some(shadow) = &self.shadow {
+                let sh = shadow.lock();
+                for line in (off / CACHELINE)..=((off + len - 1) / CACHELINE) {
+                    assert!(
+                        !sh.is_dirty(line),
+                        "ack-without-persist: bytes {off}..{} acknowledged durable but \
+                         line {line} is dirty (missing flush)",
+                        off + len
+                    );
+                    assert!(
+                        !sh.is_staged(line),
+                        "ack-without-persist: bytes {off}..{} acknowledged durable but \
+                         line {line} is staged (flush without blocking fence)",
                         off + len
                     );
                 }

@@ -1,0 +1,493 @@
+//! Power-loss simulation for file-backed pool regions.
+//!
+//! The pool backend survives process death because `MAP_SHARED` pages live
+//! in the kernel's page cache — but a process kill never *loses* those
+//! pages. Real power loss does: dirty pages that no completed
+//! `msync(MS_SYNC)` covered can be dropped, torn, or written back out of
+//! order by the failing device. This module models that gap.
+//!
+//! With [`NvmOptions::shadow_pool`](crate::NvmOptions) enabled, every
+//! region file `seg-N.dat` gets a sidecar `seg-N.dat.shadow` holding the
+//! *guaranteed-on-media* image: bytes reach the sidecar only when a
+//! blocking fence ([`SyncPolicy::Sync`](crate::SyncPolicy)) or a full
+//! `sync_to_disk` completes. Under [`SyncPolicy::Async`](crate::SyncPolicy)
+//! fenced lines stay at risk — `MS_ASYNC` only schedules writeback, which
+//! is exactly why the async policy is documented as not power-loss safe.
+//!
+//! [`powerloss_crash_file`] then simulates pulling the plug on a closed
+//! (unmapped) region: the at-risk lines — where the working file differs
+//! from the sidecar — are salvaged or lost according to a [`LossMode`],
+//! and the surviving image replaces the region file, ready for a normal
+//! recovery open.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use hdnh_common::rng::XorShift64Star;
+
+use crate::mapfile::NvmIoError;
+use crate::region::CACHELINE;
+
+/// OS page size: the granularity at which writeback drops/reorders.
+pub const PAGE: usize = 4096;
+
+/// How the un-fenced portion of a region is damaged at the crash point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossMode {
+    /// Each page holding at-risk lines independently persists or vanishes.
+    DropPages,
+    /// Each at-risk cacheline independently persists or vanishes, torn at
+    /// 8-byte granularity inside the line (AEP's failure-atomicity unit).
+    TearLines,
+    /// At-risk pages are written back in a random order and power fails at
+    /// a random point in that stream: a prefix persists, the rest is lost —
+    /// persistence order bears no relation to program order.
+    ReorderPages,
+}
+
+impl LossMode {
+    /// All modes, for matrix sweeps.
+    pub const ALL: [LossMode; 3] = [LossMode::DropPages, LossMode::TearLines, LossMode::ReorderPages];
+
+    /// Deterministic mode choice for seeded schedules.
+    pub fn from_seed(seed: u64) -> LossMode {
+        Self::ALL[(seed % 3) as usize]
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LossMode::DropPages => "drop_pages",
+            LossMode::TearLines => "tear_lines",
+            LossMode::ReorderPages => "reorder_pages",
+        }
+    }
+}
+
+/// What one simulated power loss did to a region file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PowerlossReport {
+    /// Cachelines whose working content was not covered by a completed
+    /// blocking sync (candidates for loss).
+    pub at_risk_lines: usize,
+    /// Cachelines that did not survive (fully or partially lost).
+    pub lost_lines: usize,
+}
+
+/// The sidecar path holding a region file's guaranteed-persisted image.
+pub fn sidecar_path(region: &Path) -> PathBuf {
+    let mut os = region.as_os_str().to_os_string();
+    os.push(".shadow");
+    PathBuf::from(os)
+}
+
+/// Best-effort removal of a region file's sidecar (call wherever the
+/// region file itself is unlinked).
+pub fn remove_sidecar(region: &Path) {
+    let _ = std::fs::remove_file(sidecar_path(region));
+}
+
+/// Shadow-media tracking for one live file-backed region: the sidecar file
+/// plus which cachelines of the working mapping it does not yet cover.
+pub(crate) struct ShadowMedia {
+    file: File,
+    path: PathBuf,
+    len: usize,
+    /// Lines written but not flushed.
+    dirty: HashSet<usize>,
+    /// Lines flushed (accumulated for msync) but not yet covered by a
+    /// completed blocking fence.
+    staged: HashSet<usize>,
+}
+
+impl ShadowMedia {
+    /// Creates (or resets) the sidecar so it holds exactly `image` — the
+    /// content that is already durable when the region comes up: all
+    /// zeroes for a fresh allocation, the current file bytes for a reopen
+    /// (a fresh boot finds on media whatever the file holds).
+    pub(crate) fn create(region_path: &Path, image: &[u8]) -> Result<Self, NvmIoError> {
+        let path = sidecar_path(region_path);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| NvmIoError::new("open", &path, e))?;
+        write_at(&file, 0, image).map_err(|e| NvmIoError::new("write", &path, e))?;
+        file.sync_all().map_err(|e| NvmIoError::new("fsync", &path, e))?;
+        Ok(ShadowMedia {
+            file,
+            path,
+            len: image.len(),
+            dirty: HashSet::new(),
+            staged: HashSet::new(),
+        })
+    }
+
+    pub(crate) fn mark_dirty(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        for line in (off / CACHELINE)..=((off + len - 1) / CACHELINE) {
+            // A new store is not covered by an earlier flush's msync range
+            // having been fenced: back to dirty.
+            self.staged.remove(&line);
+            self.dirty.insert(line);
+        }
+    }
+
+    pub(crate) fn on_flush(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        for line in (off / CACHELINE)..=((off + len - 1) / CACHELINE) {
+            if self.dirty.remove(&line) {
+                self.staged.insert(line);
+            }
+        }
+    }
+
+    /// Commits every staged line's working bytes to the sidecar: called
+    /// when a blocking (`MS_SYNC`) fence has completed, i.e. those lines
+    /// are genuinely on media. `copy` reads the working image.
+    pub(crate) fn commit_staged(
+        &mut self,
+        copy: impl Fn(usize, &mut [u8]),
+    ) -> Result<(), NvmIoError> {
+        let staged: Vec<usize> = self.staged.drain().collect();
+        self.write_lines(&staged, copy)
+    }
+
+    /// Commits *everything* (dirty and staged): the `sync_to_disk` /
+    /// clean-shutdown path, whose `msync(MS_SYNC)` + `fsync` covers the
+    /// whole mapping.
+    pub(crate) fn commit_all(
+        &mut self,
+        copy: impl Fn(usize, &mut [u8]),
+    ) -> Result<(), NvmIoError> {
+        let all: Vec<usize> = self.dirty.drain().chain(self.staged.drain()).collect();
+        self.write_lines(&all, copy)
+    }
+
+    fn write_lines(
+        &self,
+        lines: &[usize],
+        copy: impl Fn(usize, &mut [u8]),
+    ) -> Result<(), NvmIoError> {
+        let mut buf = [0u8; CACHELINE];
+        for &line in lines {
+            let start = line * CACHELINE;
+            let end = (start + CACHELINE).min(self.len);
+            copy(start, &mut buf[..end - start]);
+            write_at(&self.file, start as u64, &buf[..end - start])
+                .map_err(|e| NvmIoError::new("write", &self.path, e))?;
+        }
+        Ok(())
+    }
+
+    /// Media decay lands on the persisted image too (mirrors the strict
+    /// heap model's behaviour in [`NvmRegion::corrupt`](crate::NvmRegion)).
+    pub(crate) fn corrupt(&self, off: usize, mask: &[u8]) -> Result<(), NvmIoError> {
+        let mut cur = vec![0u8; mask.len()];
+        read_at(&self.file, off as u64, &mut cur)
+            .map_err(|e| NvmIoError::new("read", &self.path, e))?;
+        for (b, m) in cur.iter_mut().zip(mask) {
+            *b ^= m;
+        }
+        write_at(&self.file, off as u64, &cur)
+            .map_err(|e| NvmIoError::new("write", &self.path, e))?;
+        Ok(())
+    }
+
+    pub(crate) fn at_risk(&self) -> usize {
+        self.dirty.len() + self.staged.len()
+    }
+
+    // Only called from the debug-assertions ack lint in `region.rs`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn is_dirty(&self, line: usize) -> bool {
+        self.dirty.contains(&line)
+    }
+
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn is_staged(&self, line: usize) -> bool {
+        self.staged.contains(&line)
+    }
+}
+
+/// Simulates power loss on a closed region file.
+///
+/// The caller must have dropped every mapping of the file first (a crash
+/// test quiesces and drops its table before "pulling the plug"). At-risk
+/// lines — where the working file differs from its sidecar — survive or
+/// die per `mode`; the resulting image overwrites both the region file and
+/// the sidecar, so a subsequent open (with or without shadow tracking)
+/// recovers from exactly what "media" held.
+pub fn powerloss_crash_file(
+    region: &Path,
+    rng: &mut XorShift64Star,
+    mode: LossMode,
+) -> Result<PowerlossReport, NvmIoError> {
+    let working = std::fs::read(region).map_err(|e| NvmIoError::new("read", region, e))?;
+    let side = sidecar_path(region);
+    let mut media = std::fs::read(&side).map_err(|e| NvmIoError::new("read", &side, e))?;
+    if media.len() != working.len() {
+        return Err(NvmIoError::msg(
+            "crash",
+            region,
+            format!(
+                "shadow sidecar is {} bytes but the region is {}",
+                media.len(),
+                working.len()
+            ),
+        ));
+    }
+    let n_lines = working.len().div_ceil(CACHELINE);
+    let at_risk: Vec<usize> = (0..n_lines)
+        .filter(|&l| {
+            let s = l * CACHELINE;
+            let e = (s + CACHELINE).min(working.len());
+            working[s..e] != media[s..e]
+        })
+        .collect();
+    let mut report = PowerlossReport {
+        at_risk_lines: at_risk.len(),
+        lost_lines: 0,
+    };
+    let salvage_line = |media: &mut [u8], line: usize| {
+        let s = line * CACHELINE;
+        let e = (s + CACHELINE).min(working.len());
+        media[s..e].copy_from_slice(&working[s..e]);
+    };
+    match mode {
+        LossMode::DropPages => {
+            let mut pages: Vec<usize> = at_risk.iter().map(|l| l * CACHELINE / PAGE).collect();
+            pages.dedup();
+            let survivors: HashSet<usize> =
+                pages.into_iter().filter(|_| rng.next_u64() & 1 == 0).collect();
+            for &line in &at_risk {
+                if survivors.contains(&(line * CACHELINE / PAGE)) {
+                    salvage_line(&mut media, line);
+                } else {
+                    report.lost_lines += 1;
+                }
+            }
+        }
+        LossMode::TearLines => {
+            for &line in &at_risk {
+                let s = line * CACHELINE;
+                let e = (s + CACHELINE).min(working.len());
+                let mut lost = false;
+                for woff in (s..e).step_by(8) {
+                    let wend = (woff + 8).min(e);
+                    if rng.next_u64() & 1 == 0 {
+                        media[woff..wend].copy_from_slice(&working[woff..wend]);
+                    } else {
+                        lost = true;
+                    }
+                }
+                if lost {
+                    report.lost_lines += 1;
+                }
+            }
+        }
+        LossMode::ReorderPages => {
+            let mut pages: Vec<usize> = at_risk.iter().map(|l| l * CACHELINE / PAGE).collect();
+            pages.dedup();
+            // Fisher-Yates: the device writes pages back in arbitrary order.
+            for i in (1..pages.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                pages.swap(i, j);
+            }
+            // Power fails somewhere in that stream: a prefix made it.
+            let cut = if pages.is_empty() {
+                0
+            } else {
+                (rng.next_u64() % (pages.len() as u64 + 1)) as usize
+            };
+            let survivors: HashSet<usize> = pages[..cut].iter().copied().collect();
+            for &line in &at_risk {
+                if survivors.contains(&(line * CACHELINE / PAGE)) {
+                    salvage_line(&mut media, line);
+                } else {
+                    report.lost_lines += 1;
+                }
+            }
+        }
+    }
+    // The surviving image is what the hardware would present at next boot:
+    // install it as both the region file and the new shadow baseline.
+    write_file(region, &media)?;
+    write_file(&side, &media)?;
+    Ok(report)
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<(), NvmIoError> {
+    let f = OpenOptions::new()
+        .write(true)
+        .truncate(true)
+        .create(true)
+        .open(path)
+        .map_err(|e| NvmIoError::new("open", path, e))?;
+    write_at(&f, 0, bytes).map_err(|e| NvmIoError::new("write", path, e))?;
+    f.sync_all().map_err(|e| NvmIoError::new("fsync", path, e))?;
+    Ok(())
+}
+
+/// Positional write via seek on a shared handle (`&File` implements
+/// `Write`/`Seek`), keeping the module portable off unix.
+fn write_at(mut f: &File, off: u64, bytes: &[u8]) -> std::io::Result<()> {
+    f.seek(SeekFrom::Start(off))?;
+    f.write_all(bytes)
+}
+
+/// Positional read counterpart of [`write_at`].
+fn read_at(mut f: &File, off: u64, out: &mut [u8]) -> std::io::Result<()> {
+    f.seek(SeekFrom::Start(off))?;
+    f.read_exact(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hdnh_shadow_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("seg-0.dat")
+    }
+
+    fn cleanup(region: &Path) {
+        let _ = std::fs::remove_dir_all(region.parent().unwrap());
+    }
+
+    #[test]
+    fn sidecar_path_appends_extension() {
+        assert_eq!(
+            sidecar_path(Path::new("/p/seg-1.dat")),
+            Path::new("/p/seg-1.dat.shadow")
+        );
+    }
+
+    #[test]
+    fn committed_lines_survive_any_mode() {
+        for mode in LossMode::ALL {
+            let region = tmp(&format!("commit_{}", mode.name()));
+            let working = vec![0xAB; 8192];
+            write_file(&region, &working).unwrap();
+            // Sidecar == working: nothing at risk.
+            let mut sh = ShadowMedia::create(&region, &working).unwrap();
+            assert_eq!(sh.at_risk(), 0);
+            sh.mark_dirty(0, 0); // no-op
+            let mut rng = XorShift64Star::new(9);
+            let rep = powerloss_crash_file(&region, &mut rng, mode).unwrap();
+            assert_eq!(rep.at_risk_lines, 0);
+            assert_eq!(std::fs::read(&region).unwrap(), working);
+            cleanup(&region);
+        }
+    }
+
+    #[test]
+    fn unfenced_lines_can_be_lost_in_every_mode() {
+        for mode in LossMode::ALL {
+            let region = tmp(&format!("lose_{}", mode.name()));
+            write_file(&region, &vec![0u8; 16384]).unwrap();
+            let _sh = ShadowMedia::create(&region, &vec![0u8; 16384]).unwrap();
+            // Working image moves on without any blocking fence.
+            write_file(&region, &vec![0xEE; 16384]).unwrap();
+            let mut lost_seen = false;
+            for seed in 0..64 {
+                // Reset both images for a fresh trial.
+                write_file(&region, &vec![0xEE; 16384]).unwrap();
+                write_file(&sidecar_path(&region), &vec![0u8; 16384]).unwrap();
+                let mut rng = XorShift64Star::new(seed);
+                let rep = powerloss_crash_file(&region, &mut rng, mode).unwrap();
+                assert_eq!(rep.at_risk_lines, 16384 / CACHELINE);
+                if rep.lost_lines > 0 {
+                    lost_seen = true;
+                    break;
+                }
+            }
+            assert!(lost_seen, "mode {} never lost anything", mode.name());
+            cleanup(&region);
+        }
+    }
+
+    #[test]
+    fn tear_mode_tears_at_word_granularity() {
+        let region = tmp("tear");
+        write_file(&region, &vec![0u8; 4096]).unwrap();
+        let _sh = ShadowMedia::create(&region, &vec![0u8; 4096]).unwrap();
+        write_file(&region, &vec![0xEE; 4096]).unwrap();
+        let mut torn_seen = false;
+        for seed in 0..128 {
+            write_file(&region, &vec![0xEE; 4096]).unwrap();
+            write_file(&sidecar_path(&region), &vec![0u8; 4096]).unwrap();
+            let mut rng = XorShift64Star::new(seed);
+            powerloss_crash_file(&region, &mut rng, LossMode::TearLines).unwrap();
+            let img = std::fs::read(&region).unwrap();
+            for line in img.chunks(CACHELINE) {
+                let words: Vec<bool> =
+                    line.chunks(8).map(|w| w.iter().all(|&b| b == 0xEE)).collect();
+                for w in line.chunks(8) {
+                    assert!(
+                        w.iter().all(|&b| b == 0xEE) || w.iter().all(|&b| b == 0),
+                        "torn inside an 8-byte word"
+                    );
+                }
+                if words.iter().any(|&x| x) && words.iter().any(|&x| !x) {
+                    torn_seen = true;
+                }
+            }
+            if torn_seen {
+                break;
+            }
+        }
+        assert!(torn_seen, "expected at least one torn line");
+        cleanup(&region);
+    }
+
+    #[test]
+    fn reorder_mode_drops_whole_page_suffix_sometimes() {
+        let region = tmp("reorder");
+        let len = PAGE * 4;
+        write_file(&region, &vec![0u8; len]).unwrap();
+        let _sh = ShadowMedia::create(&region, &vec![0u8; len]).unwrap();
+        let mut partial_seen = false;
+        for seed in 0..64 {
+            write_file(&region, &vec![0xCD; len]).unwrap();
+            write_file(&sidecar_path(&region), &vec![0u8; len]).unwrap();
+            let mut rng = XorShift64Star::new(seed);
+            powerloss_crash_file(&region, &mut rng, LossMode::ReorderPages).unwrap();
+            let img = std::fs::read(&region).unwrap();
+            let live_pages = img
+                .chunks(PAGE)
+                .filter(|p| p.iter().all(|&b| b == 0xCD))
+                .count();
+            let dead_pages = img.chunks(PAGE).filter(|p| p.iter().all(|&b| b == 0)).count();
+            assert_eq!(live_pages + dead_pages, 4, "pages must be all-or-nothing");
+            if live_pages > 0 && dead_pages > 0 {
+                partial_seen = true;
+                break;
+            }
+        }
+        assert!(partial_seen, "expected a partial page stream at least once");
+        cleanup(&region);
+    }
+
+    #[test]
+    fn remove_sidecar_is_best_effort() {
+        let region = tmp("rm");
+        write_file(&region, &[0u8; 64]).unwrap();
+        let _sh = ShadowMedia::create(&region, &[0u8; 64]).unwrap();
+        assert!(sidecar_path(&region).exists());
+        remove_sidecar(&region);
+        assert!(!sidecar_path(&region).exists());
+        remove_sidecar(&region); // second removal: silent no-op
+        cleanup(&region);
+    }
+}

@@ -182,6 +182,28 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
 
     family(
         &mut out,
+        "hdnh_snapshot_taken_total",
+        "Crash-consistent snapshots completed.",
+        "counter",
+    );
+    let _ = writeln!(out, "hdnh_snapshot_taken_total {}", s.counter(Counter::SnapshotTaken));
+    family(
+        &mut out,
+        "hdnh_snapshot_failed_total",
+        "Snapshot attempts that failed.",
+        "counter",
+    );
+    let _ = writeln!(out, "hdnh_snapshot_failed_total {}", s.counter(Counter::SnapshotFailed));
+    family(
+        &mut out,
+        "hdnh_snapshot_bytes_total",
+        "Bytes copied into snapshot directories.",
+        "counter",
+    );
+    let _ = writeln!(out, "hdnh_snapshot_bytes_total {}", s.counter(Counter::SnapshotBytes));
+
+    family(
+        &mut out,
         "hdnh_ocf_false_positive_rate",
         "Fraction of OCF fingerprint matches that were false positives.",
         "gauge",

@@ -119,11 +119,18 @@ pub enum Counter {
     /// A `metrics delta` consumer observed the registry rewound beneath its
     /// baseline (a reset happened between two delta reads) and rebased.
     DeltaBaselineReset,
+    /// Crash-consistent snapshots (backups) completed successfully.
+    SnapshotTaken,
+    /// Snapshot attempts that failed (I/O error, wrong backend, pending
+    /// pool fault).
+    SnapshotFailed,
+    /// Total bytes copied into snapshot directories by successful backups.
+    SnapshotBytes,
 }
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 30] = [
         Counter::OcfTrueMatch,
         Counter::OcfFalsePositive,
         Counter::OcfNegativeShortCircuit,
@@ -151,6 +158,9 @@ impl Counter {
         Counter::NetConnRejected,
         Counter::NetUnknownCmd,
         Counter::DeltaBaselineReset,
+        Counter::SnapshotTaken,
+        Counter::SnapshotFailed,
+        Counter::SnapshotBytes,
     ];
 
     /// Stable snake_case name used in exposition.
@@ -183,6 +193,9 @@ impl Counter {
             Counter::NetConnRejected => "net_conn_rejected",
             Counter::NetUnknownCmd => "net_unknown_cmd",
             Counter::DeltaBaselineReset => "delta_baseline_reset",
+            Counter::SnapshotTaken => "snapshot_taken",
+            Counter::SnapshotFailed => "snapshot_failed",
+            Counter::SnapshotBytes => "snapshot_bytes",
         }
     }
 }
@@ -247,11 +260,13 @@ pub enum NetCmd {
     Metrics,
     /// `SHUTDOWN` graceful drain.
     Shutdown,
+    /// `BACKUP dir` crash-consistent snapshot into a server-side directory.
+    Backup,
 }
 
 impl NetCmd {
     /// Every wire command, in exposition order.
-    pub const ALL: [NetCmd; 11] = [
+    pub const ALL: [NetCmd; 12] = [
         NetCmd::Ping,
         NetCmd::Get,
         NetCmd::Set,
@@ -263,6 +278,7 @@ impl NetCmd {
         NetCmd::Scrub,
         NetCmd::Metrics,
         NetCmd::Shutdown,
+        NetCmd::Backup,
     ];
 
     /// Stable name used in exposition labels (matches the wire spelling,
@@ -280,6 +296,7 @@ impl NetCmd {
             NetCmd::Scrub => "scrub",
             NetCmd::Metrics => "metrics",
             NetCmd::Shutdown => "shutdown",
+            NetCmd::Backup => "backup",
         }
     }
 }

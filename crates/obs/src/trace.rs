@@ -123,6 +123,12 @@ pub enum Milestone {
     PoolClosed,
     /// The serving process finished startup (table ready).
     Ready,
+    /// A crash-consistent snapshot began (writers about to pause).
+    SnapshotStart,
+    /// A snapshot completed and its manifest is on disk.
+    SnapshotDone,
+    /// A snapshot attempt failed and the target directory is suspect.
+    SnapshotFailed,
 }
 
 impl Milestone {
@@ -133,6 +139,9 @@ impl Milestone {
             Milestone::RecoveryDone => "recovery_done",
             Milestone::PoolClosed => "pool_closed",
             Milestone::Ready => "ready",
+            Milestone::SnapshotStart => "snapshot_start",
+            Milestone::SnapshotDone => "snapshot_done",
+            Milestone::SnapshotFailed => "snapshot_failed",
         }
     }
 
@@ -142,6 +151,9 @@ impl Milestone {
             Milestone::RecoveryDone,
             Milestone::PoolClosed,
             Milestone::Ready,
+            Milestone::SnapshotStart,
+            Milestone::SnapshotDone,
+            Milestone::SnapshotFailed,
         ]
         .get(v as usize)
         .copied()

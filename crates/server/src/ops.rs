@@ -156,11 +156,19 @@ impl OpsState {
                 );
             }
         }
+        let snap = obs::snapshot();
+        let _ = write!(
+            out,
+            "\"snapshot\":{{\"taken\":{},\"failed\":{},\"bytes\":{}}},",
+            snap.counter(obs::Counter::SnapshotTaken),
+            snap.counter(obs::Counter::SnapshotFailed),
+            snap.counter(obs::Counter::SnapshotBytes),
+        );
         let _ = write!(
             out,
             "\"connections\":{},\"metrics\":{}}}",
             self.active_conns.load(Ordering::SeqCst),
-            obs::snapshot().to_json(),
+            snap.to_json(),
         );
         out
     }

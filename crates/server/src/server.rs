@@ -600,6 +600,28 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
             enc_bulk(out, body.as_bytes());
             obs::NetCmd::Metrics
         }
+        b"BACKUP" => {
+            if frame.len() != 2 {
+                wrong_args(out, "backup");
+            } else {
+                // The path is server-side: the snapshot lands on the
+                // server's filesystem, like Redis's BGSAVE target.
+                match std::str::from_utf8(dec.arg(frame, 1)) {
+                    Ok(dir) if !dir.is_empty() => {
+                        match table.snapshot(std::path::Path::new(dir)) {
+                            Ok(report) => enc_bulk(
+                                out,
+                                format!("files:{} bytes:{}", report.files, report.bytes)
+                                    .as_bytes(),
+                            ),
+                            Err(e) => enc_hdnh_error(out, &e),
+                        }
+                    }
+                    _ => enc_error(out, "ERR", "BACKUP takes a directory path"),
+                }
+            }
+            obs::NetCmd::Backup
+        }
         b"SHUTDOWN" => {
             enc_simple(out, "OK");
             begin_shutdown(shared);

@@ -7,7 +7,10 @@
 //! `#[test]` owns the whole matrix so nothing else can arm or record
 //! concurrently.
 
-use hdnh::faultexplore::{explore, ExploreConfig};
+use hdnh::faultexplore::{
+    explore, hit_samples, record_sites_pool, run_single_pool, ExploreConfig, OpMix,
+};
+use hdnh_nvm::FaultPlan;
 
 /// Site categories the ISSUE demands coverage for, with a witness prefix.
 const REQUIRED_CATEGORIES: &[(&str, &str)] = &[
@@ -68,4 +71,65 @@ fn crash_point_matrix() {
             .join("\n")
     );
     assert!(report.cases.len() >= 100, "matrix suspiciously small: {n} cases");
+
+    // ---- pool-backend rows: same sites, mmap flush path, power loss ----
+    //
+    // Re-run the matrix under `Backend::Pool` with shadow persistence and
+    // the blocking sync policy: the injected crash is followed by a torn/
+    // dropped/reordered power loss of every un-fenced line, and recovery
+    // goes through the full `open_pool` path (superblock, size
+    // classification, orphan sweep). Runs in the same #[test] because the
+    // fault registry is process-global.
+    //
+    // Seeds 0/1/2 pick the three loss modes via `LossMode::from_seed`, so
+    // every (site, hit) sample sees drop-pages, tear-lines and
+    // reorder-pages at least once across the sweep. Bounded per-site to
+    // keep the wall clock sane: first and last hit only, seeds rotated.
+    let mut pool_cases = 0usize;
+    let mut pool_failures: Vec<String> = Vec::new();
+    let mut pool_sites = 0usize;
+    for mix in OpMix::builtin() {
+        let counts = record_sites_pool(&mix)
+            .unwrap_or_else(|e| panic!("pool site recording failed for {}: {e}", mix.name));
+        assert!(
+            !counts.is_empty(),
+            "pool recording discovered no crash sites for mix {}",
+            mix.name
+        );
+        pool_sites += counts.len();
+        for (site, hits) in &counts {
+            let mut samples = hit_samples(*hits);
+            // First and last hit: the middle sample buys little here and
+            // the pool path is ~10× slower per case than the heap path.
+            if samples.len() > 2 {
+                samples = vec![samples[0], *samples.last().unwrap()];
+            }
+            for (i, hit) in samples.into_iter().enumerate() {
+                let seed = (pool_cases + i) as u64 % 3;
+                let plan = FaultPlan {
+                    site: site.to_string(),
+                    hit,
+                };
+                let r = run_single_pool(&mix, &plan, seed, 2);
+                pool_cases += 1;
+                if !r.pass {
+                    eprintln!("POOL FAIL {} :: {}", r.repro(), r.detail);
+                    pool_failures.push(format!("  {} :: {}", r.repro(), r.detail));
+                } else if pool_cases.is_multiple_of(50) {
+                    eprintln!("... {pool_cases} pool cases, last {}", r.repro());
+                }
+            }
+        }
+    }
+    assert!(
+        pool_failures.is_empty(),
+        "{} of {} pool-backend cases failed:\n{}",
+        pool_failures.len(),
+        pool_cases,
+        pool_failures.join("\n")
+    );
+    assert!(
+        pool_cases >= 50,
+        "pool matrix suspiciously small: {pool_cases} cases over {pool_sites} sites"
+    );
 }

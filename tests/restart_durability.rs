@@ -163,3 +163,88 @@ fn damaged_superblock_never_opens() {
     table.close_pool().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Fixture for the mismatch property below (same OnceLock workaround).
+static MM_CTX: std::sync::OnceLock<(PathBuf, Vec<u8>)> = std::sync::OnceLock::new();
+
+/// A *CRC-valid* superblock whose version or `segment_bytes` disagrees
+/// with this build/these params must be rejected with a typed
+/// `HdnhError::Recovery` — never a panic, never a size-classification
+/// abort deeper in recovery. (The CRC is re-sealed after each patch, so
+/// only the semantic checks can reject these blocks.)
+#[test]
+fn mismatched_superblock_rejected_with_typed_error() {
+    let dir = tmp_pool("sbmismatch");
+    let (table, _) = Hdnh::open_pool(params(2_000), &dir, 2).unwrap();
+    fill(&table, 0..50);
+    table.close_pool().unwrap();
+    let sb_path = dir.join(hdnh::SUPERBLOCK_FILE);
+    let pristine = std::fs::read(&sb_path).unwrap();
+    MM_CTX.set((dir.clone(), pristine.clone())).unwrap();
+
+    fn reseal(bytes: &mut [u8]) {
+        let crc = hdnh::crc32_ieee(&bytes[..60]);
+        bytes[60..64].copy_from_slice(&crc.to_le_bytes());
+    }
+    fn open_is_typed_recovery(dir: &std::path::Path) -> Result<(), String> {
+        let dir = dir.to_path_buf();
+        match std::panic::catch_unwind(move || Hdnh::open_pool(params(2_000), &dir, 2)) {
+            Err(_) => Err("open panicked".into()),
+            Ok(Ok(_)) => Err("mismatched superblock opened anyway".into()),
+            Ok(Err(HdnhError::Recovery(_))) => Ok(()),
+            Ok(Err(other)) => Err(format!("expected Recovery error, got {other:?}")),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        fn mismatch_case(version in 0u32..1_000_000, seg_shift in 1u64..16, add in 1u64..4096) {
+            let (dir, pristine) = MM_CTX.get().unwrap();
+            let sb_path = dir.join(hdnh::SUPERBLOCK_FILE);
+            let real_seg = u64::from_le_bytes(pristine[16..24].try_into().unwrap());
+
+            // Wrong version, CRC valid.
+            if version != 1 {
+                let mut bytes = pristine.clone();
+                bytes[8..12].copy_from_slice(&version.to_le_bytes());
+                reseal(&mut bytes);
+                std::fs::write(&sb_path, &bytes).unwrap();
+                prop_assert!(open_is_typed_recovery(dir).is_ok(),
+                    "version {version}: {:?}", open_is_typed_recovery(dir));
+            }
+
+            // Wrong segment_bytes (both power-of-two-ish shifts and odd
+            // offsets), CRC valid.
+            for wrong in [real_seg << seg_shift, real_seg + add] {
+                if wrong == real_seg {
+                    continue;
+                }
+                let mut bytes = pristine.clone();
+                bytes[16..24].copy_from_slice(&wrong.to_le_bytes());
+                reseal(&mut bytes);
+                std::fs::write(&sb_path, &bytes).unwrap();
+                prop_assert!(open_is_typed_recovery(dir).is_ok(),
+                    "segment_bytes {wrong}: {:?}", open_is_typed_recovery(dir));
+            }
+            std::fs::write(&sb_path, pristine).unwrap();
+        }
+    }
+    mismatch_case();
+
+    // Params that disagree with an honest superblock are typed too.
+    let bad_params = HdnhParams {
+        segment_bytes: params(2_000).segment_bytes * 2,
+        ..params(2_000)
+    };
+    match Hdnh::open_pool(bad_params, &dir, 2) {
+        Err(HdnhError::Recovery(msg)) => {
+            assert!(msg.contains("segment_bytes"), "{msg}");
+        }
+        other => panic!("expected Recovery error, got {other:?}"),
+    }
+
+    let (table, _) = Hdnh::open_pool(params(2_000), &dir, 2).unwrap();
+    check(&table, 0..50);
+    table.close_pool().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
