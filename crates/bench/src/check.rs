@@ -222,6 +222,40 @@ pub fn compare_net(base: &Json, fresh: &Json, tol: Tolerance) -> Vec<Violation> 
             }
         }
     }
+    // Open-loop overload section: once a baseline carries one, every
+    // fresh run must too, sustain a comparable reply rate, keep tail
+    // latency inside the band, and complete with zero errors (an error
+    // under overload is a dropped or misanswered request, not noise).
+    if let Some(ol) = base.get("open_loop") {
+        match fresh.get("open_loop") {
+            None => out.push("net run lost the open_loop section".into()),
+            Some(f) => {
+                check_floor(
+                    &mut out,
+                    "net open_loop achieved_rate_ops_s",
+                    ol.get("achieved_rate_ops_s").and_then(Json::as_f64),
+                    f.get("achieved_rate_ops_s").and_then(Json::as_f64),
+                    tol.throughput_floor,
+                );
+                for q in ["p99_ns", "p999_ns"] {
+                    check_ceiling(
+                        &mut out,
+                        &format!("net open_loop latency {q}"),
+                        num(ol, &format!("latency.{q}")),
+                        num(f, &format!("latency.{q}")),
+                        tol.latency_ceiling,
+                    );
+                }
+                match f.get("errors").and_then(Json::as_f64) {
+                    Some(e) if e > 0.0 => {
+                        out.push(format!("net open_loop fresh run had {e:.0} errors"))
+                    }
+                    Some(_) => {}
+                    None => out.push("net open_loop fresh run has no errors field".into()),
+                }
+            }
+        }
+    }
     out
 }
 
@@ -252,6 +286,15 @@ mod tests {
             "get":{"count":10,"p99_ns":50000},"set":{"count":10,"p99_ns":80000}}},
         {"mix":"c","throughput_ops_s":200000.0,"latency":{
             "get":{"count":10,"p99_ns":40000}}}]}"#;
+
+    const NET_OL: &str = r#"{"bench":"net","config":{},"mixes":[
+        {"mix":"a","throughput_ops_s":100000.0,"latency":{
+            "get":{"count":10,"p99_ns":50000}}}],
+        "open_loop":{"idle_conns":1000,"hot_conns":4,"target_rate_ops_s":5000.0,
+            "achieved_rate_ops_s":4900.0,"duration_s":10.0,
+            "sent":50000,"replies":50000,"errors":0,
+            "latency":{"count":50000,"mean_ns":40000,"p50_ns":30000,
+                "p99_ns":200000,"p999_ns":900000,"max_ns":2000000}}}"#;
 
     fn j(s: &str) -> Json {
         Json::parse(s).unwrap()
@@ -323,6 +366,52 @@ mod tests {
     fn kind_mismatch_is_rejected() {
         let v = compare(&j(OPS), &j(NET), Tolerance::default());
         assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn open_loop_identical_passes_and_losses_fail() {
+        let tol = Tolerance::default();
+        assert!(compare(&j(NET_OL), &j(NET_OL), tol).is_empty());
+
+        // A baseline without the section gates nothing open-loop, so a
+        // fresh run *gaining* the section is fine.
+        let gained = j(
+            r#"{"bench":"net","config":{},"mixes":[
+                {"mix":"a","throughput_ops_s":100000.0,"latency":{
+                    "get":{"count":10,"p99_ns":50000},"set":{"count":10,"p99_ns":80000}}},
+                {"mix":"c","throughput_ops_s":200000.0,"latency":{
+                    "get":{"count":10,"p99_ns":40000}}}],
+                "open_loop":{"errors":0}}"#,
+        );
+        assert!(compare(&j(NET), &gained, tol).is_empty());
+
+        // Fresh run silently dropped the overload phase.
+        let v = compare(&j(NET_OL), &j(NET), tol);
+        assert!(v.iter().any(|m| m.contains("lost the open_loop")), "{v:?}");
+    }
+
+    #[test]
+    fn open_loop_tail_blowup_and_rate_collapse_fail() {
+        let tol = Tolerance::default();
+        // p999 grows 5x: past the 4x ceiling.
+        let fresh = j(&NET_OL.replace("\"p999_ns\":900000", "\"p999_ns\":4500000"));
+        let v = compare(&j(NET_OL), &fresh, tol);
+        assert!(v.iter().any(|m| m.contains("p999_ns")), "{v:?}");
+
+        // Reply rate collapsed to a fifth of baseline.
+        let fresh = j(&NET_OL.replace("\"achieved_rate_ops_s\":4900.0", "\"achieved_rate_ops_s\":980.0"));
+        let v = compare(&j(NET_OL), &fresh, tol);
+        assert!(v.iter().any(|m| m.contains("achieved_rate")), "{v:?}");
+    }
+
+    #[test]
+    fn open_loop_errors_fail_outright() {
+        // Even two errors out of 50k requests is a gate failure: under
+        // overload the server must shed load by latency, never by
+        // breaking connections.
+        let fresh = j(&NET_OL.replace("\"errors\":0", "\"errors\":2"));
+        let v = compare(&j(NET_OL), &fresh, Tolerance::default());
+        assert!(v.iter().any(|m| m.contains("2 errors")), "{v:?}");
     }
 
     #[test]

@@ -162,7 +162,7 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let mut cfg = hdnh_server::ServerConfig::default();
+    let mut server_cfg = hdnh_server::ServerConfig::builder();
     let mut capacity = 100_000usize;
     let mut fill = 0u64;
     let mut pool: Option<String> = None;
@@ -177,8 +177,12 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
             })
         };
         match flag.as_str() {
-            "--threads" => cfg.threads = val(&mut args, "--threads").max(1) as usize,
-            "--max-conns" => cfg.max_conns = val(&mut args, "--max-conns").max(1) as usize,
+            "--threads" => {
+                server_cfg = server_cfg.threads(val(&mut args, "--threads") as usize);
+            }
+            "--max-conns" => {
+                server_cfg = server_cfg.max_conns(val(&mut args, "--max-conns") as usize);
+            }
             "--capacity" => capacity = val(&mut args, "--capacity").max(1) as usize,
             "--fill" => fill = val(&mut args, "--fill"),
             "--pool" => {
@@ -201,6 +205,12 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
             }
         }
     }
+    // Validate the server knobs before doing any expensive table work so
+    // `--threads 0` fails in microseconds, not after a pool recovery.
+    let cfg = server_cfg.build().unwrap_or_else(|e| {
+        eprintln!("bad server configuration: {e}");
+        std::process::exit(2);
+    });
     let params = hdnh::HdnhParams::builder()
         .capacity(capacity)
         .nvm(hdnh_nvm::NvmOptions::fast())

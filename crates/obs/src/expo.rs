@@ -201,6 +201,17 @@ pub(crate) fn prometheus(s: &MetricsSnapshot) -> String {
         "counter",
     );
     let _ = writeln!(out, "hdnh_snapshot_bytes_total {}", s.counter(Counter::SnapshotBytes));
+    family(
+        &mut out,
+        "hdnh_net_spurious_wakeups_total",
+        "Reactor event-loop wakeups that found no ready I/O and no due timer.",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "hdnh_net_spurious_wakeups_total {}",
+        s.counter(Counter::NetSpuriousWakeup)
+    );
 
     family(
         &mut out,

@@ -116,6 +116,11 @@ pub enum Counter {
     /// Well-framed requests naming a command the server does not speak
     /// (answered with an error reply; the connection stays open).
     NetUnknownCmd,
+    /// Reactor event-loop iterations that found no ready I/O and no due
+    /// timer — pure scheduling overhead. Idle connections must not
+    /// produce these: the loop sleeps until the next real deadline, so a
+    /// server full of quiet connections shows ~0 here.
+    NetSpuriousWakeup,
     /// A `metrics delta` consumer observed the registry rewound beneath its
     /// baseline (a reset happened between two delta reads) and rebased.
     DeltaBaselineReset,
@@ -130,7 +135,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 31] = [
         Counter::OcfTrueMatch,
         Counter::OcfFalsePositive,
         Counter::OcfNegativeShortCircuit,
@@ -157,6 +162,7 @@ impl Counter {
         Counter::NetConnAccepted,
         Counter::NetConnRejected,
         Counter::NetUnknownCmd,
+        Counter::NetSpuriousWakeup,
         Counter::DeltaBaselineReset,
         Counter::SnapshotTaken,
         Counter::SnapshotFailed,
@@ -192,6 +198,7 @@ impl Counter {
             Counter::NetConnAccepted => "net_conn_accepted",
             Counter::NetConnRejected => "net_conn_rejected",
             Counter::NetUnknownCmd => "net_unknown_cmd",
+            Counter::NetSpuriousWakeup => "net_spurious_wakeups",
             Counter::DeltaBaselineReset => "delta_baseline_reset",
             Counter::SnapshotTaken => "snapshot_taken",
             Counter::SnapshotFailed => "snapshot_failed",

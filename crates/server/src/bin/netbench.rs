@@ -11,9 +11,18 @@
 //! netbench 127.0.0.1:6399 --conns 4 --pipeline 64 --ops 20000 \
 //!     --preload 10000 --mixes a,b,c --out BENCH_net.json --shutdown
 //! ```
+//!
+//! Beyond the closed-loop mixes, `--open-loop-rate R` adds an *open-loop*
+//! phase: `--idle-conns N` connections park silently (they exercise the
+//! reactor's idle bookkeeping, not the protocol) while `--hot-conns H`
+//! connections send PINGs on a fixed arrival schedule for
+//! `--open-loop-secs S` seconds. Latency is measured from the *scheduled*
+//! send instant, not the actual write, so a stalled server shows up as
+//! tail latency instead of being hidden by coordinated omission. Results
+//! land in a top-level `open_loop` section of the JSON artifact.
 
-use std::io::Write as _;
-use std::net::ToSocketAddrs;
+use std::io::{BufRead, BufReader, Read, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,12 +46,17 @@ struct Config {
     mixes: Vec<String>,
     out: String,
     shutdown: bool,
+    idle_conns: usize,
+    hot_conns: usize,
+    open_loop_rate: f64,
+    open_loop_secs: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: netbench <addr> [--conns N] [--pipeline N] [--ops N] [--preload N] \
-         [--mixes a,b,c] [--out PATH] [--shutdown]"
+         [--mixes a,b,c] [--out PATH] [--shutdown] \
+         [--open-loop-rate R --open-loop-secs S --idle-conns N --hot-conns N]"
     );
     std::process::exit(2);
 }
@@ -62,10 +76,20 @@ fn parse_args() -> Config {
         mixes: vec!["a".into(), "b".into(), "c".into()],
         out: "BENCH_net.json".into(),
         shutdown: false,
+        idle_conns: 0,
+        hot_conns: 4,
+        open_loop_rate: 0.0,
+        open_loop_secs: 10.0,
     };
     while let Some(flag) = args.next() {
         let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
             args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+        };
+        let fnum = |args: &mut dyn Iterator<Item = String>| -> f64 {
+            args.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .unwrap_or_else(|| usage())
         };
         match flag.as_str() {
             "--conns" => cfg.conns = num(&mut args).max(1) as usize,
@@ -83,6 +107,10 @@ fn parse_args() -> Config {
             }
             "--out" => cfg.out = args.next().unwrap_or_else(|| usage()),
             "--shutdown" => cfg.shutdown = true,
+            "--idle-conns" => cfg.idle_conns = num(&mut args) as usize,
+            "--hot-conns" => cfg.hot_conns = num(&mut args).max(1) as usize,
+            "--open-loop-rate" => cfg.open_loop_rate = fnum(&mut args),
+            "--open-loop-secs" => cfg.open_loop_secs = fnum(&mut args),
             _ => usage(),
         }
     }
@@ -212,6 +240,196 @@ fn run_conn(addr: &str, ops: &[Op], pipeline: usize, stats: &MixStats) {
     }
 }
 
+/// Sends one inline PING and waits for its reply line. Used to confirm a
+/// parked connection is registered (and later, still alive).
+fn ping_inline(s: &mut TcpStream) -> std::io::Result<bool> {
+    s.write_all(b"PING\r\n")?;
+    let mut buf = [0u8; 64];
+    let mut got = Vec::new();
+    while !got.ends_with(b"\r\n") {
+        let n = s.read(&mut buf)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        got.extend_from_slice(&buf[..n]);
+    }
+    Ok(got.starts_with(b"+PONG"))
+}
+
+struct OpenLoopReport {
+    idle_conns: usize,
+    hot_conns: usize,
+    target_rate: f64,
+    achieved_rate: f64,
+    duration_s: f64,
+    sent: u64,
+    replies: u64,
+    errors: u64,
+    latency: HistSnapshot,
+}
+
+/// One hot connection: a writer paces PINGs on the arrival schedule while
+/// a reader attributes each reply to its *scheduled* instant. The two
+/// halves share the stream via `try_clone` and a channel of schedule
+/// points; the channel closing is the reader's signal to drain and stop.
+fn run_hot_conn(
+    addr: &str,
+    rate: f64,
+    secs: f64,
+    hist: &AtomicHistogram,
+    sent: &AtomicU64,
+    replies: &AtomicU64,
+    errors: &AtomicU64,
+) {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("netbench: hot connect failed: {e}");
+            errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    let mut wtr = stream.try_clone().expect("clone stream");
+    let mut rdr = BufReader::new(stream);
+    let (tx, rx) = std::sync::mpsc::channel::<Instant>();
+
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut line = Vec::new();
+            while let Ok(sched) = rx.recv() {
+                line.clear();
+                match rdr.read_until(b'\n', &mut line) {
+                    Ok(0) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Ok(_) if line.first() == Some(&b'+') => {
+                        hist.record(sched.elapsed().as_nanos() as u64);
+                        replies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) | Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        });
+
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_secs_f64(secs);
+        let mut k = 0u64;
+        loop {
+            let sched = t0 + Duration::from_secs_f64(k as f64 / rate);
+            if sched >= deadline {
+                break;
+            }
+            let now = Instant::now();
+            if sched > now {
+                std::thread::sleep(sched - now);
+            }
+            if wtr.write_all(b"PING\r\n").is_err() {
+                errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            sent.fetch_add(1, Ordering::Relaxed);
+            // The reader measures from `sched`, not from the write: if the
+            // writer itself fell behind schedule (server pushed back), that
+            // delay is part of what the client experienced.
+            let _ = tx.send(sched);
+            k += 1;
+        }
+        drop(tx);
+    });
+}
+
+/// Open-loop overload phase: park `idle_conns` silent connections, then
+/// drive `hot_conns` paced PING streams at `rate` requests/s total for
+/// `secs`. Afterwards every parked connection is pinged once — an idle
+/// connection dropped under load counts as an error.
+fn run_open_loop(cfg: &Config) -> OpenLoopReport {
+    eprintln!(
+        "netbench: open-loop idle={} hot={} rate={}/s secs={}",
+        cfg.idle_conns, cfg.hot_conns, cfg.open_loop_rate, cfg.open_loop_secs
+    );
+    let errors = AtomicU64::new(0);
+
+    let mut parked: Vec<TcpStream> = Vec::with_capacity(cfg.idle_conns);
+    for i in 0..cfg.idle_conns {
+        match TcpStream::connect(&cfg.addr) {
+            Ok(mut s) => {
+                s.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
+                match ping_inline(&mut s) {
+                    Ok(true) => parked.push(s),
+                    r => {
+                        eprintln!("netbench: idle conn {i} failed to register: {r:?}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("netbench: idle connect {i} failed: {e}");
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    eprintln!("netbench: parked {} idle connections", parked.len());
+
+    let hist = AtomicHistogram::new();
+    let sent = AtomicU64::new(0);
+    let replies = AtomicU64::new(0);
+    let per_conn_rate = cfg.open_loop_rate / cfg.hot_conns as f64;
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..cfg.hot_conns {
+            s.spawn(|| {
+                run_hot_conn(
+                    &cfg.addr,
+                    per_conn_rate,
+                    cfg.open_loop_secs,
+                    &hist,
+                    &sent,
+                    &replies,
+                    &errors,
+                );
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // The hot phase is over; the parked fleet must have survived it.
+    for (i, s) in parked.iter_mut().enumerate() {
+        if !matches!(ping_inline(s), Ok(true)) {
+            eprintln!("netbench: idle conn {i} died during the hot phase");
+            errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let report = OpenLoopReport {
+        idle_conns: cfg.idle_conns,
+        hot_conns: cfg.hot_conns,
+        target_rate: cfg.open_loop_rate,
+        achieved_rate: replies.load(Ordering::Relaxed) as f64 / elapsed.max(1e-9),
+        duration_s: elapsed,
+        sent: sent.load(Ordering::Relaxed),
+        replies: replies.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        latency: hist.snapshot(),
+    };
+    eprintln!(
+        "netbench: open-loop sent={} replies={} errors={} achieved={:.0}/s p99={}ns p999={}ns",
+        report.sent,
+        report.replies,
+        report.errors,
+        report.achieved_rate,
+        report.latency.quantile(0.99),
+        report.latency.quantile(0.999),
+    );
+    report
+}
+
 fn json_hist(out: &mut String, name: &str, h: &HistSnapshot) {
     out.push_str(&format!(
         "\"{name}\":{{\"count\":{},\"mean_ns\":{:.0},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
@@ -301,6 +519,10 @@ fn main() {
         mix_reports.push(body);
     }
 
+    // The overload phase runs after the closed-loop mixes so its parked
+    // fleet does not compete with them for connection slots.
+    let open_loop = (cfg.open_loop_rate > 0.0).then(|| run_open_loop(&cfg));
+
     let mut json = String::new();
     json.push_str("{\"bench\":\"net\",");
     json.push_str(&format!(
@@ -309,7 +531,24 @@ fn main() {
     ));
     json.push_str("\"mixes\":[");
     json.push_str(&mix_reports.join(","));
-    json.push_str("]}");
+    json.push(']');
+    if let Some(ol) = &open_loop {
+        json.push_str(&format!(
+            ",\"open_loop\":{{\"idle_conns\":{},\"hot_conns\":{},\"target_rate_ops_s\":{:.1},\
+             \"achieved_rate_ops_s\":{:.1},\"duration_s\":{:.4},\"sent\":{},\"replies\":{},\"errors\":{},",
+            ol.idle_conns,
+            ol.hot_conns,
+            ol.target_rate,
+            ol.achieved_rate,
+            ol.duration_s,
+            ol.sent,
+            ol.replies,
+            ol.errors,
+        ));
+        json_hist(&mut json, "latency", &ol.latency);
+        json.push('}');
+    }
+    json.push('}');
     let mut f = std::fs::File::create(&cfg.out).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output");
     f.write_all(b"\n").expect("write output");

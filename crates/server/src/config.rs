@@ -1,0 +1,282 @@
+//! Validated server configuration.
+//!
+//! [`ServerConfig`] used to be a bag of public fields; any nonsense
+//! combination (zero event loops, a zero pipelining budget, a read
+//! timeout finer than the reactor's timer granularity) compiled fine and
+//! failed at runtime in whatever way it happened to fail. The redesigned
+//! type can only be obtained two ways, both of which guarantee a sane
+//! configuration:
+//!
+//! * [`ServerConfig::default`] — today's production values, unchanged
+//!   from the pre-builder era;
+//! * [`ServerConfig::builder`] — explicit knobs, checked by
+//!   [`ServerConfigBuilder::build`] with a typed [`ConfigError`] naming
+//!   the first offending knob.
+//!
+//! Fields are private on purpose: read them through the accessors, and
+//! construct through the builder so validation cannot be skipped.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::resp::DEFAULT_MAX_FRAME;
+
+/// Finest timeout the reactor honors. Deadlines (idle, drain) are lazily
+/// re-armed timer-heap entries; a read timeout below this granularity
+/// would promise a precision the event loop does not deliver.
+pub const MIN_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// A rejected configuration: the first nonsense knob found by
+/// [`ServerConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads == 0`: the reactor needs at least one event loop.
+    ZeroThreads,
+    /// `max_conns == 0`: a server that admits nothing serves nothing.
+    ZeroMaxConns,
+    /// `max_inflight == 0`: the pipelining budget must admit at least one
+    /// reply or every connection stalls before its first answer.
+    ZeroInflight,
+    /// `max_frame == 0`: every request would be oversized.
+    ZeroFrameBudget,
+    /// `read_timeout` below [`MIN_TIMEOUT`], the reactor's timer
+    /// granularity.
+    ReadTimeoutTooShort {
+        /// The rejected value.
+        got: Duration,
+    },
+    /// `write_timeout` below [`MIN_TIMEOUT`].
+    WriteTimeoutTooShort {
+        /// The rejected value.
+        got: Duration,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => write!(f, "threads must be >= 1"),
+            ConfigError::ZeroMaxConns => write!(f, "max_conns must be >= 1"),
+            ConfigError::ZeroInflight => write!(f, "max_inflight must be >= 1"),
+            ConfigError::ZeroFrameBudget => write!(f, "max_frame must be >= 1"),
+            ConfigError::ReadTimeoutTooShort { got } => write!(
+                f,
+                "read_timeout {got:?} is below the {MIN_TIMEOUT:?} timer granularity"
+            ),
+            ConfigError::WriteTimeoutTooShort { got } => write!(
+                f,
+                "write_timeout {got:?} is below the {MIN_TIMEOUT:?} timer granularity"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Server tuning knobs (validated; see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    threads: usize,
+    max_conns: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_inflight: usize,
+    max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            max_conns: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_inflight: 128,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A builder seeded with the [`Default`] values.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: ServerConfig::default(),
+        }
+    }
+
+    /// Reactor event loops (each pinned to its own poller; loop 0 also
+    /// accepts).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Concurrent connection budget; extra connections are answered
+    /// `-ERR max connections reached` and closed.
+    pub fn max_conns(&self) -> usize {
+        self.max_conns
+    }
+
+    /// Close a connection after this long with no bytes from the peer.
+    pub fn read_timeout(&self) -> Duration {
+        self.read_timeout
+    }
+
+    /// Drop a connection whose peer stops reading replies for this long
+    /// while output is pending.
+    pub fn write_timeout(&self) -> Duration {
+        self.write_timeout
+    }
+
+    /// Pipelining budget: max replies buffered before decoding pauses
+    /// until the output buffer reaches the socket.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Per-frame byte budget (see [`crate::resp::Decoder`]).
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+}
+
+/// Builder for [`ServerConfig`]; every setter overrides one default.
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the number of reactor event loops.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Sets the concurrent connection budget.
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.cfg.max_conns = n;
+        self
+    }
+
+    /// Sets the idle read timeout.
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.cfg.read_timeout = t;
+        self
+    }
+
+    /// Sets the pending-output write timeout.
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.cfg.write_timeout = t;
+        self
+    }
+
+    /// Sets the pipelining budget.
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.cfg.max_inflight = n;
+        self
+    }
+
+    /// Sets the per-frame byte budget.
+    pub fn max_frame(mut self, n: usize) -> Self {
+        self.cfg.max_frame = n;
+        self
+    }
+
+    /// Validates and produces the configuration, or names the first
+    /// nonsense knob.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        let c = self.cfg;
+        if c.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if c.max_conns == 0 {
+            return Err(ConfigError::ZeroMaxConns);
+        }
+        if c.max_inflight == 0 {
+            return Err(ConfigError::ZeroInflight);
+        }
+        if c.max_frame == 0 {
+            return Err(ConfigError::ZeroFrameBudget);
+        }
+        if c.read_timeout < MIN_TIMEOUT {
+            return Err(ConfigError::ReadTimeoutTooShort { got: c.read_timeout });
+        }
+        if c.write_timeout < MIN_TIMEOUT {
+            return Err(ConfigError::WriteTimeoutTooShort { got: c.write_timeout });
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_historical_values() {
+        let c = ServerConfig::default();
+        assert_eq!(c.threads(), 4);
+        assert_eq!(c.max_conns(), 64);
+        assert_eq!(c.read_timeout(), Duration::from_secs(30));
+        assert_eq!(c.write_timeout(), Duration::from_secs(10));
+        assert_eq!(c.max_inflight(), 128);
+        assert_eq!(c.max_frame(), DEFAULT_MAX_FRAME);
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let c = ServerConfig::builder()
+            .threads(2)
+            .max_conns(10)
+            .read_timeout(Duration::from_secs(1))
+            .write_timeout(Duration::from_secs(2))
+            .max_inflight(7)
+            .max_frame(4096)
+            .build()
+            .unwrap();
+        assert_eq!(c.threads(), 2);
+        assert_eq!(c.max_conns(), 10);
+        assert_eq!(c.read_timeout(), Duration::from_secs(1));
+        assert_eq!(c.write_timeout(), Duration::from_secs(2));
+        assert_eq!(c.max_inflight(), 7);
+        assert_eq!(c.max_frame(), 4096);
+    }
+
+    #[test]
+    fn nonsense_knobs_get_typed_errors() {
+        assert_eq!(
+            ServerConfig::builder().threads(0).build(),
+            Err(ConfigError::ZeroThreads)
+        );
+        assert_eq!(
+            ServerConfig::builder().max_conns(0).build(),
+            Err(ConfigError::ZeroMaxConns)
+        );
+        assert_eq!(
+            ServerConfig::builder().max_inflight(0).build(),
+            Err(ConfigError::ZeroInflight)
+        );
+        assert_eq!(
+            ServerConfig::builder().max_frame(0).build(),
+            Err(ConfigError::ZeroFrameBudget)
+        );
+        let short = Duration::from_millis(5);
+        assert_eq!(
+            ServerConfig::builder().read_timeout(short).build(),
+            Err(ConfigError::ReadTimeoutTooShort { got: short })
+        );
+        assert_eq!(
+            ServerConfig::builder().write_timeout(short).build(),
+            Err(ConfigError::WriteTimeoutTooShort { got: short })
+        );
+        // Errors render a human-readable reason naming the bound.
+        let msg = ConfigError::ReadTimeoutTooShort { got: short }.to_string();
+        assert!(msg.contains("read_timeout"), "{msg}");
+    }
+
+    #[test]
+    fn config_errors_implement_partial_eq_for_matching() {
+        assert_ne!(ConfigError::ZeroThreads, ConfigError::ZeroInflight);
+    }
+}

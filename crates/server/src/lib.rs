@@ -1,16 +1,25 @@
 //! Network service layer for HDNH: a RESP2-subset TCP front-end plus an
 //! HTTP ops plane.
 //!
-//! Four pieces:
+//! Six pieces:
 //!
 //! - [`resp`] — the wire grammar: a zero-copy incremental request
 //!   [`resp::Decoder`] (frames are byte ranges into the decoder's buffer;
 //!   partial reads and deep pipelining are first-class) plus reply
 //!   encoders.
-//! - [`server`] — a thread-per-worker TCP server sharing one
-//!   [`hdnh::Hdnh`] through its lock-free read path, with connection
-//!   limits, read/write timeouts, a pipelining budget as backpressure,
-//!   and graceful drain on `SHUTDOWN`/SIGTERM.
+//! - [`reactor`] — the connection runtime: N epoll-driven event loops
+//!   over non-blocking sockets, a per-connection state machine
+//!   ([`reactor::Conn`]) owning decoder + output buffer + deadlines, and
+//!   the [`reactor::Engine`] trait that separates command execution and
+//!   admission policy from byte shoveling. Tens of thousands of mostly
+//!   idle connections cost zero threads and zero scheduled wakeups.
+//! - [`server`] — the RESP policy: an `Engine` implementation
+//!   [`dispatch`](server)ing commands against one shared [`hdnh::Hdnh`]
+//!   through its lock-free read path, plus the public
+//!   [`start`]/[`ServerHandle`] surface and signal-driven drain.
+//! - [`config`] — [`ServerConfig`], obtainable only through `Default` or
+//!   the validated [`ServerConfig::builder`] (typed [`ConfigError`]s for
+//!   nonsense knobs).
 //! - [`client`] — a blocking pipelining [`client::RespClient`] used by
 //!   the `netbench` load generator and the integration tests.
 //! - [`ops`] — a dependency-free HTTP/1.0 listener on a separate port
@@ -22,19 +31,23 @@
 //! METRICS SHUTDOWN`) maps 1:1 onto the table's typed API; table errors
 //! come back as RESP errors with a machine-readable code prefix
 //! (`-CORRUPTION`, `-IO`, `-CAPACITY`, `-RECOVERY`, `-INTEGRITY`,
-//! `-ERR`). See DESIGN.md §12 for the full protocol contract.
+//! `-ERR`). See DESIGN.md §12 for the full protocol contract and §16 for
+//! the reactor architecture.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod config;
 pub mod ops;
+pub mod reactor;
 pub mod resp;
 pub mod server;
 
 pub use client::{Reply, RespClient};
+pub use config::{ConfigError, ServerConfig, ServerConfigBuilder};
 pub use ops::{start_ops, OpsHandle, OpsState, GIT_HASH, VERSION};
+pub use reactor::{Conn, Engine, EngineAction};
 pub use resp::{Decoder, Frame, ProtoError};
 pub use server::{
-    install_signal_handlers, serve_until_signal, signaled, start, start_with_state, ServerConfig,
-    ServerHandle,
+    install_signal_handlers, serve_until_signal, signaled, start, start_with_state, ServerHandle,
 };

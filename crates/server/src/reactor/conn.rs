@@ -1,0 +1,304 @@
+//! Per-connection state machine, free of sockets and clocks.
+//!
+//! [`Conn`] owns the request [`Decoder`], the reply buffer, and every
+//! deadline a connection can carry (idle, drain, write-stall). The event
+//! loop owns the socket and the clock: it feeds bytes in
+//! ([`Conn::on_bytes`]), reports write progress
+//! ([`Conn::on_write_progress`]), announces deadline expiry
+//! ([`Conn::on_tick`]) — always passing `now` explicitly — and reads the
+//! connection's wishes back out ([`Conn::wants_read`],
+//! [`Conn::wants_write`], [`Conn::next_deadline`], [`Conn::done`]).
+//! Because nothing here touches a socket or calls `Instant::now`, the
+//! whole protocol lifecycle is unit-testable with in-memory byte slices
+//! and a hand-rolled clock (see `tests/conn_state.rs`).
+//!
+//! **Backpressure.** Replies accumulate in the output buffer; after
+//! `max_inflight` of them pile up without the socket draining, the
+//! connection *stalls*: it stops wanting reads (the loop parks its
+//! EPOLLIN interest) and stops decoding, so a client that streams
+//! requests faster than it reads replies is throttled by TCP flow
+//! control instead of growing server memory. The stall clears the moment
+//! the output buffer fully reaches the socket.
+//!
+//! **Drain.** [`Conn::begin_drain`] starts the end-of-life protocol the
+//! old thread-per-connection loop promised: every frame already received
+//! is answered; the connection closes at the first [`DRAIN_SILENCE`]
+//! pause in arriving bytes, or unconditionally stops reading at the
+//! [`DRAIN_GRACE`] deadline so a firehosing client cannot stretch
+//! shutdown forever.
+
+use std::time::{Duration, Instant};
+
+use hdnh_obs as obs;
+
+use super::{Engine, EngineAction};
+use crate::config::ServerConfig;
+use crate::resp::{enc_error, Decoder};
+
+/// After a drain begins, how long a connection keeps answering bytes that
+/// were already in flight before it stops reading. Bounds how much a
+/// firehosing client can stretch shutdown.
+pub const DRAIN_GRACE: Duration = Duration::from_millis(250);
+
+/// During a drain, the connection closes after this long without a byte
+/// from the peer (the moment the wire goes quiet). Extended by arriving
+/// bytes, capped by [`DRAIN_GRACE`].
+pub const DRAIN_SILENCE: Duration = Duration::from_millis(100);
+
+struct Drain {
+    grace: Instant,
+    silence: Instant,
+}
+
+/// One connection's protocol state: decoder, reply buffer, deadlines.
+/// See the module docs for the driving contract.
+pub struct Conn {
+    dec: Decoder,
+    out: Vec<u8>,
+    /// Bytes of `out` already written to the socket.
+    wpos: usize,
+    /// Replies appended since the output buffer last fully drained.
+    inflight: usize,
+    max_inflight: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    last_activity: Instant,
+    /// `Some(t)` while output is pending: the last instant the socket
+    /// accepted bytes (or the instant output first became pending).
+    last_write_progress: Option<Instant>,
+    drain: Option<Drain>,
+    /// Decode paused at the inflight budget, awaiting output drain.
+    stalled: bool,
+    /// No more bytes will be read (EOF, idle/drain deadline, fatal
+    /// protocol error).
+    reading_stopped: bool,
+    /// The decoder is poisoned (fatal protocol error): buffered bytes
+    /// are abandoned, only pending replies still go out.
+    decoding_stopped: bool,
+    /// The last pump left no complete frame buffered.
+    decoder_empty: bool,
+    close_when_flushed: bool,
+    /// Hard failure (write-stall timeout): drop without flushing.
+    dead: bool,
+    shutdown_requested: bool,
+}
+
+impl Conn {
+    /// A fresh connection with `cfg`'s budgets, idle clock starting at
+    /// `now`.
+    pub fn new(cfg: &ServerConfig, now: Instant) -> Conn {
+        Conn {
+            dec: Decoder::new(cfg.max_frame()),
+            out: Vec::with_capacity(4 * 1024),
+            wpos: 0,
+            inflight: 0,
+            max_inflight: cfg.max_inflight(),
+            read_timeout: cfg.read_timeout(),
+            write_timeout: cfg.write_timeout(),
+            last_activity: now,
+            last_write_progress: None,
+            drain: None,
+            stalled: false,
+            reading_stopped: false,
+            decoding_stopped: false,
+            decoder_empty: true,
+            close_when_flushed: false,
+            dead: false,
+            shutdown_requested: false,
+        }
+    }
+
+    /// Bytes arrived from the peer: feed the decoder and execute every
+    /// complete frame through `engine`, up to the inflight budget.
+    pub fn on_bytes<E: Engine + ?Sized>(&mut self, bytes: &[u8], engine: &E, now: Instant) {
+        if self.dead || self.reading_stopped {
+            return;
+        }
+        self.last_activity = now;
+        if let Some(d) = &mut self.drain {
+            d.silence = (now + DRAIN_SILENCE).min(d.grace);
+        }
+        self.decoder_empty = false;
+        self.dec.feed(bytes);
+        self.pump(engine, now);
+    }
+
+    /// The peer half-closed: answer what was received, then close.
+    pub fn on_eof(&mut self) {
+        self.reading_stopped = true;
+        self.maybe_finish();
+    }
+
+    /// The socket accepted `n` bytes of [`Conn::output`]. A full drain
+    /// clears the inflight budget and resumes a stalled decode.
+    pub fn on_write_progress<E: Engine + ?Sized>(&mut self, n: usize, engine: &E, now: Instant) {
+        if n == 0 || self.dead {
+            return;
+        }
+        self.wpos += n;
+        debug_assert!(self.wpos <= self.out.len());
+        if self.wpos >= self.out.len() {
+            self.out.clear();
+            self.wpos = 0;
+            self.inflight = 0;
+            self.last_write_progress = None;
+            if self.stalled {
+                self.stalled = false;
+                self.pump(engine, now);
+            } else {
+                self.maybe_finish();
+            }
+        } else {
+            self.last_write_progress = Some(now);
+        }
+    }
+
+    /// A deadline may have passed; evaluate idle, drain, and write-stall
+    /// clocks against `now`. Harmless to call early or often.
+    pub fn on_tick(&mut self, now: Instant) {
+        if self.dead {
+            return;
+        }
+        if self.wants_write() {
+            if let Some(t) = self.last_write_progress {
+                if now.duration_since(t) >= self.write_timeout {
+                    // The peer stopped reading its replies: hard-drop.
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if !self.reading_stopped {
+            let expired = match &self.drain {
+                Some(d) => now >= d.silence || now >= d.grace,
+                None => now.duration_since(self.last_activity) >= self.read_timeout,
+            };
+            if expired {
+                self.reading_stopped = true;
+                self.maybe_finish();
+            }
+        }
+    }
+
+    /// Starts the graceful-drain protocol (idempotent): answer everything
+    /// received, then close at the first silence (see the module docs).
+    pub fn begin_drain(&mut self, now: Instant) {
+        if self.drain.is_none() {
+            let grace = now + DRAIN_GRACE;
+            self.drain = Some(Drain {
+                grace,
+                silence: (now + DRAIN_SILENCE).min(grace),
+            });
+        }
+    }
+
+    /// The not-yet-written slice of the reply buffer.
+    pub fn output(&self) -> &[u8] {
+        &self.out[self.wpos..]
+    }
+
+    /// Whether the loop should keep EPOLLIN interest: false once reading
+    /// stopped or while stalled on the inflight budget.
+    pub fn wants_read(&self) -> bool {
+        !self.dead && !self.reading_stopped && !self.stalled
+    }
+
+    /// Whether unwritten output is pending.
+    pub fn wants_write(&self) -> bool {
+        !self.dead && self.wpos < self.out.len()
+    }
+
+    /// Whether the connection is finished and the socket should close:
+    /// either hard-dead, or politely done with all replies delivered.
+    pub fn done(&self) -> bool {
+        self.dead || (self.close_when_flushed && self.output().is_empty())
+    }
+
+    /// The earliest instant at which [`Conn::on_tick`] could do work, or
+    /// `None` when no clock is running (an idle-immortal case does not
+    /// exist: a live connection always carries at least the idle clock).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.dead {
+            return None;
+        }
+        let mut dl: Option<Instant> = None;
+        let mut add = |t: Instant| {
+            dl = Some(match dl {
+                None => t,
+                Some(cur) => cur.min(t),
+            })
+        };
+        if self.wants_write() {
+            if let Some(t) = self.last_write_progress {
+                add(t + self.write_timeout);
+            }
+        }
+        if !self.reading_stopped {
+            match &self.drain {
+                Some(d) => add(d.silence.min(d.grace)),
+                None => add(self.last_activity + self.read_timeout),
+            }
+        }
+        dl
+    }
+
+    /// Takes the pending `SHUTDOWN` request, if the engine raised one
+    /// while executing a frame (the loop translates it into a
+    /// process-wide drain).
+    pub fn take_shutdown_request(&mut self) -> bool {
+        std::mem::take(&mut self.shutdown_requested)
+    }
+
+    /// Decode-and-execute until the buffer is out of complete frames or
+    /// the inflight budget stalls the connection.
+    fn pump<E: Engine + ?Sized>(&mut self, engine: &E, now: Instant) {
+        if self.decoding_stopped || self.dead {
+            return;
+        }
+        while !self.stalled {
+            match self.dec.next() {
+                Ok(Some(frame)) => {
+                    obs::count(obs::Counter::NetFrameDecoded);
+                    match engine.execute(&self.dec, &frame, &mut self.out) {
+                        EngineAction::Continue => {}
+                        EngineAction::Shutdown => self.shutdown_requested = true,
+                    }
+                    self.inflight += 1;
+                    if self.inflight >= self.max_inflight {
+                        self.stalled = true;
+                    }
+                }
+                Ok(None) => {
+                    self.decoder_empty = true;
+                    self.dec.compact();
+                    break;
+                }
+                Err(e) => {
+                    obs::count(obs::Counter::NetProtocolError);
+                    enc_error(&mut self.out, "ERR", &format!("protocol error: {e}"));
+                    if e.recoverable() {
+                        continue;
+                    }
+                    // Fatal: deliver the error reply, then close.
+                    self.decoding_stopped = true;
+                    self.reading_stopped = true;
+                    break;
+                }
+            }
+        }
+        // Output that just became pending starts the write-stall clock.
+        if self.wants_write() && self.last_write_progress.is_none() {
+            self.last_write_progress = Some(now);
+        }
+        self.maybe_finish();
+    }
+
+    /// If reading has stopped and every received frame has been answered
+    /// (nothing stalled, nothing still decodable), arrange to close once
+    /// the replies reach the socket.
+    fn maybe_finish(&mut self) {
+        if self.reading_stopped && !self.stalled && (self.decoder_empty || self.decoding_stopped) {
+            self.close_when_flushed = true;
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Lazy deadline heap for the event loop.
+//!
+//! A connection's deadline (idle, drain, write-stall) moves every time
+//! the peer does something, which makes eager cancellation O(log n) per
+//! byte. Instead the heap is *lazy*: entries are only ever pushed, and a
+//! popped entry is validated against the connection's current state by
+//! the loop (slot generation match + the deadline actually being due).
+//! Stale entries cost one early wakeup at worst and are dropped on pop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// One scheduled wakeup: `(when, slot, gen)`. `gen` is the slot's
+/// generation at scheduling time, so an entry outliving its connection
+/// (slot reused) is recognizably stale.
+type Entry = (Instant, usize, u64);
+
+/// Min-heap of connection deadlines (see the module docs for the lazy
+/// invalidation contract).
+pub struct TimerHeap {
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl TimerHeap {
+    /// An empty heap.
+    pub fn new() -> TimerHeap {
+        TimerHeap {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Schedules a wakeup for `slot` (generation `gen`) at `when`.
+    pub fn schedule(&mut self, when: Instant, slot: usize, gen: u64) {
+        self.heap.push(Reverse((when, slot, gen)));
+    }
+
+    /// The earliest scheduled instant, stale entries included (an early
+    /// wakeup from a stale entry is harmless; a late one would not be).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops one entry that is due at `now`, or `None` when the head is in
+    /// the future (or the heap is empty). Call in a loop to drain.
+    pub fn pop_due(&mut self, now: Instant) -> Option<(usize, u64)> {
+        match self.heap.peek() {
+            Some(Reverse((t, _, _))) if *t <= now => {
+                let Reverse((_, slot, gen)) = self.heap.pop().unwrap();
+                Some((slot, gen))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of live + stale entries (bounds memory, not correctness).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn pops_in_deadline_order_and_respects_now() {
+        let mut h = TimerHeap::new();
+        let t0 = Instant::now();
+        h.schedule(t0 + Duration::from_millis(30), 3, 1);
+        h.schedule(t0 + Duration::from_millis(10), 1, 1);
+        h.schedule(t0 + Duration::from_millis(20), 2, 1);
+        assert_eq!(h.next_deadline(), Some(t0 + Duration::from_millis(10)));
+
+        // Nothing due yet.
+        assert_eq!(h.pop_due(t0), None);
+        assert_eq!(h.len(), 3);
+
+        // Two due, in order; the third stays.
+        let now = t0 + Duration::from_millis(20);
+        assert_eq!(h.pop_due(now), Some((1, 1)));
+        assert_eq!(h.pop_due(now), Some((2, 1)));
+        assert_eq!(h.pop_due(now), None);
+        assert_eq!(h.next_deadline(), Some(t0 + Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut h = TimerHeap::new();
+        let t0 = Instant::now();
+        h.schedule(t0, 7, 42);
+        assert_eq!(h.pop_due(t0), Some((7, 42)));
+        assert_eq!(h.pop_due(t0), None);
+        assert_eq!(h.len(), 0);
+    }
+}

@@ -1,30 +1,34 @@
-//! Threaded RESP server over one shared [`Hdnh`] table.
+//! RESP command engine over the event-driven [`crate::reactor`] runtime.
 //!
-//! **Threading.** `threads` workers share one `TcpListener`; each worker
-//! loops `accept → serve one connection to completion`. There is no
-//! central dispatcher and no cross-worker queue — the kernel's accept
-//! queue is the load balancer, and the table itself is the only shared
-//! state (reads go through the epoch-pinned lock-free path, writes take
-//! per-slot locks, so workers never serialize on server-side locks).
+//! **Architecture.** The runtime concerns (sockets, readiness, deadlines,
+//! backpressure, drain mechanics) live in [`crate::reactor`]; this module
+//! supplies the *policy* as a [`reactor::Engine`] implementation:
+//! [`dispatch`]ing decoded RESP frames against one shared [`Hdnh`] table,
+//! admission control against the `max_conns` budget, and the ops-plane
+//! hooks (readiness flips, connection accounting). `cfg.threads()` event
+//! loops each multiplex thousands of non-blocking sockets, so connection
+//! count is bounded by the `max_conns` budget and fd limits — not by
+//! threads. The table itself is the only shared state (reads go through
+//! the epoch-pinned lock-free path, writes take per-slot locks, so loops
+//! never serialize on server-side locks).
 //!
 //! **Backpressure.** Three independent bounds protect the server:
 //! connection slots (`max_conns`; a connection over budget is answered
 //! `-ERR max connections` and closed), a per-frame byte budget
 //! (`max_frame`; oversized frames are a fatal protocol error), and a
 //! per-connection pipelining budget (`max_inflight`; at most that many
-//! replies accumulate in the output buffer before the server stops
-//! decoding and flushes, so a client streaming requests faster than it
-//! reads replies is eventually throttled by TCP flow control instead of
-//! growing server memory).
+//! replies accumulate in the output buffer before the connection stops
+//! wanting reads, so a client streaming requests faster than it reads
+//! replies is throttled by TCP flow control instead of growing server
+//! memory).
 //!
 //! **Shutdown.** `SHUTDOWN` (any connection) or [`ServerHandle::shutdown`]
-//! (process signal, test harness) flips one shared flag. Accept loops
-//! stop taking new connections; every live connection finishes executing
-//! the requests already received, flushes its replies, and closes. No
-//! reply that was owed for a received frame is ever dropped.
+//! (process signal, test harness) flips one shared flag and wakes every
+//! event loop. The acceptor closes; every live connection finishes
+//! executing the requests already received, flushes its replies, and
+//! closes. No reply that was owed for a received frame is ever dropped.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,92 +37,39 @@ use hdnh::{Hdnh, HdnhError};
 use hdnh_common::{Key, Value};
 use hdnh_obs as obs;
 
+use crate::config::ServerConfig;
 use crate::ops::OpsState;
+use crate::reactor::{self, EngineAction};
 use crate::resp::{
     enc_array_header, enc_bulk, enc_error, enc_int, enc_nil, enc_simple, parse_u64, Decoder,
-    DEFAULT_MAX_FRAME,
 };
-
-/// How long a worker blocks in one read before re-checking the shutdown
-/// flag and the idle clock.
-const POLL: Duration = Duration::from_millis(100);
-
-/// After a drain begins, how long a connection keeps answering bytes that
-/// were already in flight before closing. Bounds how much a firehosing
-/// client can stretch shutdown.
-const DRAIN_GRACE: Duration = Duration::from_millis(250);
-
-/// Server tuning knobs.
-#[derive(Clone, Debug)]
-pub struct ServerConfig {
-    /// Worker (accept + serve) threads.
-    pub threads: usize,
-    /// Concurrent connection budget; extra connections are rejected with
-    /// an error reply.
-    pub max_conns: usize,
-    /// Close a connection after this long with no bytes from the peer.
-    pub read_timeout: Duration,
-    /// Socket write timeout (a peer that stops reading its replies for
-    /// this long is dropped).
-    pub write_timeout: Duration,
-    /// Pipelining budget: max replies buffered before a forced flush.
-    pub max_inflight: usize,
-    /// Per-frame byte budget (see [`crate::resp::Decoder`]).
-    pub max_frame: usize,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            threads: 4,
-            max_conns: 64,
-            read_timeout: Duration::from_secs(30),
-            write_timeout: Duration::from_secs(10),
-            max_inflight: 128,
-            max_frame: DEFAULT_MAX_FRAME,
-        }
-    }
-}
-
-struct Shared {
-    table: Arc<Hdnh>,
-    cfg: ServerConfig,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
-    /// Shared ops-plane state: readiness, drain flag, uptime, and the
-    /// canonical live-connection count (so `INFO` and `/varz` agree).
-    state: Arc<OpsState>,
-}
 
 /// Handle to a running server: address, shutdown trigger, join.
 pub struct ServerHandle {
-    shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    inner: reactor::ReactorHandle,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.inner.local_addr()
     }
 
     /// Whether a drain has been requested (by `SHUTDOWN` or
     /// [`ServerHandle::shutdown`]).
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst)
+        self.inner.is_shutting_down()
     }
 
     /// Begins a graceful drain: no new connections; live connections
     /// finish their received frames and close.
     pub fn shutdown(&self) {
-        begin_shutdown(&self.shared);
+        self.inner.shutdown();
     }
 
-    /// Waits for every worker to exit (drain complete).
+    /// Waits for every event loop to exit (drain complete).
     pub fn join(self) {
-        for w in self.workers {
-            let _ = w.join();
-        }
+        self.inner.join();
     }
 
     /// [`ServerHandle::shutdown`] + [`ServerHandle::join`].
@@ -128,26 +79,16 @@ impl ServerHandle {
     }
 }
 
-fn begin_shutdown(shared: &Arc<Shared>) {
-    if shared.shutdown.swap(true, Ordering::SeqCst) {
-        return;
-    }
-    // Readiness probes flip false the instant the drain begins, before the
-    // accept loops have even noticed.
-    shared.state.begin_drain();
-    // Wake workers blocked in accept(): each dummy connection unblocks one
-    // accept call, whose worker then observes the flag and exits.
-    for _ in 0..shared.cfg.threads {
-        let _ = TcpStream::connect(shared.addr);
-    }
-}
-
-/// Binds `addr` and starts the worker threads. The table is shared; the
+/// Binds `addr` and starts the event loops. The table is shared; the
 /// caller keeps its own `Arc` and may continue using it in-process.
 ///
 /// Convenience wrapper over [`start_with_state`] with a private
 /// [`OpsState`] that is published and marked ready immediately.
-pub fn start<A: ToSocketAddrs>(table: Arc<Hdnh>, addr: A, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+pub fn start<A: ToSocketAddrs>(
+    table: Arc<Hdnh>,
+    addr: A,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let state = OpsState::new();
     state.set_table(&table);
     let handle = start_with_state(table, addr, cfg, Arc::clone(&state))?;
@@ -159,151 +100,62 @@ pub fn start<A: ToSocketAddrs>(table: Arc<Hdnh>, addr: A, cfg: ServerConfig) -> 
 /// started *before* the table was opened (readiness false through
 /// recovery) shares the same readiness/drain/connection state as the
 /// data path.
+///
+/// `cfg` is valid by construction ([`ServerConfig::builder`] rejects
+/// nonsense knobs), so the old runtime asserts are gone.
 pub fn start_with_state<A: ToSocketAddrs>(
     table: Arc<Hdnh>,
     addr: A,
     cfg: ServerConfig,
     state: Arc<OpsState>,
 ) -> std::io::Result<ServerHandle> {
-    assert!(cfg.threads >= 1, "server needs at least one worker");
-    assert!(cfg.max_inflight >= 1, "pipelining budget must be positive");
     let listener = TcpListener::bind(addr)?;
-    let local = listener.local_addr()?;
-    let shared = Arc::new(Shared {
+    let engine: Arc<dyn reactor::Engine> = Arc::new(RespEngine {
         table,
-        cfg,
-        shutdown: AtomicBool::new(false),
-        addr: local,
         state,
+        cfg: cfg.clone(),
     });
-    let mut workers = Vec::with_capacity(shared.cfg.threads);
-    for i in 0..shared.cfg.threads {
-        let shared = Arc::clone(&shared);
-        let listener = listener.try_clone()?;
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("hdnh-net-{i}"))
-                .spawn(move || worker_loop(&shared, &listener))?,
-        );
-    }
-    Ok(ServerHandle { shared, workers })
+    let inner = reactor::spawn(listener, cfg, engine)?;
+    Ok(ServerHandle { inner })
 }
 
-fn worker_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(_) => continue,
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
+/// The RESP policy plugged into the reactor: command execution against
+/// the table, `max_conns` admission, ops-plane integration.
+struct RespEngine {
+    table: Arc<Hdnh>,
+    /// Shared ops-plane state: readiness, drain flag, uptime, and the
+    /// canonical live-connection count (so `INFO` and `/varz` agree).
+    state: Arc<OpsState>,
+    cfg: ServerConfig,
+}
+
+impl reactor::Engine for RespEngine {
+    fn execute(&self, dec: &Decoder, frame: &crate::resp::Frame, out: &mut Vec<u8>) -> EngineAction {
+        dispatch(self, dec, frame, out)
+    }
+
+    fn try_admit(&self) -> bool {
         // Connection budget: a slot is held for the connection's lifetime.
-        let conns = &shared.state.active_conns;
-        if conns.fetch_add(1, Ordering::SeqCst) >= shared.cfg.max_conns {
+        let conns = &self.state.active_conns;
+        if conns.fetch_add(1, Ordering::SeqCst) >= self.cfg.max_conns() {
             conns.fetch_sub(1, Ordering::SeqCst);
             obs::count(obs::Counter::NetConnRejected);
-            let mut out = Vec::new();
-            enc_error(&mut out, "ERR", "max connections reached");
-            let mut stream = stream;
-            let _ = stream.write_all(&out);
-            continue;
-        }
-        obs::count(obs::Counter::NetConnAccepted);
-        let _ = serve_conn(shared, stream);
-        conns.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// Serves one connection until EOF, timeout, fatal protocol error, or
-/// drain. Frames already received when a drain begins are always answered.
-fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL))?;
-    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
-    let mut stream = stream;
-    let mut dec = Decoder::new(shared.cfg.max_frame);
-    let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
-    let mut rdbuf = [0u8; 16 * 1024];
-    let mut last_activity = Instant::now();
-    let mut drain_deadline: Option<Instant> = None;
-
-    loop {
-        // Drain the decoder: execute buffered frames, flushing every
-        // `max_inflight` replies so the output buffer stays bounded.
-        let mut inflight = 0usize;
-        loop {
-            match dec.next() {
-                Ok(Some(frame)) => {
-                    obs::count(obs::Counter::NetFrameDecoded);
-                    dispatch(shared, &dec, &frame, &mut out);
-                    inflight += 1;
-                    if inflight >= shared.cfg.max_inflight {
-                        flush(&mut stream, &mut out)?;
-                        inflight = 0;
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    obs::count(obs::Counter::NetProtocolError);
-                    enc_error(&mut out, "ERR", &format!("protocol error: {e}"));
-                    flush(&mut stream, &mut out)?;
-                    if e.recoverable() {
-                        continue;
-                    }
-                    return Ok(()); // fatal: close with the error delivered
-                }
-            }
-        }
-        flush(&mut stream, &mut out)?;
-        dec.compact();
-
-        // Drain semantics: every received frame is answered. After the
-        // shutdown flag is seen, the connection keeps reading for a short
-        // grace window so a pipelined batch split across TCP segments
-        // still gets all its replies, then closes at the first moment of
-        // silence (or at the grace deadline).
-        if shared.shutdown.load(Ordering::SeqCst) {
-            match drain_deadline {
-                None => drain_deadline = Some(Instant::now() + DRAIN_GRACE),
-                Some(d) if Instant::now() >= d => return Ok(()),
-                Some(_) => {}
-            }
-        }
-
-        match stream.read(&mut rdbuf) {
-            Ok(0) => return Ok(()), // peer closed
-            Ok(n) => {
-                obs::add(obs::Counter::NetBytesIn, n as u64);
-                dec.feed(&rdbuf[..n]);
-                last_activity = Instant::now();
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if drain_deadline.is_some() {
-                    return Ok(()); // draining and the wire went quiet
-                }
-                if last_activity.elapsed() >= shared.cfg.read_timeout {
-                    return Ok(()); // idle timeout
-                }
-            }
-            Err(e) => return Err(e),
+            false
+        } else {
+            obs::count(obs::Counter::NetConnAccepted);
+            true
         }
     }
-}
 
-fn flush(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
-    if !out.is_empty() {
-        stream.write_all(out)?;
-        obs::add(obs::Counter::NetBytesOut, out.len() as u64);
-        out.clear();
+    fn on_conn_closed(&self) {
+        self.state.active_conns.fetch_sub(1, Ordering::SeqCst);
     }
-    Ok(())
+
+    fn on_drain_begin(&self) {
+        // Readiness probes flip false the instant the drain begins,
+        // before the event loops have even noticed.
+        self.state.begin_drain();
+    }
 }
 
 /// Maps a table error onto a typed RESP error reply.
@@ -377,20 +229,28 @@ fn ack_ok(table: &Hdnh, out: &mut Vec<u8>) {
 }
 
 /// Executes one decoded frame, appending exactly one reply to `out`.
-fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out: &mut Vec<u8>) {
+/// Returns [`EngineAction::Shutdown`] for the `SHUTDOWN` command so the
+/// runtime can begin the process-wide drain.
+fn dispatch(
+    engine: &RespEngine,
+    dec: &Decoder,
+    frame: &crate::resp::Frame,
+    out: &mut Vec<u8>,
+) -> EngineAction {
     let started = obs::op_start();
     let name = dec.arg(frame, 0);
     let mut upper = [0u8; 16];
     if name.is_empty() || name.len() > upper.len() {
         obs::count(obs::Counter::NetUnknownCmd);
         enc_error(out, "ERR", "unknown command");
-        return;
+        return EngineAction::Continue;
     }
     for (d, s) in upper.iter_mut().zip(name) {
         *d = s.to_ascii_uppercase();
     }
     let cmd = &upper[..name.len()];
-    let table = &shared.table;
+    let table = &engine.table;
+    let mut action = EngineAction::Continue;
     let netcmd = match cmd {
         b"PING" => {
             if frame.len() > 2 {
@@ -443,7 +303,8 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                         Ok(false) => {}
                         Err(e) => {
                             enc_hdnh_error(out, &e);
-                            return finish(started, obs::NetCmd::Del);
+                            finish(started, obs::NetCmd::Del);
+                            return action;
                         }
                     }
                 }
@@ -525,7 +386,8 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                         (parse_u64(dec.arg(frame, i)), parse_u64(dec.arg(frame, i + 1)))
                     else {
                         enc_error(out, "ERR", "value is not an unsigned integer or out of range");
-                        return finish(started, obs::NetCmd::MSet);
+                        finish(started, obs::NetCmd::MSet);
+                        return action;
                     };
                     if let Err(e) = upsert(table, k, v) {
                         err = Some(e);
@@ -543,7 +405,7 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
             if frame.len() != 1 {
                 wrong_args(out, "info");
             } else {
-                let state = &shared.state;
+                let state = &engine.state;
                 let s = format!(
                     "version:{}\r\ngit_sha:{}\r\nuptime_seconds:{}\r\nbackend:{}\r\nrecords:{}\r\nload_factor:{:.3}\r\nresizes:{}\r\nocf_bytes:{}\r\nconnections:{}\r\nmax_connections:{}\r\nworkers:{}\r\nready:{}\r\ndraining:{}\r\nshutting_down:{}\r\n",
                     crate::ops::VERSION,
@@ -555,11 +417,11 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                     table.resize_count(),
                     table.ocf_footprint_bytes(),
                     state.active_conns.load(Ordering::SeqCst),
-                    shared.cfg.max_conns,
-                    shared.cfg.threads,
+                    engine.cfg.max_conns(),
+                    engine.cfg.threads(),
                     state.not_ready_reason().is_none() as u8,
                     state.is_draining() as u8,
-                    shared.shutdown.load(Ordering::SeqCst) as u8,
+                    state.is_draining() as u8,
                 );
                 enc_bulk(out, s.as_bytes());
             }
@@ -579,7 +441,8 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                 let a = dec.arg(frame, 1);
                 if a.len() > m.len() {
                     enc_error(out, "ERR", "METRICS takes JSON or PROM");
-                    return finish(started, obs::NetCmd::Metrics);
+                    finish(started, obs::NetCmd::Metrics);
+                    return action;
                 }
                 for (d, s) in m.iter_mut().zip(a) {
                     *d = s.to_ascii_uppercase();
@@ -589,7 +452,8 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                     b"PROM" => 1,
                     _ => {
                         enc_error(out, "ERR", "METRICS takes JSON or PROM");
-                        return finish(started, obs::NetCmd::Metrics);
+                        finish(started, obs::NetCmd::Metrics);
+                        return action;
                     }
                 }
             } else {
@@ -624,7 +488,7 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
         }
         b"SHUTDOWN" => {
             enc_simple(out, "OK");
-            begin_shutdown(shared);
+            action = EngineAction::Shutdown;
             obs::NetCmd::Shutdown
         }
         _ => {
@@ -634,10 +498,11 @@ fn dispatch(shared: &Arc<Shared>, dec: &Decoder, frame: &crate::resp::Frame, out
                 "ERR",
                 &format!("unknown command '{}'", String::from_utf8_lossy(name)),
             );
-            return;
+            return action;
         }
     };
-    finish(started, netcmd)
+    finish(started, netcmd);
+    action
 }
 
 #[inline]

@@ -90,10 +90,12 @@ fn command_errors_keep_the_connection_usable() {
 
 #[test]
 fn pipelined_batch_replies_in_order() {
-    let (handle, addr) = spawn_server(ServerConfig {
-        max_inflight: 32, // force several flush cycles within the batch
-        ..ServerConfig::default()
-    });
+    let (handle, addr) = spawn_server(
+        ServerConfig::builder()
+            .max_inflight(32) // force several backpressure stalls within the batch
+            .build()
+            .unwrap(),
+    );
     let mut c = client(&addr);
 
     let n = 200u64;
@@ -117,11 +119,7 @@ fn pipelined_batch_replies_in_order() {
 
 #[test]
 fn connections_over_the_budget_are_rejected() {
-    let (handle, addr) = spawn_server(ServerConfig {
-        threads: 2,
-        max_conns: 1,
-        ..ServerConfig::default()
-    });
+    let (handle, addr) = spawn_server(ServerConfig::builder().threads(2).max_conns(1).build().unwrap());
 
     let mut a = client(&addr);
     assert!(a.ping().unwrap());

@@ -1,0 +1,67 @@
+//! Idle connections must be *free*: a parked connection's only scheduled
+//! wakeup is its idle deadline (30 s out), so an event loop hosting any
+//! number of quiet connections sleeps in `epoll_wait` the whole time.
+//! This test pins that down with the `net_spurious_wakeups` counter —
+//! the reactor increments it whenever a loop iteration finds no events,
+//! no due timers, and no waker signal.
+//!
+//! Kept in its own integration-test binary so the process-global obs
+//! registry is not shared with other network tests.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hdnh::{Hdnh, HdnhParams};
+use hdnh_obs as obs;
+use hdnh_server::{start, RespClient, ServerConfig};
+
+#[test]
+fn idle_connections_cost_no_wakeups() {
+    obs::set_enabled(true);
+
+    let params = HdnhParams::builder()
+        .capacity(10_000)
+        .build()
+        .expect("default test params are valid");
+    let table = Arc::new(Hdnh::new(params));
+    let cfg = ServerConfig::builder()
+        .threads(2)
+        .max_conns(256)
+        .build()
+        .unwrap();
+    let handle = start(table, "127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+
+    // Park a fleet of connections: one PING each to get them registered
+    // and past any accept-path churn, then silence.
+    let mut conns: Vec<RespClient> = Vec::new();
+    for _ in 0..64 {
+        let mut c = RespClient::connect(&addr).expect("connect");
+        c.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        assert!(c.ping().unwrap());
+        conns.push(c);
+    }
+
+    // Everything is settled; from here on the loops should sleep. The
+    // old implementation polled every parked socket on a 100 ms tick —
+    // ~10 wakeups per connection over this window. The reactor schedules
+    // nothing before the 30 s idle deadlines.
+    let before = obs::snapshot();
+    std::thread::sleep(Duration::from_millis(500));
+    let spurious = obs::snapshot()
+        .since(&before)
+        .counter(obs::Counter::NetSpuriousWakeup);
+    assert!(
+        spurious <= 2,
+        "64 idle connections over 500ms caused {spurious} spurious wakeups; \
+         idle connections must not schedule work"
+    );
+
+    // The parked connections are still live, not silently dropped.
+    for c in conns.iter_mut() {
+        assert!(c.ping().unwrap(), "idle connection must stay usable");
+    }
+
+    drop(conns);
+    handle.shutdown_and_join();
+}
