@@ -1,14 +1,15 @@
 //! `bench_check` — the bench regression gate.
 //!
-//! Compares fresh `BENCH_ops.json` / `BENCH_net.json` / `BENCH_scale.json`
-//! artifacts against committed baselines with tolerance bands (see
+//! Compares fresh `BENCH_ops.json` / `BENCH_net.json` /
+//! `BENCH_net_spill.json` / `BENCH_scale.json` artifacts against
+//! committed baselines with tolerance bands (see
 //! [`hdnh_bench::check`]) and exits nonzero on any violation, so CI can
 //! fail a PR that collapses throughput or blows up tail latency.
 //!
 //! ```text
 //! bench_check [--baseline-dir DIR] [--fresh-dir DIR]
 //!             [--throughput-floor F] [--latency-ceiling F]
-//!             [--only ops,net,scale] [--write-baselines]
+//!             [--only ops,net,net_spill,scale] [--write-baselines]
 //! ```
 //!
 //! Defaults: baselines in `crates/baselines/bench/`, fresh artifacts in
@@ -24,9 +25,13 @@ use std::process::exit;
 use hdnh_bench::check::{compare, Tolerance};
 use hdnh_bench::json::Json;
 
-const ARTIFACTS: [(&str, &str); 3] = [
+const ARTIFACTS: [(&str, &str); 4] = [
     ("ops", "BENCH_ops.json"),
     ("net", "BENCH_net.json"),
+    // Spill-heavy net leg: same schema as BENCH_net.json (the `bench`
+    // tag is still "net"), produced with `netbench --value-size mix` so
+    // most values route through the value log instead of inline slots.
+    ("net_spill", "BENCH_net_spill.json"),
     ("scale", "BENCH_scale.json"),
 ];
 
@@ -84,7 +89,7 @@ fn parse_args() -> Args {
                 println!(
                     "bench_check [--baseline-dir DIR] [--fresh-dir DIR] \
                      [--throughput-floor F] [--latency-ceiling F] \
-                     [--only ops,net,scale] [--write-baselines]"
+                     [--only ops,net,net_spill,scale] [--write-baselines]"
                 );
                 exit(0);
             }
@@ -104,7 +109,7 @@ fn parse_args() -> Args {
     }
     for kind in &a.only {
         if !ARTIFACTS.iter().any(|(k, _)| k == kind) {
-            eprintln!("--only accepts a comma list of: ops, net, scale");
+            eprintln!("--only accepts a comma list of: ops, net, net_spill, scale");
             exit(2);
         }
     }

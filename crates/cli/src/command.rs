@@ -34,6 +34,10 @@ pub enum Command {
     /// `scrub` — checksum-verify every live record, repairing from the hot
     /// table or quarantining damaged slots.
     Scrub,
+    /// `vlog` — value-log occupancy: segments, used/garbage/live bytes.
+    Vlog,
+    /// `compact` — evacuate and retire garbage-carrying value-log segments.
+    Compact,
     /// `crash <seed>` — simulate power failure + recovery (strict mode).
     Crash(u64),
     /// `faultrun [...]` — crash-point injection matrix (see [`FaultRunMode`]).
@@ -237,6 +241,8 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
         "info" => Command::Info,
         "verify" | "check" => Command::Verify,
         "scrub" => Command::Scrub,
+        "vlog" => Command::Vlog,
+        "compact" | "gc" => Command::Compact,
         "crash" => Command::Crash(int(toks.next(), "seed")?),
         "faultrun" => {
             let mode = match toks.next() {
@@ -319,6 +325,9 @@ commands:
   verify                  per-invariant integrity audit
   scrub                   checksum-verify all live records; repair or
                           quarantine damaged slots
+  vlog                    value-log occupancy (segments, used/garbage bytes)
+  compact                 evacuate and retire garbage-carrying value-log
+                          segments (readers never block)
   crash <seed>            simulate power failure + recovery (strict mode)
   faultrun [mode]         crash-point injection matrix; modes: full (default),
                           quick, sites, repro <mix:site:hit:seed[:rsite:rhit]>
@@ -379,6 +388,10 @@ mod tests {
         assert_eq!(parse("verify").unwrap(), Some(Command::Verify));
         assert_eq!(parse("scrub").unwrap(), Some(Command::Scrub));
         assert!(parse("scrub extra").is_err());
+        assert_eq!(parse("vlog").unwrap(), Some(Command::Vlog));
+        assert_eq!(parse("compact").unwrap(), Some(Command::Compact));
+        assert_eq!(parse("GC").unwrap(), Some(Command::Compact));
+        assert!(parse("compact now").is_err());
         assert_eq!(parse("crash 42").unwrap(), Some(Command::Crash(42)));
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
         assert_eq!(parse("?").unwrap(), Some(Command::Help));

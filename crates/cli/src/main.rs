@@ -272,8 +272,8 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
     };
     let table = std::sync::Arc::new(table);
     for id in 0..fill {
-        use hdnh_common::{Key, Value};
-        match table.insert(&Key::from_u64(id), &Value::from_u64(id)) {
+        use hdnh_common::Key;
+        match table.insert_bytes(&Key::from_u64(id), id.to_string().as_bytes()) {
             Ok(()) => {}
             // A reopened pool may already hold the prefill range.
             Err(hdnh::HdnhError::DuplicateKey) if pool.is_some() => {}

@@ -54,6 +54,15 @@ pub enum HdnhError {
         /// What was done with the damaged slot.
         outcome: CorruptionOutcome,
     },
+    /// A value-log record failed its CRC or did not carry the key and
+    /// length its spill pointer promised — media damage or a dangling
+    /// pointer. The damaged bytes were never returned to any caller.
+    VlogCorruption {
+        /// Value-log segment id from the spill pointer.
+        segment: u32,
+        /// Byte offset of the record within the segment.
+        offset: u32,
+    },
     /// An insert found the key already present.
     DuplicateKey,
     /// An update addressed a key that is not in the table.
@@ -92,6 +101,10 @@ impl fmt::Display for HdnhError {
             } => write!(
                 f,
                 "corrupted record at level {level} bucket {bucket} slot {slot} ({outcome})"
+            ),
+            HdnhError::VlogCorruption { segment, offset } => write!(
+                f,
+                "corrupted value-log record at segment {segment} offset {offset}"
             ),
             // Keep the per-operation wordings identical to the narrow
             // `IndexError` vocabulary the CLI grew up on.

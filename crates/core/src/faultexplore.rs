@@ -51,6 +51,26 @@ pub enum Op {
     Update(u64, u64),
     /// Remove an existing key.
     Remove(u64),
+    /// Insert a fresh key with an over-inline payload derived from the
+    /// seed (spills to the value log).
+    InsertBig(u64, u64),
+    /// Update an existing key with an over-inline payload (tombstones
+    /// the old log entry, appends a fresh one).
+    UpdateBig(u64, u64),
+}
+
+/// Deterministic over-inline payload for the bytes-API ops: length in
+/// `[25, 174]`, contents an LCG stream seeded by `v` — long enough to
+/// spill, short enough that the tiny exploration segments rotate often.
+pub fn big_payload(v: u64) -> Vec<u8> {
+    let n = 25 + (v % 150) as usize;
+    let mut x = v | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 56) as u8
+        })
+        .collect()
 }
 
 /// A named deterministic op sequence.
@@ -114,6 +134,36 @@ impl OpMix {
         mixes.push(OpMix {
             name: "fill-resize",
             ops: fill,
+        });
+
+        // Spill-heavy traffic for the value log: over-inline inserts,
+        // re-spills (tombstone + fresh append), inline↔spill transitions
+        // and removes. With the tiny exploration segments the log rotates
+        // several times, so sampled crashes land between the log append
+        // and the index publish, inside rotation, and on tombstoned
+        // state. Appended last so the earlier mixes keep their indices.
+        let mut spill = Vec::new();
+        for i in 0..24 {
+            spill.push(Op::InsertBig(i, i + 500));
+        }
+        for i in 24..40 {
+            spill.push(Op::Insert(i, i + 100));
+        }
+        for i in 0..24 {
+            spill.push(Op::UpdateBig(i, i + 700));
+        }
+        for i in 24..32 {
+            spill.push(Op::UpdateBig(i, i + 900)); // inline → spill
+        }
+        for i in 0..8 {
+            spill.push(Op::Update(i, i + 40)); // spill → inline
+        }
+        for i in 16..24 {
+            spill.push(Op::Remove(i)); // tombstone by delete
+        }
+        mixes.push(OpMix {
+            name: "vlog-spill",
+            ops: spill,
         });
 
         mixes
@@ -216,6 +266,9 @@ pub fn explore_params() -> HdnhParams {
     HdnhParams {
         segment_bytes: 1024,
         initial_bottom_segments: 2,
+        // Tiny log segments: the spill mix rotates several times, so
+        // crash sites inside rotation are reachable.
+        vlog_segment_bytes: 2048,
         nvm: NvmOptions::strict(),
         sync_mode: SyncMode::Background,
         background_writers: 1,
@@ -234,6 +287,7 @@ pub fn explore_pool_params() -> HdnhParams {
     HdnhParams {
         segment_bytes: 1024,
         initial_bottom_segments: 2,
+        vlog_segment_bytes: 2048,
         nvm,
         sync_mode: SyncMode::Background,
         background_writers: 1,
@@ -241,10 +295,13 @@ pub fn explore_pool_params() -> HdnhParams {
     }
 }
 
-fn apply_model(model: &mut BTreeMap<u64, u64>, op: &Op) {
+fn apply_model(model: &mut BTreeMap<u64, (u64, bool)>, op: &Op) {
     match op {
         Op::Insert(k, v) | Op::Update(k, v) => {
-            model.insert(*k, *v);
+            model.insert(*k, (*v, false));
+        }
+        Op::InsertBig(k, v) | Op::UpdateBig(k, v) => {
+            model.insert(*k, (*v, true));
         }
         Op::Remove(k) => {
             model.remove(k);
@@ -270,13 +327,19 @@ fn run_mix(table: &Hdnh, ops: &[Op], applied: &AtomicUsize) {
                     "scripted remove hit a missing key"
                 );
             }
+            Op::InsertBig(k, v) => table
+                .insert_bytes(&Key::from_u64(*k), &big_payload(*v))
+                .expect("scripted spill insert"),
+            Op::UpdateBig(k, v) => table
+                .update_bytes(&Key::from_u64(*k), &big_payload(*v))
+                .expect("scripted spill update"),
         }
         applied.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// Checks the recovered table against one candidate model state.
-fn table_matches(table: &Hdnh, model: &BTreeMap<u64, u64>) -> Result<(), String> {
+fn table_matches(table: &Hdnh, model: &BTreeMap<u64, (u64, bool)>) -> Result<(), String> {
     if table.len() != model.len() {
         return Err(format!(
             "live count {} != expected {}",
@@ -284,7 +347,21 @@ fn table_matches(table: &Hdnh, model: &BTreeMap<u64, u64>) -> Result<(), String>
             model.len()
         ));
     }
-    for (k, v) in model {
+    for (k, (v, big)) in model {
+        if *big {
+            match table.get_bytes(&Key::from_u64(*k)) {
+                Ok(Some(got)) if got == big_payload(*v) => {}
+                Ok(Some(got)) => {
+                    return Err(format!(
+                        "key {k}: spilled payload ({} bytes) != expected seed {v}",
+                        got.len()
+                    ))
+                }
+                Ok(None) => return Err(format!("key {k} lost (expected spilled seed {v})")),
+                Err(e) => return Err(format!("key {k}: read error {e}")),
+            }
+            continue;
+        }
         match table.get(&Key::from_u64(*k)) {
             Ok(Some(got)) if got.as_u64() == *v => {}
             Ok(Some(got)) => {
@@ -340,6 +417,7 @@ struct PoolBackup {
     top: Arc<NvmRegion>,
     bottom: Arc<NvmRegion>,
     new_top: Option<Arc<NvmRegion>>,
+    vlog: Vec<(u32, Arc<NvmRegion>)>,
 }
 
 impl PoolBackup {
@@ -349,6 +427,7 @@ impl PoolBackup {
             top: Arc::clone(&pool.top),
             bottom: Arc::clone(&pool.bottom),
             new_top: pool.new_top.as_ref().map(Arc::clone),
+            vlog: pool.vlog.clone(),
         }
     }
 
@@ -358,6 +437,7 @@ impl PoolBackup {
             top: Arc::clone(&self.top),
             bottom: Arc::clone(&self.bottom),
             new_top: self.new_top.as_ref().map(Arc::clone),
+            vlog: self.vlog.clone(),
         }
     }
 }

@@ -56,6 +56,7 @@ pub mod recovery;
 pub mod snapshot;
 pub mod sync;
 pub mod table;
+pub mod vlog;
 
 pub use error::{CorruptionOutcome, HdnhError};
 pub use faultexplore::{ExploreConfig, ExploreReport, FaultCaseResult, OpMix};
@@ -67,3 +68,4 @@ pub use snapshot::{
     verify_snapshot, ManifestEntry, SnapshotManifest, SnapshotReport, SNAPSHOT_MANIFEST_FILE,
 };
 pub use table::{Hdnh, InvariantReport, ScrubReport};
+pub use vlog::{CompactReport, Vlog, VlogPtr, VlogStats, INLINE_MAX, MAX_VALUE_BYTES};

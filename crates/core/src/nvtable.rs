@@ -16,24 +16,33 @@
 //! at both granularities, yielding four candidate buckets per level and
 //! eight across the two levels.
 //!
-//! # Integrity bytes
+//! # Integrity bytes and the spill flag
 //!
 //! The paper leaves the header's upper 7 bytes unused. We pack a **7-bit
-//! checksum of each slot's 31-byte record** into them — 8 × 7 = 56 bits,
-//! exactly filling bits 8..64:
+//! metadata field per slot** into them — 8 × 7 = 56 bits, exactly filling
+//! bits 8..64:
 //!
 //! ```text
-//! header u64:  [ bit 0..8: validity bitmap ][ bits 8+7s .. 15+7s: ck(slot s) ]
+//! header u64:  [ bit 0..8: validity bitmap ][ bits 8+7s .. 15+7s: meta(slot s) ]
+//! meta (7 bits): [ bit 6: spill flag ][ bits 0..6: CRC-6 of the record ]
 //! ```
 //!
-//! A slot's checksum is installed **in the same failure-atomic 8-byte
+//! Bit 6 of the field is the **spill flag**: when set, the slot's 15-byte
+//! value is not a payload but a packed pointer into the value log (see
+//! `crate::vlog`). The low 6 bits are a CRC-6 (polynomial x⁶+x+1,
+//! irreducible) of the record's 31 wire bytes. Because the polynomial is
+//! irreducible with a nonzero constant term, the CRC provably detects
+//! every single-bit flip and every whole-byte (0xFF) flip; a random
+//! corruption is missed with probability 1/64.
+//!
+//! A slot's meta field is installed **in the same failure-atomic 8-byte
 //! header store** that sets its valid bit, so a reader that observes the
-//! valid bit always observes the matching checksum; a mismatch against the
-//! record bytes therefore indicates media damage (or a torn record write
-//! that a crash made durable), never an in-flight writer. Seven bits miss
-//! a random corruption with probability 1/128; the scrubber and the read
-//! path treat a mismatch as a detection, repair from the DRAM hot table
-//! when possible, and quarantine the slot otherwise.
+//! valid bit always observes the matching checksum *and* spill flag; a
+//! checksum mismatch against the record bytes therefore indicates media
+//! damage (or a torn record write that a crash made durable), never an
+//! in-flight writer. The scrubber and the read path treat a mismatch as a
+//! detection, repair from the DRAM hot table when possible, and quarantine
+//! the slot otherwise.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -46,35 +55,52 @@ use crate::params::{BUCKET_BYTES, BUCKET_HEADER, SLOTS_PER_BUCKET};
 
 /// Mask selecting the validity bitmap in a bucket header.
 pub const HEADER_VALID_MASK: u64 = 0xFF;
-/// Width in bits of one per-slot checksum field.
-pub const CHECKSUM_BITS: u32 = 7;
-/// Mask of one checksum field (before shifting).
+/// Width in bits of one per-slot metadata field (spill flag + checksum).
+pub const SLOT_META_BITS: u32 = 7;
+/// Mask of one metadata field (before shifting).
+pub const SLOT_META_MASK: u64 = (1 << SLOT_META_BITS) - 1;
+/// Width in bits of the checksum inside a metadata field.
+pub const CHECKSUM_BITS: u32 = 6;
+/// Mask of the checksum inside a metadata field.
 pub const CHECKSUM_MASK: u64 = (1 << CHECKSUM_BITS) - 1;
+/// Spill flag inside a metadata field: the slot's value is a packed
+/// value-log pointer, not an inline payload.
+pub const SPILL_FLAG: u8 = 1 << CHECKSUM_BITS;
 
-/// Bit position of slot `slot`'s checksum field inside the header word.
+/// Bit position of slot `slot`'s metadata field inside the header word.
 #[inline]
-pub const fn checksum_shift(slot: usize) -> u32 {
-    8 + CHECKSUM_BITS * slot as u32
+pub const fn meta_shift(slot: usize) -> u32 {
+    8 + SLOT_META_BITS * slot as u32
 }
 
-/// 7-bit checksum of a record's wire bytes (FNV-1a folded down to 7 bits).
+/// CRC-6 (polynomial x⁶+x+1) of a record's wire bytes.
 ///
-/// Catches any single-byte corruption and any torn 8-byte-granularity
-/// write with probability 127/128; the residual 1/128 false-accept rate
-/// is the price of fitting integrity bytes into the header's spare bits
-/// without growing the record.
+/// The polynomial is irreducible over GF(2) with a nonzero constant term,
+/// so the check provably detects every single-bit error (x^k is never
+/// divisible by it) and every whole-byte 0xFF flip (x^k·(x+1)⁷ shares no
+/// factor with an irreducible sextic). Random corruption is missed with
+/// probability 1/64 — the price of sharing the 7-bit header field with
+/// the spill flag.
 #[inline]
-pub fn checksum7(bytes: &[u8; RECORD_LEN]) -> u8 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+pub fn checksum6(bytes: &[u8; RECORD_LEN]) -> u8 {
+    // MSB-first bitwise CRC; x⁶ feeds back as the low terms x+1 (0b000011).
+    let mut crc: u8 = 0x3F;
     for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        let mut bit = 8u32;
+        while bit > 0 {
+            bit -= 1;
+            let fb = ((crc >> 5) ^ (b >> bit)) & 1;
+            crc = ((crc << 1) & 0x3F) ^ (fb * 0b11);
+        }
     }
-    // Fold all 64 bits into the low 7 so every input bit participates.
-    h ^= h >> 32;
-    h ^= h >> 16;
-    h ^= h >> 8;
-    (h & CHECKSUM_MASK) as u8
+    crc
+}
+
+/// The 7-bit metadata field for a record: CRC-6 of its wire bytes plus
+/// the spill flag when the value is a packed value-log pointer.
+#[inline]
+pub fn slot_meta(rec: &Record, spilled: bool) -> u8 {
+    checksum6(&rec.to_bytes()) | if spilled { SPILL_FLAG } else { 0 }
 }
 
 /// Validity bitmap of a header word.
@@ -89,44 +115,60 @@ pub const fn header_slot_valid(header: u64, slot: usize) -> bool {
     header & (1 << slot) != 0
 }
 
-/// Extracts slot `slot`'s stored checksum from a header word.
+/// Extracts slot `slot`'s full 7-bit metadata field from a header word.
+#[inline]
+pub const fn header_slot_meta(header: u64, slot: usize) -> u8 {
+    ((header >> meta_shift(slot)) & SLOT_META_MASK) as u8
+}
+
+/// Extracts slot `slot`'s stored CRC-6 checksum from a header word.
 #[inline]
 pub const fn header_checksum(header: u64, slot: usize) -> u8 {
-    ((header >> checksum_shift(slot)) & CHECKSUM_MASK) as u8
+    header_slot_meta(header, slot) & CHECKSUM_MASK as u8
 }
 
-/// Returns `header` with slot `slot`'s checksum field replaced by `ck`.
+/// Whether slot `slot`'s spill flag is set: its value bytes are a packed
+/// value-log pointer, not an inline payload.
 #[inline]
-pub const fn header_with_checksum(header: u64, slot: usize, ck: u8) -> u64 {
-    let shift = checksum_shift(slot);
-    (header & !(CHECKSUM_MASK << shift)) | (((ck as u64) & CHECKSUM_MASK) << shift)
+pub const fn header_slot_spilled(header: u64, slot: usize) -> bool {
+    header_slot_meta(header, slot) & SPILL_FLAG != 0
 }
 
-/// Packs a validity bitmap and eight 7-bit checksums into a header word.
-pub fn header_pack(valid: u8, cks: [u8; SLOTS_PER_BUCKET]) -> u64 {
+/// Returns `header` with slot `slot`'s metadata field replaced by `meta`.
+#[inline]
+pub const fn header_with_meta(header: u64, slot: usize, meta: u8) -> u64 {
+    let shift = meta_shift(slot);
+    (header & !(SLOT_META_MASK << shift)) | (((meta as u64) & SLOT_META_MASK) << shift)
+}
+
+/// Packs a validity bitmap and eight 7-bit metadata fields into a header
+/// word.
+pub fn header_pack(valid: u8, metas: [u8; SLOTS_PER_BUCKET]) -> u64 {
     let mut h = valid as u64;
     let mut s = 0;
     while s < SLOTS_PER_BUCKET {
-        h = header_with_checksum(h, s, cks[s]);
+        h = header_with_meta(h, s, metas[s]);
         s += 1;
     }
     h
 }
 
-/// Unpacks a header word into its validity bitmap and eight checksums.
+/// Unpacks a header word into its validity bitmap and eight metadata
+/// fields.
 pub fn header_unpack(header: u64) -> (u8, [u8; SLOTS_PER_BUCKET]) {
-    let mut cks = [0u8; SLOTS_PER_BUCKET];
-    for (s, ck) in cks.iter_mut().enumerate() {
-        *ck = header_checksum(header, s);
+    let mut metas = [0u8; SLOTS_PER_BUCKET];
+    for (s, meta) in metas.iter_mut().enumerate() {
+        *meta = header_slot_meta(header, s);
     }
-    (header_valid_bits(header) as u8, cks)
+    (header_valid_bits(header) as u8, metas)
 }
 
 /// Whether a record's bytes match the checksum the header stores for its
-/// slot. Only meaningful when the slot's valid bit is set.
+/// slot (the spill flag is excluded — it is protocol state, not payload).
+/// Only meaningful when the slot's valid bit is set.
 #[inline]
 pub fn slot_checksum_ok(header: u64, slot: usize, rec: &Record) -> bool {
-    header_checksum(header, slot) == checksum7(&rec.to_bytes())
+    header_checksum(header, slot) == checksum6(&rec.to_bytes())
 }
 
 /// One level of the non-volatile table.
@@ -263,33 +305,35 @@ impl Level {
             .atomic_load_u64_cached(self.header_off(bucket), Ordering::Acquire)
     }
 
-    /// Atomically sets slot `slot`'s valid bit **and** installs `ck` as
-    /// its record checksum in one failure-atomic 8-byte store, then
-    /// persists — the commit point of an insert (figure 9c). A reader that
-    /// sees the valid bit is guaranteed to see the matching checksum.
-    pub fn commit_slot_valid(&self, bucket: usize, slot: usize, ck: u8) {
+    /// Atomically sets slot `slot`'s valid bit **and** installs `meta`
+    /// (checksum + spill flag, see [`slot_meta`]) in one failure-atomic
+    /// 8-byte store, then persists — the commit point of an insert
+    /// (figure 9c). A reader that sees the valid bit is guaranteed to see
+    /// the matching metadata.
+    pub fn commit_slot_valid(&self, bucket: usize, slot: usize, meta: u8) {
         self.commit_header(bucket, |h| {
-            header_with_checksum(h | (1 << slot), slot, ck)
+            header_with_meta(h | (1 << slot), slot, meta)
         });
     }
 
-    /// Atomically clears slot `slot`'s valid bit and zeroes its checksum
+    /// Atomically clears slot `slot`'s valid bit and zeroes its metadata
     /// field, then persists — the commit point of a delete (and of a
     /// corruption quarantine).
     pub fn commit_slot_invalid(&self, bucket: usize, slot: usize) {
         self.commit_header(bucket, |h| {
-            header_with_checksum(h & !(1 << slot), slot, 0)
+            header_with_meta(h & !(1 << slot), slot, 0)
         });
     }
 
     /// Atomically flips the old and new slots' valid bits and moves the
-    /// checksum (`ck` = new record's checksum) **in one 8-byte store** and
-    /// persists — the paper's figure-10(c) update commit, which is why the
-    /// out-of-place slot must live in the same bucket.
-    pub fn commit_slot_swap(&self, bucket: usize, old_slot: usize, new_slot: usize, ck: u8) {
+    /// metadata (`meta` = new record's checksum + spill flag) **in one
+    /// 8-byte store** and persists — the paper's figure-10(c) update
+    /// commit, which is why the out-of-place slot must live in the same
+    /// bucket.
+    pub fn commit_slot_swap(&self, bucket: usize, old_slot: usize, new_slot: usize, meta: u8) {
         self.commit_header(bucket, |h| {
             let flipped = h ^ ((1 << old_slot) | (1 << new_slot));
-            header_with_checksum(header_with_checksum(flipped, old_slot, 0), new_slot, ck)
+            header_with_meta(header_with_meta(flipped, old_slot, 0), new_slot, meta)
         });
     }
 
@@ -432,7 +476,7 @@ mod tests {
     fn record_roundtrip_and_commit() {
         let l = level();
         let rec = Record::new(Key::from_u64(5), Value::from_u64(55));
-        let ck = checksum7(&rec.to_bytes());
+        let ck = checksum6(&rec.to_bytes());
         l.write_record(2, 3, &rec);
         assert_eq!(l.load_header(2), 0, "valid bit not yet set");
         l.commit_slot_valid(2, 3, ck);
@@ -450,10 +494,10 @@ mod tests {
         let old = Record::new(Key::from_u64(8), Value::from_u64(80));
         let new = Record::new(Key::from_u64(8), Value::from_u64(81));
         l.write_record(0, 1, &old);
-        l.commit_slot_valid(0, 1, checksum7(&old.to_bytes()));
+        l.commit_slot_valid(0, 1, checksum6(&old.to_bytes()));
         l.write_record(0, 4, &new);
         let before = l.stats_writes();
-        l.commit_slot_swap(0, 1, 4, checksum7(&new.to_bytes()));
+        l.commit_slot_swap(0, 1, 4, checksum6(&new.to_bytes()));
         let h = l.load_header(0);
         assert_eq!(header_valid_bits(h), 1 << 4);
         assert_eq!(header_checksum(h, 1), 0, "old slot's checksum cleared");
@@ -474,7 +518,7 @@ mod tests {
         for s in [0usize, 3, 7] {
             let rec = Record::new(Key::from_u64(s as u64), Value::from_u64(100 + s as u64));
             l.write_record(1, s, &rec);
-            l.commit_slot_valid(1, s, checksum7(&rec.to_bytes()));
+            l.commit_slot_valid(1, s, checksum6(&rec.to_bytes()));
         }
         let (header, recs) = l.read_bucket(1);
         assert_eq!(header_valid_bits(header), 0b1000_1001);
@@ -512,7 +556,7 @@ mod tests {
         assert_eq!(valid, 0b1010_0110);
         assert_eq!(got, cks);
         // Fields are independent: replacing one checksum leaves the rest.
-        let h2 = header_with_checksum(h, 2, 0x01);
+        let h2 = header_with_meta(h, 2, 0x01);
         let (_, got2) = header_unpack(h2);
         assert_eq!(got2[2], 0x01);
         for s in [0usize, 1, 3, 4, 5, 6, 7] {
@@ -525,12 +569,12 @@ mod tests {
     fn checksum_detects_single_byte_damage() {
         let rec = Record::new(Key::from_u64(77), Value::from_u64(770));
         let clean = rec.to_bytes();
-        let ck = checksum7(&clean);
+        let ck = checksum6(&clean);
         for i in 0..RECORD_LEN {
             for mask in [0x01u8, 0x80, 0xFF] {
                 let mut dam = clean;
                 dam[i] ^= mask;
-                assert_ne!(checksum7(&dam), ck, "byte {i} mask {mask:#x} undetected");
+                assert_ne!(checksum6(&dam), ck, "byte {i} mask {mask:#x} undetected");
             }
         }
     }
@@ -540,7 +584,7 @@ mod tests {
         let l = level();
         let rec = Record::new(Key::from_u64(5), Value::from_u64(55));
         l.write_record(0, 2, &rec);
-        l.commit_slot_valid(0, 2, checksum7(&rec.to_bytes()));
+        l.commit_slot_valid(0, 2, checksum6(&rec.to_bytes()));
         assert!(slot_checksum_ok(l.load_header(0), 2, &l.read_record(0, 2)));
         // Flip one media bit in the record's value bytes.
         l.region().corrupt(l.slot_off(0, 2) + 20, &[0x04]);
@@ -562,7 +606,7 @@ mod tests {
 
         let rec2 = Record::new(Key::from_u64(9), Value::from_u64(10));
         l.write_record(0, 1, &rec2);
-        l.commit_slot_valid(0, 1, checksum7(&rec2.to_bytes()));
+        l.commit_slot_valid(0, 1, checksum6(&rec2.to_bytes()));
         l.region().crash(&mut rng);
         assert_eq!(l.load_header(0) & 0b10, 0b10);
         assert_eq!(l.read_record(0, 1), rec2);

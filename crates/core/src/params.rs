@@ -76,6 +76,13 @@ pub struct HdnhParams {
     pub background_writers: usize,
     /// NVM simulation options for the table's regions.
     pub nvm: NvmOptions,
+    /// Value-log segment size in bytes (multiple of 8; default 4 MiB). An
+    /// oversized value still fits: its segment is sized to the record.
+    pub vlog_segment_bytes: usize,
+    /// Largest value stored inline in the 15-byte slot (0..=14; default 14).
+    /// Values longer than this spill to the value log. Lowering it forces
+    /// spills early — useful for exercising the log without big payloads.
+    pub vlog_inline_max: usize,
 }
 
 impl HdnhParams {
@@ -137,6 +144,14 @@ impl HdnhParams {
         );
         assert!(self.hot_capacity_ratio > 0.0);
         assert!(self.background_writers >= 1);
+        assert!(
+            self.vlog_segment_bytes >= 64 && self.vlog_segment_bytes.is_multiple_of(8),
+            "vlog_segment_bytes must be a multiple of 8, at least 64"
+        );
+        assert!(
+            self.vlog_inline_max <= crate::vlog::INLINE_MAX,
+            "vlog_inline_max must be 0..=14"
+        );
     }
 }
 
@@ -222,6 +237,19 @@ impl HdnhParamsBuilder {
         self
     }
 
+    /// Value-log segment size in bytes (multiple of 8, at least 64).
+    pub fn vlog_segment_bytes(mut self, bytes: usize) -> Self {
+        self.params.vlog_segment_bytes = bytes;
+        self
+    }
+
+    /// Largest value stored inline in the slot (0..=14); longer values
+    /// spill to the value log.
+    pub fn vlog_inline_max(mut self, bytes: usize) -> Self {
+        self.params.vlog_inline_max = bytes;
+        self
+    }
+
     /// Pool-backend fence policy: [`SyncPolicy::Sync`] blocks write acks on
     /// `msync(MS_SYNC)` and is the only power-loss-safe setting;
     /// [`SyncPolicy::Async`] (default) acks after `MS_ASYNC` and can lose
@@ -275,6 +303,19 @@ impl HdnhParamsBuilder {
         if p.background_writers < 1 {
             return err("background_writers must be at least 1".to_string());
         }
+        if p.vlog_segment_bytes < 64 || !p.vlog_segment_bytes.is_multiple_of(8) {
+            return err(format!(
+                "vlog_segment_bytes must be a multiple of 8, at least 64, got {}",
+                p.vlog_segment_bytes
+            ));
+        }
+        if p.vlog_inline_max > crate::vlog::INLINE_MAX {
+            return err(format!(
+                "vlog_inline_max must be 0..={}, got {}",
+                crate::vlog::INLINE_MAX,
+                p.vlog_inline_max
+            ));
+        }
         Ok(p)
     }
 }
@@ -293,6 +334,8 @@ impl Default for HdnhParams {
             sync_mode: SyncMode::Inline,
             background_writers: 2,
             nvm: NvmOptions::fast(),
+            vlog_segment_bytes: 4 * 1024 * 1024,
+            vlog_inline_max: crate::vlog::INLINE_MAX,
         }
     }
 }
@@ -385,6 +428,9 @@ mod tests {
             HdnhParams::builder().hot_capacity_ratio(f64::NAN).build(),
             HdnhParams::builder().hot_capacity_ratio(100.0).build(),
             HdnhParams::builder().background_writers(0).build(),
+            HdnhParams::builder().vlog_segment_bytes(60).build(),
+            HdnhParams::builder().vlog_segment_bytes(100).build(),
+            HdnhParams::builder().vlog_inline_max(15).build(),
         ];
         for (i, r) in bad.into_iter().enumerate() {
             assert!(matches!(r, Err(HdnhError::Config(_))), "case {i} accepted");

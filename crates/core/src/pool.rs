@@ -40,8 +40,11 @@ pub const SUPERBLOCK_FILE: &str = "superblock";
 /// Superblock magic: "HDNHPOOL" as ASCII bytes, read as little-endian.
 pub const SUPERBLOCK_MAGIC: u64 = u64::from_le_bytes(*b"HDNHPOOL");
 
-/// Superblock format version this build reads and writes.
-pub const SUPERBLOCK_VERSION: u32 = 1;
+/// Superblock format version this build reads and writes. Version 2
+/// added value-log segment files (`vlog-*.dat`) to the pool layout;
+/// older builds would misclassify them as level regions, so v1 pools
+/// are refused rather than silently reinterpreted.
+pub const SUPERBLOCK_VERSION: u32 = 2;
 
 /// Encoded superblock size on disk.
 pub const SUPERBLOCK_BYTES: usize = 64;
@@ -328,11 +331,24 @@ impl Hdnh {
         let open_region = |p: &Path| -> Result<Arc<NvmRegion>, HdnhError> {
             Ok(Arc::new(NvmRegion::open_file(p, &params.nvm)?))
         };
+        // Value-log segments carry their id in the filename; a file whose
+        // name does not parse is not ours to guess about.
+        let mut vlog_regions = Vec::new();
+        for p in pool.vlog_files().map_err(HdnhError::from)? {
+            let id = hdnh_nvm::pool::vlog_id(&p).ok_or_else(|| {
+                HdnhError::Recovery(format!(
+                    "unparseable value-log filename {}",
+                    p.display()
+                ))
+            })?;
+            vlog_regions.push((id as u32, open_region(&p)?));
+        }
         let persistent = PersistentPool {
             meta: meta_region,
             top: open_region(&top_path)?,
             bottom: open_region(&bottom_path)?,
             new_top: new_top_path.as_deref().map(open_region).transpose()?,
+            vlog: vlog_regions,
         };
 
         // ---- the ordinary recovery path does the rest ----
@@ -417,6 +433,7 @@ impl Hdnh {
         for region in [&pp.meta, &pp.top, &pp.bottom]
             .into_iter()
             .chain(pp.new_top.as_ref())
+            .chain(pp.vlog.iter().map(|(_, r)| r))
         {
             region.sync_to_disk().map_err(HdnhError::from)?;
         }

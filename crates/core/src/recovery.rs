@@ -36,7 +36,7 @@ use hdnh_obs as obs;
 
 use crate::hot::HotTable;
 use crate::meta::{Meta, ResizeState};
-use crate::nvtable::{slot_checksum_ok, Level};
+use crate::nvtable::{header_slot_spilled, slot_checksum_ok, Level};
 use crate::ocf::Ocf;
 use crate::params::{HdnhParams, SyncMode, BUCKET_BYTES, SLOTS_PER_BUCKET};
 use crate::table::{CANDIDATES_FULL, CANDIDATES_ONE_CHOICE};
@@ -53,6 +53,8 @@ pub struct PersistentPool {
     pub bottom: Arc<NvmRegion>,
     /// In-flight new top level, present iff a resize was interrupted.
     pub new_top: Option<Arc<NvmRegion>>,
+    /// Value-log segment regions, keyed by segment id.
+    pub vlog: Vec<(u32, Arc<NvmRegion>)>,
 }
 
 impl PersistentPool {
@@ -65,6 +67,9 @@ impl PersistentPool {
         dropped += self.bottom.crash(&mut rng);
         if let Some(nt) = &self.new_top {
             dropped += nt.crash(&mut rng);
+        }
+        for (_, region) in &self.vlog {
+            dropped += region.crash(&mut rng);
         }
         dropped
     }
@@ -96,6 +101,7 @@ impl Hdnh {
             top: Arc::clone(inner.top.region()),
             bottom: Arc::clone(inner.bottom.region()),
             new_top: pending.as_ref().map(|(l, _)| Arc::clone(l.region())),
+            vlog: self.vlog.regions(),
         }
     }
 
@@ -327,6 +333,14 @@ impl Hdnh {
 
         let sync = (params.sync_mode == SyncMode::Background && params.enable_hot_table)
             .then(|| SyncWriter::new(params.background_writers));
+        // Re-open the value log: per-segment tail scan (stops at the first
+        // torn record), then the index walk below recomputes live bytes
+        // and quarantines pointers whose log record never became durable.
+        let vlog = Arc::new(crate::vlog::Vlog::from_recovered(
+            params.nvm.clone(),
+            params.vlog_segment_bytes,
+            pool.vlog,
+        ));
         let table = Hdnh::from_parts(
             params,
             meta,
@@ -339,8 +353,10 @@ impl Hdnh {
                 hot,
             },
             sync,
+            vlog,
         );
         table.set_count(count);
+        table.rebuild_vlog_index();
         Ok((
             table,
             RecoveryTiming {
@@ -384,7 +400,14 @@ impl Hdnh {
             for (slot, rec) in recs.iter().enumerate() {
                 if header & (1 << slot) != 0 {
                     let h = KeyHashes::of(&rec.key);
-                    Self::insert_into_level(&new_top, &new_ocf, rec, &h, candidates(self.params()));
+                    Self::insert_into_level(
+                        &new_top,
+                        &new_ocf,
+                        rec,
+                        &h,
+                        candidates(self.params()),
+                        header_slot_spilled(header, slot),
+                    );
                 }
             }
             self.meta.set_rehash_progress(Some(b + 1));
@@ -394,6 +417,7 @@ impl Hdnh {
             top: Arc::clone(inner.top.region()),
             bottom: Arc::clone(inner.bottom.region()),
             new_top: Some(Arc::clone(new_top.region())),
+            vlog: self.vlog.regions(),
         };
         *self.pending_new_top.lock() = Some((new_top, new_ocf));
         pool
@@ -412,6 +436,7 @@ impl Hdnh {
             top: Arc::clone(inner.top.region()),
             bottom: Arc::clone(inner.bottom.region()),
             new_top: None,
+            vlog: self.vlog.regions(),
         }
     }
 
@@ -420,8 +445,9 @@ impl Hdnh {
         meta: Meta,
         inner: Inner,
         sync: Option<SyncWriter>,
+        vlog: Arc<crate::vlog::Vlog>,
     ) -> Hdnh {
-        Hdnh::assemble(params, meta, inner, sync)
+        Hdnh::assemble(params, meta, inner, sync, vlog)
     }
 }
 
@@ -477,7 +503,14 @@ fn migrate_parallel_dupcheck(
                             }
                             let h = KeyHashes::of(&rec.key);
                             if Hdnh::find_in_level(to, to_ocf, &rec.key, &h, cands).is_none() {
-                                Hdnh::insert_into_level(to, to_ocf, rec, &h, cands);
+                                Hdnh::insert_into_level(
+                                    to,
+                                    to_ocf,
+                                    rec,
+                                    &h,
+                                    cands,
+                                    header_slot_spilled(header, slot),
+                                );
                                 moved += 1;
                             }
                         }

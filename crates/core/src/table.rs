@@ -65,10 +65,11 @@ use crate::epoch;
 use crate::error::{CorruptionOutcome, HdnhError};
 use crate::hot::HotTable;
 use crate::meta::{Meta, ResizeState};
-use crate::nvtable::{checksum7, header_slot_valid, slot_checksum_ok, Level};
+use crate::nvtable::{header_slot_spilled, header_slot_valid, slot_checksum_ok, slot_meta, Level};
 use crate::ocf::{self, Backoff, LockOutcome, Ocf};
 use crate::params::{HdnhParams, SyncMode, BUCKET_BYTES, SLOTS_PER_BUCKET};
 use crate::sync::{HotOp, SyncWriter};
+use crate::vlog::{self, Vlog, VlogPtr};
 
 static RNG_SEED: AtomicU64 = AtomicU64::new(0x5EED);
 
@@ -195,6 +196,10 @@ pub struct Hdnh {
     relocations: AtomicU64,
     resizes: AtomicUsize,
     sync: Option<SyncWriter>,
+    /// The value log holding spilled (over-inline-budget) values. Lives
+    /// outside [`Inner`] because log segments survive level resizes
+    /// unchanged — only the slot pointers move with their records.
+    pub(crate) vlog: Arc<Vlog>,
 }
 
 impl Drop for Hdnh {
@@ -321,6 +326,7 @@ impl Hdnh {
             .then(|| Arc::new(Self::make_hot(&params, top.n_slots() + bottom.n_slots())));
         let sync = (params.sync_mode == SyncMode::Background && params.enable_hot_table)
             .then(|| SyncWriter::new(params.background_writers));
+        let vlog = Arc::new(Vlog::new(params.nvm.clone(), params.vlog_segment_bytes));
         Ok(Self::assemble(
             params,
             meta,
@@ -333,6 +339,7 @@ impl Hdnh {
                 hot,
             },
             sync,
+            vlog,
         ))
     }
 
@@ -342,6 +349,7 @@ impl Hdnh {
         meta: Meta,
         inner: Inner,
         sync: Option<SyncWriter>,
+        vlog: Arc<Vlog>,
     ) -> Self {
         let generation = inner.generation;
         Hdnh {
@@ -355,6 +363,7 @@ impl Hdnh {
             relocations: AtomicU64::new(0),
             resizes: AtomicUsize::new(0),
             sync,
+            vlog,
         }
     }
 
@@ -379,11 +388,15 @@ impl Hdnh {
         let snap = self.pinned();
         let inner = snap.inner;
         let mut acc = StatsSnapshot::default();
-        for snap in [
+        let mut snaps = vec![
             self.meta.region().stats().snapshot(),
             inner.top.region().stats().snapshot(),
             inner.bottom.region().stats().snapshot(),
-        ] {
+        ];
+        for (_, region) in self.vlog.regions() {
+            snaps.push(region.stats().snapshot());
+        }
+        for snap in snaps {
             acc.reads += snap.reads;
             acc.read_bytes += snap.read_bytes;
             acc.read_blocks += snap.read_blocks;
@@ -445,6 +458,11 @@ impl Hdnh {
                 out.push(p.to_path_buf());
             }
         }
+        for (_, region) in self.vlog.regions() {
+            if let Some(p) = region.file_path() {
+                out.push(p.to_path_buf());
+            }
+        }
         if let Some((level, _)) = self.pending_new_top.lock().as_ref() {
             if let Some(p) = level.region().file_path() {
                 out.push(p.to_path_buf());
@@ -467,6 +485,9 @@ impl Hdnh {
         let snap = self.pinned();
         let inner = snap.inner;
         for region in [self.meta.region(), inner.top.region(), inner.bottom.region()] {
+            region.sync_to_disk().map_err(HdnhError::from)?;
+        }
+        for (_, region) in self.vlog.regions() {
             region.sync_to_disk().map_err(HdnhError::from)?;
         }
         if let Some((level, _)) = self.pending_new_top.lock().as_ref() {
@@ -534,6 +555,9 @@ impl Hdnh {
     ///   authoritative NVM value.
     /// * `checksum-match` — every bitmap-valid record's bytes match the
     ///   7-bit checksum committed with its valid bit (media integrity).
+    /// * `vlog-pointer-valid` — every spill-flagged slot's value bytes
+    ///   decode to a pointer that resolves to a CRC-valid value-log record
+    ///   carrying the slot's key.
     /// * `count-consistency` — `len()` equals the number of valid slots.
     /// * `meta-quiescent` — the metadata block is stable (no resize state,
     ///   no rehash cursor) and its geometry matches the live levels.
@@ -566,6 +590,7 @@ impl Hdnh {
         let mut dups = Vec::new();
         let mut hots = Vec::new();
         let mut cks = Vec::new();
+        let mut vlogs = Vec::new();
         let mut counts = Vec::new();
         let mut metas = Vec::new();
         let mut live = 0usize;
@@ -597,6 +622,19 @@ impl Hdnh {
                                 &mut cks,
                                 format!("checksum mismatch at L{li}/{bucket}/{slot}"),
                             );
+                        }
+                        if header_slot_spilled(header, slot) {
+                            let resolves = VlogPtr::from_value(&rec.value)
+                                .is_some_and(|ptr| self.vlog.verify(&ptr, &rec.key));
+                            if !resolves {
+                                push(
+                                    &mut vlogs,
+                                    format!(
+                                        "spill pointer at L{li}/{bucket}/{slot} does not resolve \
+                                         to a valid log record"
+                                    ),
+                                );
+                            }
                         }
                         let h = KeyHashes::of(&rec.key);
                         if self.params.enable_ocf && ocf::fp(e) != h.fp {
@@ -663,6 +701,7 @@ impl Hdnh {
                 mk("no-duplicate-keys", dups),
                 mk("hot-consistency", hots),
                 mk("checksum-match", cks),
+                mk("vlog-pointer-valid", vlogs),
                 mk("count-consistency", counts),
                 mk("meta-quiescent", metas),
             ],
@@ -697,6 +736,24 @@ impl Hdnh {
                     report.scanned += 1;
                     let rec = level.read_record(bucket, slot);
                     if slot_checksum_ok(header, slot, &rec) {
+                        // The slot's own bytes are clean; a spill-flagged
+                        // slot must additionally resolve to a CRC-valid log
+                        // record (the damage may live in the value log).
+                        if header_slot_spilled(header, slot) {
+                            let resolves = VlogPtr::from_value(&rec.value)
+                                .is_some_and(|ptr| self.vlog.verify(&ptr, &rec.key));
+                            if !resolves {
+                                if let Some(err) =
+                                    self.quarantine_dangling_pointer(inner, li, bucket, slot)
+                                {
+                                    report.detected += 1;
+                                    report.quarantined += 1;
+                                    if report.errors.len() < ScrubReport::ERRORS_CAP {
+                                        report.errors.push(err);
+                                    }
+                                }
+                            }
+                        }
                         continue;
                     }
                     let entry = ocf.load(bucket, slot);
@@ -920,8 +977,13 @@ impl Hdnh {
         });
         let outcome = if let Some(value) = hot_copy {
             let clean = Record::new(rec.key, value);
+            // The hot table caches the slot's 15 value bytes verbatim —
+            // for a spilled slot that is the packed value-log pointer — so
+            // the repair must re-commit the *old header's* spill flag, not
+            // re-derive it from the bytes.
+            let spilled = header_slot_spilled(header, slot);
             level.write_record(bucket, slot, &clean);
-            level.commit_slot_valid(bucket, slot, checksum7(&clean.to_bytes()));
+            level.commit_slot_valid(bucket, slot, slot_meta(&clean, spilled));
             ocf.commit(bucket, slot, pre, true, h.fp);
             obs::count(obs::Counter::CorruptionRepaired);
             CorruptionOutcome::Repaired
@@ -937,6 +999,52 @@ impl Hdnh {
             bucket,
             slot,
             outcome,
+        })
+    }
+
+    /// Quarantines a spill-flagged slot whose pointer no longer resolves to
+    /// a CRC-valid log record carrying its key. The slot bytes themselves
+    /// checksum clean — the damage lives in the value log — so there is
+    /// nothing to repair from: the hot table caches the pointer, not the
+    /// payload. Locks the slot, re-verifies under the lock (a concurrent
+    /// overwrite or GC relocation may have superseded the stale pointer),
+    /// then clears the valid bit. `None` when the slot healed.
+    fn quarantine_dangling_pointer(
+        &self,
+        inner: &Inner,
+        li: usize,
+        bucket: usize,
+        slot: usize,
+    ) -> Option<HdnhError> {
+        let (level, ocf) = inner.level(li);
+        let entry = ocf.load(bucket, slot);
+        let LockOutcome::Locked(pre) = ocf.try_lock_at(bucket, slot, entry) else {
+            return None;
+        };
+        let header = level.load_header_cached(bucket);
+        let rec = level.read_record(bucket, slot);
+        let still_dangling = header_slot_valid(header, slot)
+            && header_slot_spilled(header, slot)
+            && !VlogPtr::from_value(&rec.value)
+                .is_some_and(|ptr| self.vlog.verify(&ptr, &rec.key));
+        if !still_dangling {
+            ocf.abort(bucket, slot, pre);
+            return None;
+        }
+        obs::count(obs::Counter::CorruptionDetected);
+        if let Some(hot) = &inner.hot {
+            let h = KeyHashes::of(&rec.key);
+            hot.delete(&rec.key, h.h1, h.h2, h.fp);
+        }
+        level.commit_slot_invalid(bucket, slot);
+        ocf.commit(bucket, slot, pre, false, 0);
+        self.count.fetch_sub(1, Ordering::Relaxed);
+        obs::count(obs::Counter::CorruptionQuarantined);
+        Some(HdnhError::Corruption {
+            level: li,
+            bucket,
+            slot,
+            outcome: CorruptionOutcome::Quarantined,
         })
     }
 
@@ -1059,15 +1167,22 @@ impl Hdnh {
     /// [`HdnhError::DuplicateKey`] when the key is already present.
     pub fn insert(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
         let t = obs::op_start();
-        let out = self.insert_inner(key, value);
+        let out = self.insert_inner(key, value, false);
         obs::op_record(obs::OpKind::Insert, t);
         out
     }
 
-    fn insert_inner(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
+    /// Insert body. `spilled` marks the 15 value bytes as a packed
+    /// value-log pointer (committed into the header's spill flag).
+    pub(crate) fn insert_inner(
+        &self,
+        key: &Key,
+        value: &Value,
+        spilled: bool,
+    ) -> Result<(), HdnhError> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
-        let ck = checksum7(&rec.to_bytes());
+        let ck = slot_meta(&rec, spilled);
         loop {
             let gen = {
                 let (snap, gen) = self.pin_for_write();
@@ -1129,15 +1244,31 @@ impl Hdnh {
     /// [`HdnhError::KeyNotFound`] when the key is absent.
     pub fn update(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
         let t = obs::op_start();
-        let out = self.update_inner(key, value);
+        let out = self.update_inner(key, value, false, None);
         obs::op_record(obs::OpKind::Update, t);
-        out
+        // Overwriting a spilled value orphans its log entry.
+        Self::tombstone_old(&self.vlog, out?);
+        Ok(())
     }
 
-    fn update_inner(&self, key: &Key, value: &Value) -> Result<(), HdnhError> {
+    /// Update body. `spilled` marks the new value bytes as a packed
+    /// value-log pointer. With `expect`, the update only proceeds if the
+    /// old slot is spill-flagged *and* its value bytes equal `expect` —
+    /// the guarded compare-and-relocate the value-log GC uses to move a
+    /// live log entry without racing a concurrent overwrite (a mismatch
+    /// means the entry became garbage; reported as `KeyNotFound`).
+    /// Returns the replaced `(value, spilled)` pair so callers can
+    /// tombstone a spilled old value's log entry.
+    pub(crate) fn update_inner(
+        &self,
+        key: &Key,
+        value: &Value,
+        spilled: bool,
+        expect: Option<&Value>,
+    ) -> Result<(Value, bool), HdnhError> {
         let h = KeyHashes::of(key);
         let rec = Record::new(*key, *value);
-        let ck = checksum7(&rec.to_bytes());
+        let ck = slot_meta(&rec, spilled);
         loop {
             let gen = {
                 let (snap, gen) = self.pin_for_write();
@@ -1147,6 +1278,16 @@ impl Hdnh {
                 };
                 fault::point("update.old_locked");
                 let (level, ocf) = inner.level(old.li);
+                // Old header under the slot lock: stable, and the only
+                // authoritative source of the old value's spill-ness.
+                let old_header = level.load_header_cached(old.bucket);
+                let old_spilled = header_slot_spilled(old_header, old.slot);
+                if let Some(expect) = expect {
+                    if !old_spilled || old.value != *expect {
+                        ocf.abort(old.bucket, old.slot, old.entry);
+                        return Err(HdnhError::KeyNotFound);
+                    }
+                }
                 // Option-wrapped so exactly one arm below consumes the hot
                 // write — and always BEFORE its OCF publish: once the new
                 // slot is visible, another writer can claim the key, and a
@@ -1181,7 +1322,7 @@ impl Hdnh {
                         self.relocations.fetch_add(1, Ordering::SeqCst);
                         ocf.commit(old.bucket, old.slot, old.entry, false, 0);
                         fault::point("update.published");
-                        return Ok(());
+                        return Ok((old.value, old_spilled));
                     }
                 }
                 // Fallback: place the new version in another candidate
@@ -1215,7 +1356,7 @@ impl Hdnh {
                                 fault::point("update.fallback.old_cleared");
                                 ocf.commit(old.bucket, old.slot, old.entry, false, 0);
                                 fault::point("update.fallback.published");
-                                return Ok(());
+                                return Ok((old.value, old_spilled));
                             }
                         }
                     }
@@ -1237,23 +1378,34 @@ impl Hdnh {
         }
     }
 
-    /// Removes a key. Returns `Ok(true)` if it was present.
+    /// Removes a key. Returns `Ok(true)` if it was present. A spilled
+    /// value's log entry is tombstoned for the compactor to reclaim.
     pub fn remove(&self, key: &Key) -> Result<bool, HdnhError> {
         let t = obs::op_start();
         let out = self.remove_inner(key);
         obs::op_record(obs::OpKind::Remove, t);
-        out
+        match out? {
+            Some(old) => {
+                Self::tombstone_old(&self.vlog, old);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
-    fn remove_inner(&self, key: &Key) -> Result<bool, HdnhError> {
+    /// Remove body; returns the removed `(value, spilled)` pair (if the
+    /// key was present) so callers can tombstone a spilled value's log
+    /// entry.
+    pub(crate) fn remove_inner(&self, key: &Key) -> Result<Option<(Value, bool)>, HdnhError> {
         let h = KeyHashes::of(key);
         let (snap, _gen) = self.pin_for_write();
         let inner = snap.inner;
         let Some(old) = self.find_and_lock(inner, key, &h) else {
-            return Ok(false);
+            return Ok(None);
         };
         fault::point("remove.old_locked");
         let (level, ocf) = inner.level(old.li);
+        let old_spilled = header_slot_spilled(level.load_header_cached(old.bucket), old.slot);
         let hot = self.begin_hot_write(
             inner,
             HotOp::Delete {
@@ -1269,7 +1421,168 @@ impl Hdnh {
         fault::point("remove.published");
         Self::finish_hot_write(hot);
         self.count.fetch_sub(1, Ordering::Relaxed);
-        Ok(true)
+        Ok(Some((old.value, old_spilled)))
+    }
+
+    // =================================================================
+    // Variable-length values (DESIGN.md §17)
+    // =================================================================
+
+    /// Tombstones the log entry behind a replaced or removed slot value.
+    fn tombstone_old(vlog: &Vlog, (old, old_spilled): (Value, bool)) {
+        if old_spilled {
+            if let Some(ptr) = VlogPtr::from_value(&old) {
+                vlog.mark_garbage(&ptr);
+            }
+        }
+    }
+
+    /// Stores `payload` under `key` (insert semantics). Payloads up to the
+    /// configured inline budget live in the slot's 15 value bytes — the
+    /// paper-faithful fast path, unchanged in cost; larger ones are
+    /// appended (and persisted) to the value log *first*, then the slot
+    /// commits a packed pointer flagged by the header's spill bit, so a
+    /// crash between the two leaves at worst an unreferenced log record.
+    pub fn insert_bytes(&self, key: &Key, payload: &[u8]) -> Result<(), HdnhError> {
+        if payload.len() <= self.params.vlog_inline_max {
+            obs::count(obs::Counter::VlogInlineWrites);
+            return self.insert_inner(key, &vlog::encode_inline(payload), false);
+        }
+        obs::count(obs::Counter::VlogSpillWrites);
+        let ptr = self.vlog.append(key, payload)?;
+        let out = self.insert_inner(key, &ptr.to_value(), true);
+        if out.is_err() {
+            // The appended record was never published: orphan it.
+            self.vlog.mark_garbage(&ptr);
+        }
+        out
+    }
+
+    /// Replaces `key`'s value with `payload` (update semantics). The old
+    /// value's log entry, if spilled, is tombstoned.
+    pub fn update_bytes(&self, key: &Key, payload: &[u8]) -> Result<(), HdnhError> {
+        if payload.len() <= self.params.vlog_inline_max {
+            obs::count(obs::Counter::VlogInlineWrites);
+            let old = self.update_inner(key, &vlog::encode_inline(payload), false, None)?;
+            Self::tombstone_old(&self.vlog, old);
+            return Ok(());
+        }
+        obs::count(obs::Counter::VlogSpillWrites);
+        let ptr = self.vlog.append(key, payload)?;
+        match self.update_inner(key, &ptr.to_value(), true, None) {
+            Ok(old) => {
+                Self::tombstone_old(&self.vlog, old);
+                Ok(())
+            }
+            Err(e) => {
+                self.vlog.mark_garbage(&ptr);
+                Err(e)
+            }
+        }
+    }
+
+    /// Insert-or-replace in one call (the RESP `SET` semantics). Loops on
+    /// the insert/update race instead of surfacing it to the caller.
+    pub fn upsert_bytes(&self, key: &Key, payload: &[u8]) -> Result<(), HdnhError> {
+        loop {
+            match self.update_bytes(key, payload) {
+                Err(HdnhError::KeyNotFound) => {}
+                out => return out,
+            }
+            match self.insert_bytes(key, payload) {
+                Err(HdnhError::DuplicateKey) => continue, // raced a writer
+                out => return out,
+            }
+        }
+    }
+
+    /// Fetches `key`'s value as bytes. Inline values decode from the slot;
+    /// spilled values are read (and CRC-verified) from the value log. A
+    /// pointer into a segment the compactor retired mid-read re-probes the
+    /// index — the relocated pointer is already published before a segment
+    /// disappears — so readers never block on (or race destructively with)
+    /// the GC.
+    pub fn get_bytes(&self, key: &Key) -> Result<Option<Vec<u8>>, HdnhError> {
+        loop {
+            let Some(v) = self.get(key)? else { return Ok(None) };
+            if let Some(ptr) = VlogPtr::from_value(&v) {
+                match self.vlog.read(&ptr, key)? {
+                    Some(payload) => return Ok(Some(payload)),
+                    // Segment retired between the index probe and the log
+                    // read: the GC already republished the pointer.
+                    None => continue,
+                }
+            }
+            return Ok(Some(match vlog::decode_inline(&v) {
+                Some(p) => p.to_vec(),
+                // Not written through the bytes API (a fixed 15-byte value
+                // whose first byte exceeds the inline budget): surface the
+                // raw slot bytes rather than guessing at an encoding.
+                None => v.0.to_vec(),
+            }));
+        }
+    }
+
+    /// Handle to the value log (spilled-value storage).
+    pub fn vlog(&self) -> &Arc<Vlog> {
+        &self.vlog
+    }
+
+    /// Value-log occupancy and last-GC statistics.
+    pub fn vlog_stats(&self) -> vlog::VlogStats {
+        self.vlog.stats()
+    }
+
+    /// Recovery pass: walks every live spill-flagged slot, verifies its
+    /// pointer resolves to a CRC-valid log record, quarantines danglers
+    /// (a pointer published without its log record is a torn pre-ack
+    /// write — §15's model never acks it), and installs per-segment
+    /// live-byte accounting into the value log. Runs once, before the
+    /// recovered table serves traffic. Returns the quarantined count.
+    pub(crate) fn rebuild_vlog_index(&self) -> usize {
+        use std::collections::BTreeMap;
+        let _m = self.maintenance_lock();
+        // Safety: the maintenance lock is held — the pointer cannot swap.
+        let inner = unsafe { &*self.current.load(Ordering::SeqCst) };
+        let mut live: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        let mut quarantined = 0usize;
+        for li in 0..2 {
+            let (level, ocf) = inner.level(li);
+            for bucket in 0..level.n_buckets() {
+                let header = level.load_header(bucket);
+                for slot in 0..SLOTS_PER_BUCKET {
+                    if !header_slot_valid(header, slot) || !header_slot_spilled(header, slot) {
+                        continue;
+                    }
+                    let rec = level.read_record(bucket, slot);
+                    let resolved = VlogPtr::from_value(&rec.value)
+                        .filter(|ptr| self.vlog.verify(ptr, &rec.key));
+                    match resolved {
+                        Some(ptr) => {
+                            let fp = vlog::segment::footprint(ptr.len as usize) as u64;
+                            let end = ptr.offset as u64 + fp;
+                            let e = live.entry(ptr.segment).or_insert((0, 0));
+                            e.0 += fp;
+                            e.1 = e.1.max(end);
+                        }
+                        None => {
+                            obs::count(obs::Counter::CorruptionDetected);
+                            obs::count(obs::Counter::CorruptionQuarantined);
+                            if let Some(hot) = &inner.hot {
+                                let h = KeyHashes::of(&rec.key);
+                                hot.delete(&rec.key, h.h1, h.h2, h.fp);
+                            }
+                            level.commit_slot_invalid(bucket, slot);
+                            ocf.install(bucket, slot, false, 0);
+                            self.count.fetch_sub(1, Ordering::Relaxed);
+                            quarantined += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.vlog.finish_recovery(&live);
+        quarantined
     }
 
     /// Live record count.
@@ -1437,7 +1750,17 @@ impl Hdnh {
                 if dup_check && Self::find_in_level(to, to_ocf, &rec.key, &h, candidates).is_some() {
                     continue;
                 }
-                Self::insert_into_level(to, to_ocf, rec, &h, candidates);
+                // Carry the source header's spill flag — the value bytes of
+                // a spilled record are a value-log pointer and must stay
+                // flagged as one in the new level.
+                Self::insert_into_level(
+                    to,
+                    to_ocf,
+                    rec,
+                    &h,
+                    candidates,
+                    header_slot_spilled(header, slot),
+                );
                 moved += 1;
                 fault::point("resize.record_migrated");
             }
@@ -1457,13 +1780,14 @@ impl Hdnh {
         rec: &Record,
         h: &KeyHashes,
         candidates: usize,
+        spilled: bool,
     ) {
         for bucket in level.candidates(h).into_iter().take(candidates) {
             for slot in 0..SLOTS_PER_BUCKET {
                 if let LockOutcome::Locked(pre) = ocf.try_lock_empty(bucket, slot) {
                     level.write_record(bucket, slot, rec);
                     fault::point("migrate.record_written");
-                    level.commit_slot_valid(bucket, slot, checksum7(&rec.to_bytes()));
+                    level.commit_slot_valid(bucket, slot, slot_meta(rec, spilled));
                     fault::point("migrate.slot_committed");
                     ocf.commit(bucket, slot, pre, true, h.fp);
                     return;

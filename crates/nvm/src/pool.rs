@@ -49,13 +49,18 @@ impl PoolDir {
         })
     }
 
-    /// Opens an existing pool directory, seeding the segment-id counter
-    /// past every `seg-<id>.dat` already present so new allocations never
-    /// collide with survivors.
+    /// Opens an existing pool directory, seeding the region-id counter
+    /// past every `seg-<id>.dat` and `vlog-<id>.dat` already present so
+    /// new allocations never collide with survivors.
     pub fn open(dir: &Path) -> Result<PoolDir, NvmIoError> {
         let mut max_id = 0u64;
         for f in Self::scan_region_files(dir)? {
             if let Some(id) = seg_id(&f) {
+                max_id = max_id.max(id + 1);
+            }
+        }
+        for f in Self::scan_vlog_files(dir)? {
+            if let Some(id) = vlog_id(&f) {
                 max_id = max_id.max(id + 1);
             }
         }
@@ -78,8 +83,17 @@ impl PoolDir {
     }
 
     /// All `seg-*.dat` files currently in the directory (unordered).
+    /// Value-log files (`vlog-*.dat`) are deliberately excluded: level
+    /// regions are classified by size on reopen and the log files must
+    /// never enter that classification.
     pub fn region_files(&self) -> Result<Vec<PathBuf>, NvmIoError> {
         Self::scan_region_files(&self.dir)
+    }
+
+    /// All `vlog-*.dat` (value-log segment) files currently in the
+    /// directory (unordered).
+    pub fn vlog_files(&self) -> Result<Vec<PathBuf>, NvmIoError> {
+        Self::scan_vlog_files(&self.dir)
     }
 
     fn scan_region_files(dir: &Path) -> Result<Vec<PathBuf>, NvmIoError> {
@@ -95,9 +109,23 @@ impl PoolDir {
         Ok(out)
     }
 
+    fn scan_vlog_files(dir: &Path) -> Result<Vec<PathBuf>, NvmIoError> {
+        let rd = fs::read_dir(dir).map_err(|e| NvmIoError::new("readdir", dir, e))?;
+        let mut out = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| NvmIoError::new("readdir", dir, e))?;
+            let p = entry.path();
+            if vlog_id(&p).is_some() {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+
     /// Picks the file path for a new region. `"meta"` maps to the fixed
-    /// meta filename (at most one per pool); anything else gets a fresh
-    /// `seg-<id>.dat`.
+    /// meta filename (at most one per pool); `"vlog"` gets a fresh
+    /// `vlog-<id>.dat` (a value-log segment, outside the size-classified
+    /// level files); anything else gets a fresh `seg-<id>.dat`.
     pub fn new_region_path(&self, hint: &str) -> Result<PathBuf, NvmIoError> {
         if hint == "meta" {
             let p = self.meta_path();
@@ -111,6 +139,9 @@ impl PoolDir {
             return Ok(p);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if hint == "vlog" {
+            return Ok(self.dir.join(format!("vlog-{id}.dat")));
+        }
         Ok(self.dir.join(format!("seg-{id}.dat")))
     }
 
@@ -144,6 +175,13 @@ impl PoolDir {
 fn seg_id(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     let rest = name.strip_prefix("seg-")?.strip_suffix(".dat")?;
+    rest.parse().ok()
+}
+
+/// Parses `vlog-<id>.dat` → `id`.
+pub fn vlog_id(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("vlog-")?.strip_suffix(".dat")?;
     rest.parse().ok()
 }
 

@@ -131,11 +131,28 @@ pub enum Counter {
     SnapshotFailed,
     /// Total bytes copied into snapshot directories by successful backups.
     SnapshotBytes,
+    /// Values written inline in the 15-byte slot (≤ the inline budget).
+    VlogInlineWrites,
+    /// Values spilled to the value log (slot stores a packed pointer).
+    VlogSpillWrites,
+    /// Records appended to value-log segments (spills + GC relocations).
+    VlogAppends,
+    /// Spilled values materialized from the value log on read.
+    VlogReads,
+    /// A spilled read found its segment retired mid-probe and re-probed
+    /// the index (the GC's lock-free hand-off, not an error).
+    VlogReadRetries,
+    /// Bytes of garbage reclaimed by value-log compaction.
+    VlogGcBytesReclaimed,
+    /// Value-log segments retired (unmapped and deleted) by compaction.
+    VlogGcSegmentsRetired,
+    /// Live records relocated out of victim segments by compaction.
+    VlogGcRecordsRelocated,
 }
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 39] = [
         Counter::OcfTrueMatch,
         Counter::OcfFalsePositive,
         Counter::OcfNegativeShortCircuit,
@@ -167,6 +184,14 @@ impl Counter {
         Counter::SnapshotTaken,
         Counter::SnapshotFailed,
         Counter::SnapshotBytes,
+        Counter::VlogInlineWrites,
+        Counter::VlogSpillWrites,
+        Counter::VlogAppends,
+        Counter::VlogReads,
+        Counter::VlogReadRetries,
+        Counter::VlogGcBytesReclaimed,
+        Counter::VlogGcSegmentsRetired,
+        Counter::VlogGcRecordsRelocated,
     ];
 
     /// Stable snake_case name used in exposition.
@@ -203,6 +228,14 @@ impl Counter {
             Counter::SnapshotTaken => "snapshot_taken",
             Counter::SnapshotFailed => "snapshot_failed",
             Counter::SnapshotBytes => "snapshot_bytes",
+            Counter::VlogInlineWrites => "vlog_inline_writes",
+            Counter::VlogSpillWrites => "vlog_spill_writes",
+            Counter::VlogAppends => "vlog_appends",
+            Counter::VlogReads => "vlog_reads",
+            Counter::VlogReadRetries => "vlog_read_retries",
+            Counter::VlogGcBytesReclaimed => "vlog_gc_bytes_reclaimed",
+            Counter::VlogGcSegmentsRetired => "vlog_gc_segments_retired",
+            Counter::VlogGcRecordsRelocated => "vlog_gc_records_relocated",
         }
     }
 }
@@ -269,11 +302,13 @@ pub enum NetCmd {
     Shutdown,
     /// `BACKUP dir` crash-consistent snapshot into a server-side directory.
     Backup,
+    /// `COMPACT` value-log garbage collection pass.
+    Compact,
 }
 
 impl NetCmd {
     /// Every wire command, in exposition order.
-    pub const ALL: [NetCmd; 12] = [
+    pub const ALL: [NetCmd; 13] = [
         NetCmd::Ping,
         NetCmd::Get,
         NetCmd::Set,
@@ -286,6 +321,7 @@ impl NetCmd {
         NetCmd::Metrics,
         NetCmd::Shutdown,
         NetCmd::Backup,
+        NetCmd::Compact,
     ];
 
     /// Stable name used in exposition labels (matches the wire spelling,
@@ -304,6 +340,7 @@ impl NetCmd {
             NetCmd::Metrics => "metrics",
             NetCmd::Shutdown => "shutdown",
             NetCmd::Backup => "backup",
+            NetCmd::Compact => "compact",
         }
     }
 }
@@ -332,11 +369,13 @@ pub enum Phase {
     FaultExplore,
     /// One scrub pass over both levels (items = live slots verified).
     Scrub,
+    /// One value-log compaction pass (items = live records relocated).
+    VlogGc,
 }
 
 impl Phase {
     /// Every phase, in exposition order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::ResizeAllocate,
         Phase::ResizeRehash,
         Phase::ResizeSwap,
@@ -346,6 +385,7 @@ impl Phase {
         Phase::Verify,
         Phase::FaultExplore,
         Phase::Scrub,
+        Phase::VlogGc,
     ];
 
     /// Stable name used in exposition labels.
@@ -360,6 +400,7 @@ impl Phase {
             Phase::Verify => "verify",
             Phase::FaultExplore => "fault_explore",
             Phase::Scrub => "scrub",
+            Phase::VlogGc => "vlog_gc",
         }
     }
 }

@@ -129,6 +129,11 @@ pub enum Milestone {
     SnapshotDone,
     /// A snapshot attempt failed and the target directory is suspect.
     SnapshotFailed,
+    /// A value-log compaction pass began.
+    VlogGcStart,
+    /// A value-log compaction pass finished (live data relocated, victim
+    /// segments retired).
+    VlogGcDone,
 }
 
 impl Milestone {
@@ -142,6 +147,8 @@ impl Milestone {
             Milestone::SnapshotStart => "snapshot_start",
             Milestone::SnapshotDone => "snapshot_done",
             Milestone::SnapshotFailed => "snapshot_failed",
+            Milestone::VlogGcStart => "vlog_gc_start",
+            Milestone::VlogGcDone => "vlog_gc_done",
         }
     }
 
@@ -154,6 +161,8 @@ impl Milestone {
             Milestone::SnapshotStart,
             Milestone::SnapshotDone,
             Milestone::SnapshotFailed,
+            Milestone::VlogGcStart,
+            Milestone::VlogGcDone,
         ]
         .get(v as usize)
         .copied()

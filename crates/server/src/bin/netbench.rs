@@ -50,12 +50,75 @@ struct Config {
     hot_conns: usize,
     open_loop_rate: f64,
     open_loop_secs: f64,
+    value_size: ValueSize,
+    value_size_label: String,
+}
+
+/// Value-size distribution for SET payloads. The default (`legacy`)
+/// writes the decimal id/sequence strings the u64 wire vocabulary always
+/// used — every value stays inline. The other shapes exercise the value
+/// log: anything past the table's inline budget spills.
+#[derive(Clone, Copy, Debug)]
+enum ValueSize {
+    /// Decimal id strings (pre-variable-length behavior).
+    Legacy,
+    /// Every value exactly `n` bytes.
+    Fixed(usize),
+    /// Uniform in `[a, b]` bytes, deterministic per (id, seq).
+    Uniform(usize, usize),
+    /// Zipf-flavored mixture: 80% 8 B (inline), 15% 128 B, 4% 4 KiB,
+    /// 1% 64 KiB — mostly-small with a heavy tail, like real caches.
+    Mix,
+}
+
+fn parse_value_size(s: &str) -> Option<ValueSize> {
+    if s == "legacy" {
+        return Some(ValueSize::Legacy);
+    }
+    if s == "mix" {
+        return Some(ValueSize::Mix);
+    }
+    if let Some(n) = s.strip_prefix("fixed=") {
+        return n.parse().ok().map(ValueSize::Fixed);
+    }
+    if let Some(r) = s.strip_prefix("uniform=") {
+        let (a, b) = r.split_once("..")?;
+        let (a, b): (usize, usize) = (a.parse().ok()?, b.parse().ok()?);
+        return (a <= b).then_some(ValueSize::Uniform(a, b));
+    }
+    None
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The SET payload for `(id, seq)` under `vs` — deterministic, so reruns
+/// of the same config produce identical traffic.
+fn set_value(vs: ValueSize, id: u64, seq: u64) -> Vec<u8> {
+    let len = match vs {
+        ValueSize::Legacy if seq == 0 => return id.to_string().into_bytes(),
+        ValueSize::Legacy => return seq.to_string().into_bytes(),
+        ValueSize::Fixed(n) => n,
+        ValueSize::Uniform(a, b) => a + (splitmix64(id ^ seq.rotate_left(17)) as usize) % (b - a + 1),
+        ValueSize::Mix => match splitmix64(id ^ seq.rotate_left(17)) % 100 {
+            0..=79 => 8,
+            80..=94 => 128,
+            95..=98 => 4096,
+            _ => 64 * 1024,
+        },
+    };
+    vec![(splitmix64(id) as u8) ^ (seq as u8); len]
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: netbench <addr> [--conns N] [--pipeline N] [--ops N] [--preload N] \
          [--mixes a,b,c] [--out PATH] [--shutdown] \
+         [--value-size legacy|fixed=N|uniform=A..B|mix] \
          [--open-loop-rate R --open-loop-secs S --idle-conns N --hot-conns N]"
     );
     std::process::exit(2);
@@ -80,6 +143,8 @@ fn parse_args() -> Config {
         hot_conns: 4,
         open_loop_rate: 0.0,
         open_loop_secs: 10.0,
+        value_size: ValueSize::Legacy,
+        value_size_label: "legacy".into(),
     };
     while let Some(flag) = args.next() {
         let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
@@ -107,6 +172,11 @@ fn parse_args() -> Config {
             }
             "--out" => cfg.out = args.next().unwrap_or_else(|| usage()),
             "--shutdown" => cfg.shutdown = true,
+            "--value-size" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                cfg.value_size = parse_value_size(&spec).unwrap_or_else(|| usage());
+                cfg.value_size_label = spec;
+            }
             "--idle-conns" => cfg.idle_conns = num(&mut args) as usize,
             "--hot-conns" => cfg.hot_conns = num(&mut args).max(1) as usize,
             "--open-loop-rate" => cfg.open_loop_rate = fnum(&mut args),
@@ -143,15 +213,16 @@ fn connect_retry(addr: &str) -> RespClient {
     }
 }
 
-/// Preloads ids `0..n` (value = id) through one pipelined connection.
-fn preload(addr: &str, n: u64, pipeline: usize) {
+/// Preloads ids `0..n` through one pipelined connection.
+fn preload(addr: &str, n: u64, pipeline: usize, vs: ValueSize) {
     let mut c = connect_retry(addr);
     c.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
     let mut id = 0u64;
     while id < n {
         let burst = pipeline.min((n - id) as usize);
         for _ in 0..burst {
-            c.cmd(&[b"SET", id.to_string().as_bytes(), id.to_string().as_bytes()]);
+            let v = set_value(vs, id, 0);
+            c.cmd(&[b"SET", id.to_string().as_bytes(), &v]);
             id += 1;
         }
         c.flush().expect("preload flush");
@@ -163,19 +234,24 @@ fn preload(addr: &str, n: u64, pipeline: usize) {
 }
 
 /// Turns one YCSB op into a queued RESP request, returning its kind index.
-fn enqueue(c: &mut RespClient, op: &Op) -> usize {
+fn enqueue(c: &mut RespClient, op: &Op, vs: ValueSize) -> usize {
     match *op {
         Op::Read(id) => c.cmd(&[b"GET", id.to_string().as_bytes()]),
         // Negative reads probe far beyond any inserted id.
         Op::ReadAbsent(id) => c.cmd(&[b"GET", (u64::MAX / 2 + id).to_string().as_bytes()]),
-        Op::Insert(id) => c.cmd(&[b"SET", id.to_string().as_bytes(), id.to_string().as_bytes()]),
+        Op::Insert(id) => {
+            let v = set_value(vs, id, 0);
+            c.cmd(&[b"SET", id.to_string().as_bytes(), &v]);
+        }
         Op::Update(id, seq) => {
-            c.cmd(&[b"SET", id.to_string().as_bytes(), (u64::from(seq) + 1).to_string().as_bytes()])
+            let v = set_value(vs, id, u64::from(seq) + 1);
+            c.cmd(&[b"SET", id.to_string().as_bytes(), &v]);
         }
         Op::ReadModifyWrite(id, seq) => {
             // The read half happens server-side via GET pipelined just ahead.
             c.cmd(&[b"GET", id.to_string().as_bytes()]);
-            c.cmd(&[b"SET", id.to_string().as_bytes(), (u64::from(seq) + 1).to_string().as_bytes()]);
+            let v = set_value(vs, id, u64::from(seq) + 1);
+            c.cmd(&[b"SET", id.to_string().as_bytes(), &v]);
             return kind_idx("rmw");
         }
         Op::Delete(id) => c.cmd(&[b"DEL", id.to_string().as_bytes()]),
@@ -197,7 +273,7 @@ struct MixStats {
     reconnects: AtomicU64,
 }
 
-fn run_conn(addr: &str, ops: &[Op], pipeline: usize, stats: &MixStats) {
+fn run_conn(addr: &str, ops: &[Op], pipeline: usize, vs: ValueSize, stats: &MixStats) {
     let mut c = connect_retry(addr);
     c.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
     let mut i = 0usize;
@@ -205,7 +281,7 @@ fn run_conn(addr: &str, ops: &[Op], pipeline: usize, stats: &MixStats) {
         let burst = &ops[i..(i + pipeline).min(ops.len())];
         let mut kinds = Vec::with_capacity(burst.len());
         for op in burst {
-            kinds.push((enqueue(&mut c, op), replies_for(op)));
+            kinds.push((enqueue(&mut c, op, vs), replies_for(op)));
         }
         if let Err(e) = c.flush() {
             eprintln!("netbench: flush failed ({e}); reconnecting");
@@ -451,10 +527,10 @@ fn main() {
     }
 
     eprintln!(
-        "netbench: {} conns={} pipeline={} ops={} preload={} mixes={:?}",
-        cfg.addr, cfg.conns, cfg.pipeline, cfg.ops, cfg.preload, cfg.mixes
+        "netbench: {} conns={} pipeline={} ops={} preload={} mixes={:?} value_size={}",
+        cfg.addr, cfg.conns, cfg.pipeline, cfg.ops, cfg.preload, cfg.mixes, cfg.value_size_label
     );
-    preload(&cfg.addr, cfg.preload, cfg.pipeline);
+    preload(&cfg.addr, cfg.preload, cfg.pipeline, cfg.value_size);
     eprintln!("netbench: preloaded {} records", cfg.preload);
 
     let mut mix_reports = Vec::new();
@@ -485,7 +561,7 @@ fn main() {
             for ops in &streams {
                 let stats = Arc::clone(&stats);
                 let addr = cfg.addr.as_str();
-                s.spawn(move || run_conn(addr, ops, cfg.pipeline, &stats));
+                s.spawn(move || run_conn(addr, ops, cfg.pipeline, cfg.value_size, &stats));
             }
         });
         let elapsed = started.elapsed();
@@ -526,8 +602,8 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\"bench\":\"net\",");
     json.push_str(&format!(
-        "\"config\":{{\"addr\":\"{}\",\"conns\":{},\"pipeline\":{},\"ops_per_mix\":{},\"preload\":{}}},",
-        cfg.addr, cfg.conns, cfg.pipeline, cfg.ops, cfg.preload
+        "\"config\":{{\"addr\":\"{}\",\"conns\":{},\"pipeline\":{},\"ops_per_mix\":{},\"preload\":{},\"value_size\":\"{}\"}},",
+        cfg.addr, cfg.conns, cfg.pipeline, cfg.ops, cfg.preload, cfg.value_size_label
     ));
     json.push_str("\"mixes\":[");
     json.push_str(&mix_reports.join(","));

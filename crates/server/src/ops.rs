@@ -154,6 +154,23 @@ impl OpsState {
                     t.resize_count(),
                     t.ocf_footprint_bytes(),
                 );
+                let vs = t.vlog_stats();
+                let _ = write!(
+                    out,
+                    "\"valuelog\":{{\"segments\":{},\"capacity_bytes\":{},\"used_bytes\":{},\"garbage_bytes\":{},\"live_bytes\":{},\"last_gc\":{}}},",
+                    vs.segments,
+                    vs.capacity_bytes,
+                    vs.used_bytes,
+                    vs.garbage_bytes,
+                    vs.live_bytes,
+                    match vs.last_gc {
+                        None => "null".to_string(),
+                        Some(gc) => format!(
+                            "{{\"victims\":{},\"segments_retired\":{},\"records_relocated\":{},\"bytes_reclaimed\":{}}}",
+                            gc.victims, gc.segments_retired, gc.records_relocated, gc.bytes_reclaimed
+                        ),
+                    },
+                );
             }
         }
         let snap = obs::snapshot();

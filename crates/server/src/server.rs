@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hdnh::{Hdnh, HdnhError};
-use hdnh_common::{Key, Value};
+use hdnh_common::Key;
 use hdnh_obs as obs;
 
 use crate::config::ServerConfig;
@@ -186,22 +186,26 @@ fn u64_arg(dec: &Decoder, frame: &crate::resp::Frame, i: usize, out: &mut Vec<u8
     }
 }
 
-/// Update-then-insert upsert keeping the typed error (the `HashIndex`
-/// trait's `upsert` narrows errors to the small `IndexError` vocabulary).
-fn upsert(table: &Hdnh, k: u64, v: u64) -> Result<(), HdnhError> {
-    let key = Key::from_u64(k);
-    let val = Value::from_u64(v);
-    loop {
-        match table.update(&key, &val) {
-            Ok(()) => return Ok(()),
-            Err(HdnhError::KeyNotFound) => match table.insert(&key, &val) {
-                Ok(()) => return Ok(()),
-                Err(HdnhError::DuplicateKey) => continue, // lost a race; retry update
-                Err(e) => return Err(e),
-            },
-            Err(e) => return Err(e),
-        }
+/// Rejects a value the table cannot represent *before* any table work,
+/// with the typed `-CAPACITY` reply. Values up to the inline budget live
+/// in the slot; longer ones go through the value log, whose per-record
+/// cap is [`hdnh::MAX_VALUE_BYTES`]. The RESP frame budget (1 MiB) is
+/// deliberately a little above the cap, so an over-representable value
+/// draws this typed command error rather than a fatal framing error.
+fn check_value_len(out: &mut Vec<u8>, v: &[u8]) -> bool {
+    if v.len() > hdnh::MAX_VALUE_BYTES {
+        enc_error(
+            out,
+            "CAPACITY",
+            &format!(
+                "value of {} bytes exceeds the {} byte cap",
+                v.len(),
+                hdnh::MAX_VALUE_BYTES
+            ),
+        );
+        return false;
     }
+    true
 }
 
 /// A sticky backend I/O fault is recorded in the flight recorder exactly
@@ -266,8 +270,8 @@ fn dispatch(
             if frame.len() != 2 {
                 wrong_args(out, "get");
             } else if let Some(k) = u64_arg(dec, frame, 1, out) {
-                match table.get(&Key::from_u64(k)) {
-                    Ok(Some(v)) => enc_bulk(out, v.as_u64().to_string().as_bytes()),
+                match table.get_bytes(&Key::from_u64(k)) {
+                    Ok(Some(v)) => enc_bulk(out, &v),
                     Ok(None) => enc_nil(out),
                     Err(e) => enc_hdnh_error(out, &e),
                 }
@@ -278,8 +282,9 @@ fn dispatch(
             if frame.len() != 3 {
                 wrong_args(out, "set");
             } else if let Some(k) = u64_arg(dec, frame, 1, out) {
-                if let Some(v) = u64_arg(dec, frame, 2, out) {
-                    match upsert(table, k, v) {
+                let v = dec.arg(frame, 2);
+                if check_value_len(out, v) {
+                    match table.upsert_bytes(&Key::from_u64(k), v) {
                         Ok(()) => ack_ok(table, out),
                         Err(e) => enc_hdnh_error(out, &e),
                     }
@@ -365,8 +370,8 @@ fn dispatch(
                 } else {
                     enc_array_header(out, keys.len());
                     for k in keys {
-                        match table.get(&Key::from_u64(k)) {
-                            Ok(Some(v)) => enc_bulk(out, v.as_u64().to_string().as_bytes()),
+                        match table.get_bytes(&Key::from_u64(k)) {
+                            Ok(Some(v)) => enc_bulk(out, &v),
                             // Per-element nil for misses *and* per-element
                             // failures: the array shape must match the ask.
                             _ => enc_nil(out),
@@ -382,14 +387,17 @@ fn dispatch(
             } else {
                 let mut err = None;
                 for i in (1..frame.len()).step_by(2) {
-                    let (Some(k), Some(v)) =
-                        (parse_u64(dec.arg(frame, i)), parse_u64(dec.arg(frame, i + 1)))
-                    else {
+                    let Some(k) = parse_u64(dec.arg(frame, i)) else {
                         enc_error(out, "ERR", "value is not an unsigned integer or out of range");
                         finish(started, obs::NetCmd::MSet);
                         return action;
                     };
-                    if let Err(e) = upsert(table, k, v) {
+                    let v = dec.arg(frame, i + 1);
+                    if !check_value_len(out, v) {
+                        finish(started, obs::NetCmd::MSet);
+                        return action;
+                    }
+                    if let Err(e) = table.upsert_bytes(&Key::from_u64(k), v) {
                         err = Some(e);
                         break;
                     }
@@ -406,7 +414,7 @@ fn dispatch(
                 wrong_args(out, "info");
             } else {
                 let state = &engine.state;
-                let s = format!(
+                let mut s = format!(
                     "version:{}\r\ngit_sha:{}\r\nuptime_seconds:{}\r\nbackend:{}\r\nrecords:{}\r\nload_factor:{:.3}\r\nresizes:{}\r\nocf_bytes:{}\r\nconnections:{}\r\nmax_connections:{}\r\nworkers:{}\r\nready:{}\r\ndraining:{}\r\nshutting_down:{}\r\n",
                     crate::ops::VERSION,
                     crate::ops::GIT_HASH,
@@ -423,6 +431,17 @@ fn dispatch(
                     state.is_draining() as u8,
                     state.is_draining() as u8,
                 );
+                let vs = table.vlog_stats();
+                s.push_str(&format!(
+                    "vlog_segments:{}\r\nvlog_capacity_bytes:{}\r\nvlog_used_bytes:{}\r\nvlog_garbage_bytes:{}\r\nvlog_live_bytes:{}\r\n",
+                    vs.segments, vs.capacity_bytes, vs.used_bytes, vs.garbage_bytes, vs.live_bytes,
+                ));
+                if let Some(gc) = vs.last_gc {
+                    s.push_str(&format!(
+                        "vlog_last_gc_segments_retired:{}\r\nvlog_last_gc_records_relocated:{}\r\nvlog_last_gc_bytes_reclaimed:{}\r\n",
+                        gc.segments_retired, gc.records_relocated, gc.bytes_reclaimed,
+                    ));
+                }
                 enc_bulk(out, s.as_bytes());
             }
             obs::NetCmd::Info
@@ -485,6 +504,27 @@ fn dispatch(
                 }
             }
             obs::NetCmd::Backup
+        }
+        b"COMPACT" => {
+            if frame.len() != 1 {
+                wrong_args(out, "compact");
+            } else {
+                // Synchronous on purpose: the caller learns exactly what
+                // one pass reclaimed. Readers and writers are never
+                // blocked by compaction, only concurrent COMPACTs queue.
+                match table.compact() {
+                    Ok(r) => enc_bulk(
+                        out,
+                        format!(
+                            "victims:{} segments_retired:{} records_relocated:{} bytes_reclaimed:{}",
+                            r.victims, r.segments_retired, r.records_relocated, r.bytes_reclaimed
+                        )
+                        .as_bytes(),
+                    ),
+                    Err(e) => enc_hdnh_error(out, &e),
+                }
+            }
+            obs::NetCmd::Compact
         }
         b"SHUTDOWN" => {
             enc_simple(out, "OK");

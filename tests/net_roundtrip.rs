@@ -21,6 +21,19 @@ fn spawn_server(cfg: ServerConfig) -> (hdnh_server::ServerHandle, String) {
     (handle, addr)
 }
 
+/// Like [`spawn_server`] but also hands back the table so tests can
+/// assert on storage-side effects (e.g. value-log occupancy).
+fn spawn_server_with_table(cfg: ServerConfig) -> (hdnh_server::ServerHandle, String, Arc<Hdnh>) {
+    let params = HdnhParams::builder()
+        .capacity(10_000)
+        .build()
+        .expect("default test params are valid");
+    let table = Arc::new(Hdnh::new(params));
+    let handle = start(Arc::clone(&table), "127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+    (handle, addr, table)
+}
+
 fn client(addr: &str) -> RespClient {
     let c = RespClient::connect(addr).expect("connect");
     c.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
@@ -185,6 +198,63 @@ fn graceful_drain_answers_every_pipelined_frame() {
 
     // The whole server winds down without further prompting.
     handle.join();
+}
+
+/// Pins the variable-length value boundaries at the wire: the last size
+/// that stays inline, the first that spills to the value log, a 64 KiB
+/// payload, the representable maximum, and the typed `-CAPACITY` error
+/// one byte past it (for both SET and MSET).
+#[test]
+fn value_size_boundaries_over_the_wire() {
+    let (handle, addr, table) = spawn_server_with_table(ServerConfig::default());
+    let mut c = client(&addr);
+
+    let set = |c: &mut RespClient, key: &str, v: &[u8]| {
+        c.call(&[b"SET", key.as_bytes(), v]).expect("SET io")
+    };
+    let get = |c: &mut RespClient, key: &str| match c.call(&[b"GET", key.as_bytes()]).expect("GET io") {
+        Reply::Bulk(b) => b,
+        other => panic!("expected bulk for {key}, got {other:?}"),
+    };
+
+    // Exactly the inline budget: round-trips and never touches the log.
+    let inline = vec![b'i'; hdnh::INLINE_MAX];
+    assert_eq!(set(&mut c, "1", &inline), Reply::Simple("OK".into()));
+    assert_eq!(get(&mut c, "1"), inline);
+    assert_eq!(table.vlog_stats().used_bytes, 0, "inline-budget value must not spill");
+
+    // One byte past the budget: first size that spills.
+    let spill = vec![b's'; hdnh::INLINE_MAX + 1];
+    assert_eq!(set(&mut c, "2", &spill), Reply::Simple("OK".into()));
+    assert_eq!(get(&mut c, "2"), spill);
+    assert!(table.vlog_stats().used_bytes > 0, "budget+1 value must spill to the log");
+
+    // 64 KiB, byte-exact (non-constant fill so truncation can't hide).
+    let big: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    assert_eq!(set(&mut c, "3", &big), Reply::Simple("OK".into()));
+    assert_eq!(get(&mut c, "3"), big);
+
+    // The representable maximum round-trips...
+    let max = vec![b'm'; hdnh::MAX_VALUE_BYTES];
+    assert_eq!(set(&mut c, "4", &max), Reply::Simple("OK".into()));
+    assert_eq!(get(&mut c, "4"), max);
+
+    // ... and max+1 is a *typed* command error, not a dropped connection,
+    // for SET and for MSET alike. Nothing is stored under the key.
+    let over = vec![b'x'; hdnh::MAX_VALUE_BYTES + 1];
+    for req in [
+        &[b"SET".as_slice(), b"5", &over] as &[&[u8]],
+        &[b"MSET", b"5", &over],
+    ] {
+        match c.call(req).expect("over-cap call io") {
+            Reply::Error(e) => assert!(e.starts_with("CAPACITY"), "{e}"),
+            other => panic!("expected -CAPACITY, got {other:?}"),
+        }
+    }
+    assert_eq!(c.call(&[b"EXISTS", b"5"]).unwrap(), Reply::Int(0));
+    assert!(c.ping().unwrap(), "connection must survive -CAPACITY");
+
+    handle.shutdown_and_join();
 }
 
 #[test]

@@ -100,6 +100,86 @@ fn resize_survives_both_clean_and_dirty_reopen() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Variable-length values across restarts: inline and spilled payloads
+/// (up to the 64 KiB acceptance size) survive a clean close, a compaction,
+/// and a dirty reopen's recovery, byte-identical.
+#[test]
+fn spilled_values_survive_clean_and_dirty_reopen() {
+    let dir = tmp_pool("vlog");
+    let payload = |id: u64| -> Vec<u8> {
+        let n = match id % 4 {
+            0 => 8, // inline
+            1 => 100,
+            2 => 4096,
+            _ => 64 * 1024,
+        };
+        (0..n).map(|i| (id as usize * 31 + i * 7) as u8).collect()
+    };
+    // After the writes below: keys 0..100 overwritten, 150..170 removed.
+    let expected = |id: u64| -> Option<Vec<u8>> {
+        if (150..170).contains(&id) {
+            None
+        } else if id < 100 {
+            Some(payload(id + 1000))
+        } else {
+            Some(payload(id))
+        }
+    };
+
+    let (table, _) = Hdnh::open_pool(params(5_000), &dir, 2).unwrap();
+    for id in 0..200u64 {
+        table.insert_bytes(&Key::from_u64(id), &payload(id)).unwrap();
+    }
+    for id in 0..100u64 {
+        // `id + 1000` keeps the size class (1000 % 4 == 0) but changes
+        // every byte, so a stale read cannot pass by length alone.
+        table.update_bytes(&Key::from_u64(id), &payload(id + 1000)).unwrap();
+    }
+    for id in 150..170u64 {
+        assert!(table.remove(&Key::from_u64(id)).unwrap());
+    }
+    table.close_pool().unwrap();
+
+    // Clean reopen: no recovery, every byte back.
+    let (table, report) = Hdnh::open_pool(params(5_000), &dir, 2).unwrap();
+    assert!(report.was_clean, "clean close must set the clean flag");
+    for id in 0..200u64 {
+        assert_eq!(
+            table.get_bytes(&Key::from_u64(id)).unwrap(),
+            expected(id),
+            "key {id} after clean reopen"
+        );
+    }
+
+    // Compact (the overwrites and removes left garbage), then pull the
+    // plug: a dirty reopen must rebuild the log accounting from the
+    // surviving segments and still serve every byte.
+    let gc = table.compact().unwrap();
+    assert!(gc.bytes_reclaimed > 0, "{gc:?}");
+    for id in 0..200u64 {
+        assert_eq!(
+            table.get_bytes(&Key::from_u64(id)).unwrap(),
+            expected(id),
+            "key {id} after compaction"
+        );
+    }
+    drop(table);
+
+    let (table, report) = Hdnh::open_pool(params(5_000), &dir, 2).unwrap();
+    assert!(!report.was_clean, "dropped table must reopen dirty");
+    for id in 0..200u64 {
+        assert_eq!(
+            table.get_bytes(&Key::from_u64(id)).unwrap(),
+            expected(id),
+            "key {id} after dirty reopen"
+        );
+    }
+    let (reports, _) = table.verify_integrity_report();
+    assert!(reports.iter().all(|r| r.ok), "{reports:?}");
+    table.close_pool().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn strict_mode_cannot_open_a_pool() {
     let dir = tmp_pool("strict");

@@ -19,7 +19,7 @@
 
 use std::sync::Mutex;
 
-use hdnh::nvtable::checksum7;
+use hdnh::nvtable::checksum6;
 use hdnh::{Hdnh, HdnhParams};
 use hdnh_common::{Key, Value, KEY_LEN};
 use hdnh_nvm::fault;
@@ -262,10 +262,10 @@ fn checksum_is_deterministic_and_seven_bit() {
     // Spot anchor so the on-media format can't drift silently: the digest
     // of the all-zero record is a fixed constant.
     let zero = [0u8; 31];
-    let d = checksum7(&zero);
+    let d = checksum6(&zero);
     assert!(d < 128);
-    assert_eq!(d, checksum7(&zero));
+    assert_eq!(d, checksum6(&zero));
     let mut one = zero;
     one[30] = 1;
-    assert_ne!(checksum7(&one), d, "single trailing-byte flip must change the digest");
+    assert_ne!(checksum6(&one), d, "single trailing-byte flip must change the digest");
 }
